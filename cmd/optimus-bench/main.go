@@ -1,0 +1,51 @@
+// Command optimus-bench regenerates the paper's evaluation artifacts: one
+// experiment per table and figure of §6 (plus extensions). Run with no
+// arguments to list experiments.
+//
+// Usage:
+//
+//	optimus-bench -exp fig1 [-full]
+//	optimus-bench -exp all -full
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"optimus/internal/exp"
+)
+
+func main() {
+	expID := flag.String("exp", "", "experiment to run (or 'all')")
+	full := flag.Bool("full", false, "run at full (paper-sized) scale instead of quick scale")
+	flag.Parse()
+
+	scale := exp.ScaleQuick
+	if *full {
+		scale = exp.ScaleFull
+	}
+
+	if *expID == "" {
+		fmt.Println("available experiments:")
+		for _, id := range exp.IDs() {
+			fmt.Println("  ", id)
+		}
+		fmt.Println("   all")
+		return
+	}
+
+	ids := []string{*expID}
+	if *expID == "all" {
+		ids = exp.IDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		if err := exp.Run(id, scale, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "optimus-bench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s completed in %v wall time)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,236 @@
+// Command optimus-sim runs one virtualization scenario on the simulated
+// platform and prints its measurements: a quick way to explore the design
+// space (accelerator mix, job counts, page sizes, time slices, scheduler
+// policies) outside the canned experiments.
+//
+// Usage:
+//
+//	optimus-sim -accel MB -jobs 4 -ws 64M -duration 10ms
+//	optimus-sim -accel LL -jobs 2 -temporal -slice 1ms -policy wrr
+//	optimus-sim -accel AES -jobs 8 -pages 4k
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"optimus/internal/accel"
+	"optimus/internal/guest"
+	"optimus/internal/hv"
+	"optimus/internal/mem"
+	"optimus/internal/sim"
+)
+
+func parseBytes(s string) (uint64, error) {
+	mult := uint64(1)
+	switch {
+	case strings.HasSuffix(s, "G"):
+		mult = 1 << 30
+		s = strings.TrimSuffix(s, "G")
+	case strings.HasSuffix(s, "M"):
+		mult = 1 << 20
+		s = strings.TrimSuffix(s, "M")
+	case strings.HasSuffix(s, "K"):
+		mult = 1 << 10
+		s = strings.TrimSuffix(s, "K")
+	}
+	v, err := strconv.ParseUint(s, 10, 64)
+	return v * mult, err
+}
+
+func parseDuration(s string) (sim.Time, error) {
+	switch {
+	case strings.HasSuffix(s, "ms"):
+		v, err := strconv.ParseFloat(strings.TrimSuffix(s, "ms"), 64)
+		return sim.Time(v * float64(sim.Millisecond)), err
+	case strings.HasSuffix(s, "us"):
+		v, err := strconv.ParseFloat(strings.TrimSuffix(s, "us"), 64)
+		return sim.Time(v * float64(sim.Microsecond)), err
+	case strings.HasSuffix(s, "s"):
+		v, err := strconv.ParseFloat(strings.TrimSuffix(s, "s"), 64)
+		return sim.Time(v * float64(sim.Second)), err
+	}
+	return 0, fmt.Errorf("duration needs a unit (s/ms/us): %q", s)
+}
+
+func main() {
+	app := flag.String("accel", "MB", "accelerator (Table 1 abbreviation)")
+	jobs := flag.Int("jobs", 1, "number of concurrent jobs")
+	temporal := flag.Bool("temporal", false, "multiplex all jobs on ONE physical accelerator (default: one slot each)")
+	ws := flag.String("ws", "32M", "per-job working set / input size")
+	durFlag := flag.String("duration", "5ms", "simulated measurement window")
+	pages := flag.String("pages", "2m", "page size: 2m or 4k")
+	sliceFlag := flag.String("slice", "10ms", "temporal multiplexing time slice")
+	policy := flag.String("policy", "rr", "temporal scheduler: rr, wrr, prio")
+	passthrough := flag.Bool("passthrough", false, "pass-through baseline instead of OPTIMUS")
+	flag.Parse()
+
+	if err := run(*app, *jobs, *temporal, *ws, *durFlag, *pages, *sliceFlag, *policy, *passthrough); err != nil {
+		fmt.Fprintln(os.Stderr, "optimus-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(app string, jobs int, temporal bool, wsFlag, durFlag, pages, sliceFlag, policy string, passthrough bool) error {
+	wsBytes, err := parseBytes(wsFlag)
+	if err != nil {
+		return err
+	}
+	duration, err := parseDuration(durFlag)
+	if err != nil {
+		return err
+	}
+	slice, err := parseDuration(sliceFlag)
+	if err != nil {
+		return err
+	}
+	pageSize := uint64(mem.PageSize2M)
+	if strings.EqualFold(pages, "4k") {
+		pageSize = mem.PageSize4K
+	}
+
+	nPhys := jobs
+	if temporal {
+		nPhys = 1
+	}
+	if nPhys > 8 {
+		return fmt.Errorf("at most 8 physical accelerators (got %d); use -temporal for more jobs", nPhys)
+	}
+	accels := make([]string, nPhys)
+	for i := range accels {
+		accels[i] = app
+	}
+	cfg := hv.Config{Accels: accels, PageSize: pageSize, TimeSlice: slice}
+	if passthrough {
+		cfg.Mode = hv.ModePassThrough
+		if jobs > 1 {
+			return fmt.Errorf("pass-through supports a single job")
+		}
+	}
+	h, err := hv.New(cfg)
+	if err != nil {
+		return err
+	}
+	if temporal {
+		switch policy {
+		case "rr":
+		case "wrr":
+			h.Scheduler(0).SetPolicy(hv.PolicyWRR)
+		case "prio":
+			h.Scheduler(0).SetPolicy(hv.PolicyPriority)
+		default:
+			return fmt.Errorf("unknown policy %q", policy)
+		}
+	}
+
+	type tenantState struct {
+		dev *guest.Device
+	}
+	tenants := make([]tenantState, jobs)
+	for i := 0; i < jobs; i++ {
+		slot := i
+		if temporal {
+			slot = 0
+		}
+		vm, err := h.NewVM(fmt.Sprintf("vm%d", i), 10<<30)
+		if err != nil {
+			return err
+		}
+		proc := vm.NewProcess()
+		va, err := h.NewVAccel(proc, slot)
+		if err != nil {
+			return err
+		}
+		if temporal {
+			va.SetWeight(1 + i%3)
+			va.SetPriority(i)
+		}
+		dev, err := guest.Open(proc, va)
+		if err != nil {
+			return err
+		}
+		tenants[i] = tenantState{dev: dev}
+		buf, err := dev.AllocDMA(wsBytes)
+		if err != nil {
+			return err
+		}
+		if _, err := dev.SetupStateBuffer(); err != nil {
+			return err
+		}
+		switch app {
+		case "MB":
+			dev.RegWrite(accel.MBArgBase, buf.Addr)
+			dev.RegWrite(accel.MBArgSize, wsBytes)
+			dev.RegWrite(accel.MBArgBursts, 0)
+			dev.RegWrite(accel.MBArgWritePct, 30)
+			dev.RegWrite(accel.MBArgSeed, uint64(i))
+		case "LL":
+			nodes := int(wsBytes / 256)
+			head := buildList(dev, proc, buf, nodes, uint64(i))
+			dev.RegWrite(accel.LLArgHead, head)
+		default:
+			return fmt.Errorf("optimus-sim drives MB and LL scenarios; use optimus-bench for the application suites")
+		}
+		if err := dev.Start(); err != nil {
+			return err
+		}
+	}
+
+	h.K.RunFor(duration)
+
+	fmt.Printf("scenario: %s x%d (%s), ws=%s, pages=%s, %v window\n",
+		app, jobs, map[bool]string{true: "temporal", false: "spatial"}[temporal], wsFlag, pages, duration)
+	var totalWork float64
+	for i, tn := range tenants {
+		va := tn.dev.VAccel()
+		work := va.WorkDone()
+		totalWork += float64(work)
+		fmt.Printf("  job %d: work=%d runtime=%v scheduled=%v\n", i, work, va.Runtime(), va.Scheduled())
+	}
+	st := h.Shell.Stats()
+	fmt.Printf("shell: read %.2f GB/s, write %.2f GB/s, faults=%d\n",
+		sim.Throughput(st.BytesRead, duration), sim.Throughput(st.BytesWritten, duration), st.Faults)
+	io := h.Shell.IOMMU.Stats()
+	fmt.Printf("iotlb: hits=%d misses=%d spec=%d evictions=%d (hit rate %.3f)\n",
+		io.Hits, io.Misses, io.SpecHits, io.Evictions, io.HitRate())
+	if h.Monitor != nil {
+		ms := h.Monitor.Stats()
+		fmt.Printf("monitor: dma=%d dropped=%d rangeViolations=%d resets=%d\n",
+			ms.DMARequests, ms.DMADropped, ms.RangeViolations, ms.Resets)
+	}
+	hs := h.Stats()
+	fmt.Printf("hypervisor: traps=%d hypercalls=%d switches=%d forcedResets=%d pinned=%d\n",
+		hs.MMIOTraps, hs.Hypercalls, hs.ContextSwitches, hs.ForcedResets, hs.PagesPinned)
+	return nil
+}
+
+func buildList(dev *guest.Device, proc *hv.Process, buf guest.Buffer, n int, seed uint64) uint64 {
+	if n < 2 {
+		n = 2
+	}
+	rng := sim.NewRand(seed ^ 0x515)
+	slots := int(buf.Size / 64)
+	if n > slots {
+		n = slots
+	}
+	order := rng.Perm(slots)[:n]
+	addrs := make([]uint64, n)
+	for i, s := range order {
+		addrs[i] = buf.Addr + uint64(s)*64
+	}
+	for i := 0; i < n; i++ {
+		node := make([]byte, 64)
+		var next uint64
+		if i+1 < n {
+			next = addrs[i+1]
+		}
+		for b := 0; b < 8; b++ {
+			node[b] = byte(next >> (8 * b))
+		}
+		proc.Write(addrs[i], node)
+	}
+	return addrs[0]
+}

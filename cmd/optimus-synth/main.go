@@ -1,0 +1,60 @@
+// Command optimus-synth reports the FPGA synthesis model's utilization and
+// timing feasibility for a chosen accelerator configuration — the
+// simulated counterpart of the Quartus reports behind Table 2.
+//
+// Usage:
+//
+//	optimus-synth -apps AES,AES,MB -monitor -arity 2
+//	optimus-synth -apps MB -n 8 -flat
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"optimus/internal/fpga"
+)
+
+func main() {
+	appsFlag := flag.String("apps", "AES", "comma-separated accelerator names (Table 1 abbreviations)")
+	n := flag.Int("n", 0, "replicate the first app n times (overrides -apps list length)")
+	monitor := flag.Bool("monitor", true, "include the OPTIMUS hardware monitor")
+	flat := flag.Bool("flat", false, "use a flat multiplexer instead of a tree")
+	arity := flag.Int("arity", 2, "multiplexer tree arity")
+	target := flag.Int("mhz", 400, "target multiplexer clock (MHz)")
+	flag.Parse()
+
+	apps := strings.Split(*appsFlag, ",")
+	if *n > 0 {
+		base := apps[0]
+		apps = make([]string, *n)
+		for i := range apps {
+			apps[i] = base
+		}
+	}
+	rep, err := fpga.Synthesize(fpga.Arria10(), fpga.SynthConfig{
+		Apps:        apps,
+		WithMonitor: *monitor,
+		Mux:         fpga.MuxTopology{Arity: *arity, Flat: *flat},
+		TargetMHz:   *target,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "optimus-synth:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("Device: %s (%d ALMs, %d M20K)\n", rep.Device.Name, rep.Device.ALMs, rep.Device.BRAMBlocks)
+	fmt.Printf("%-20s %10s %10s\n", "Component", "ALM %", "BRAM %")
+	for _, c := range rep.Components {
+		fmt.Printf("%-20s %10.2f %10.2f\n", c.Name, c.ALMPct, c.BRAMPct)
+	}
+	fmt.Printf("%-20s %10.2f %10.2f\n", "TOTAL", rep.TotalALM, rep.TotalBRAM)
+	fmt.Printf("Mux levels: %d\n", rep.MuxLevels)
+	if rep.TimingMet {
+		fmt.Printf("Timing at %d MHz: MET\n", *target)
+	} else {
+		fmt.Printf("Timing at %d MHz: FAILED — %s\n", *target, rep.TimingNote)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,198 @@
+// Preemption: writing a custom preemption-capable accelerator against the
+// OPTIMUS accelerator framework (§4.2).
+//
+// The accelerator ("COUNTER") walks a buffer accumulating a checksum. Its
+// preemption state is exactly what the paper recommends a designer
+// identify: the current offset and the running sum — two registers — so a
+// context switch costs one cache line of state DMA. The demo runs two
+// virtual counter accelerators time-sliced on one physical slot and shows
+// both jobs finish with correct sums despite repeated preemption.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"optimus/internal/accel"
+	"optimus/internal/ccip"
+	"optimus/internal/guest"
+	"optimus/internal/hv"
+	"optimus/internal/sim"
+)
+
+// CounterLogic is a minimal custom accelerator implementing accel.Logic.
+// Application registers: arg0 = buffer GVA, arg1 = length in bytes.
+// Result: arg2 = sum of all little-endian u64 words.
+type CounterLogic struct {
+	base, size uint64
+	off        uint64
+	sum        uint64
+}
+
+// Name implements accel.Logic.
+func (c *CounterLogic) Name() string { return "COUNTER" }
+
+// FreqMHz implements accel.Logic.
+func (c *CounterLogic) FreqMHz() int { return 400 }
+
+// StateBytes implements accel.Logic: the minimal execution state — the
+// paper's linked-list example saves just "the address of the next node";
+// we save the offset and running sum plus job parameters.
+func (c *CounterLogic) StateBytes() int { return 32 }
+
+// Start implements accel.Logic.
+func (c *CounterLogic) Start(a *accel.Accel) {
+	c.base = a.Arg(0)
+	c.size = a.Arg(1)
+	c.off = 0
+	c.sum = 0
+	if c.size%ccip.LineSize != 0 {
+		a.Fail(fmt.Errorf("counter: size %d not line-aligned", c.size))
+	}
+}
+
+// Pump implements accel.Logic: stream the buffer, 8 lines per request.
+func (c *CounterLogic) Pump(a *accel.Accel) {
+	for a.CanIssue() {
+		if c.off >= c.size {
+			if a.Idle() && a.Status() == accel.StatusRunning {
+				a.SetArg(2, c.sum)
+				a.JobDone()
+			}
+			return
+		}
+		lines := 8
+		if rem := (c.size - c.off) / ccip.LineSize; uint64(lines) > rem {
+			lines = int(rem)
+		}
+		off := c.off
+		c.off += uint64(lines) * ccip.LineSize
+		a.Read(c.base+off, lines, func(data []byte, err error) {
+			if err != nil {
+				a.Fail(err)
+				return
+			}
+			for i := 0; i+8 <= len(data); i += 8 {
+				var v uint64
+				for b := 0; b < 8; b++ {
+					v |= uint64(data[i+b]) << (8 * b)
+				}
+				c.sum += v
+			}
+			a.AddWork(uint64(len(data)))
+		})
+	}
+}
+
+// SaveState implements accel.Logic.
+func (c *CounterLogic) SaveState() []byte {
+	buf := make([]byte, 32)
+	put := func(off int, v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[off+i] = byte(v >> (8 * i))
+		}
+	}
+	put(0, c.base)
+	put(8, c.size)
+	// Drain guarantees all reads completed; resuming from c.off would skip
+	// none and double-count none... except reads complete out of order, so
+	// the safe resume point is the lowest unprocessed offset. For this
+	// demo the sum is order-independent and every issued read completed,
+	// so (off, sum) is exact.
+	put(16, c.off)
+	put(24, c.sum)
+	return buf
+}
+
+// RestoreState implements accel.Logic.
+func (c *CounterLogic) RestoreState(data []byte) error {
+	if len(data) < 32 {
+		return fmt.Errorf("counter: short state")
+	}
+	get := func(off int) uint64 {
+		var v uint64
+		for i := 0; i < 8; i++ {
+			v |= uint64(data[off+i]) << (8 * i)
+		}
+		return v
+	}
+	c.base, c.size, c.off, c.sum = get(0), get(8), get(16), get(24)
+	return nil
+}
+
+// ResetLogic implements accel.Logic.
+func (c *CounterLogic) ResetLogic() { *c = CounterLogic{} }
+
+func main() {
+	// Build a platform with a LinkedList slot, then swap our custom logic
+	// into slot 0 (the "synthesize your own accelerator" path: the
+	// framework, monitor, and hypervisor are unchanged).
+	h, err := hv.New(hv.Config{Accels: []string{"LL"}, TimeSlice: 200 * sim.Microsecond})
+	if err != nil {
+		log.Fatal(err)
+	}
+	counter := accel.New(&CounterLogic{})
+	if err := h.ReplaceAccel(0, counter); err != nil {
+		log.Fatal(err)
+	}
+
+	const bufSize = 8 << 20
+	type tenantState struct {
+		dev  *guest.Device
+		want uint64
+	}
+	var tenants []tenantState
+	for i := 0; i < 2; i++ {
+		vm, _ := h.NewVM(fmt.Sprintf("vm%d", i), 10<<30)
+		proc := vm.NewProcess()
+		va, err := h.NewVAccel(proc, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dev, err := guest.Open(proc, va)
+		if err != nil {
+			log.Fatal(err)
+		}
+		buf, err := dev.AllocDMA(bufSize)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := dev.SetupStateBuffer(); err != nil {
+			log.Fatal(err)
+		}
+		// Fill the buffer with a known pattern and compute the expected sum.
+		rng := sim.NewRand(uint64(i) + 1)
+		data := make([]byte, bufSize)
+		rng.Fill(data)
+		dev.Write(buf, 0, data)
+		var want uint64
+		for off := 0; off+8 <= len(data); off += 8 {
+			var v uint64
+			for b := 0; b < 8; b++ {
+				v |= uint64(data[off+b]) << (8 * b)
+			}
+			want += v
+		}
+		dev.RegWrite(0, buf.Addr)
+		dev.RegWrite(1, bufSize)
+		if err := dev.Start(); err != nil {
+			log.Fatal(err)
+		}
+		tenants = append(tenants, tenantState{dev: dev, want: want})
+	}
+
+	h.K.RunFor(200 * sim.Millisecond)
+	fmt.Println("two COUNTER jobs time-sliced on one physical accelerator (200 us slices):")
+	for i, tn := range tenants {
+		got, _ := tn.dev.RegRead(2)
+		status := "WRONG"
+		if got == tn.want {
+			status = "OK"
+		}
+		fmt.Printf("  tenant %d: sum=%#x want=%#x  %s\n", i, got, tn.want, status)
+		if got != tn.want {
+			log.Fatal("checksum corrupted across preemption")
+		}
+	}
+	fmt.Printf("context switches: %d (state saved/restored each time)\n", h.Scheduler(0).Switches())
+}

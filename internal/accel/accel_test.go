@@ -1,0 +1,521 @@
+package accel
+
+import (
+	"bytes"
+	stdaes "crypto/aes"
+	stdmd5 "crypto/md5"
+	stdsha512 "crypto/sha512"
+	"testing"
+
+	"optimus/internal/algo/bitcoin"
+	"optimus/internal/algo/graph"
+	"optimus/internal/algo/imgfilter"
+	"optimus/internal/algo/reedsolomon"
+	"optimus/internal/algo/smithwaterman"
+	"optimus/internal/ccip"
+	"optimus/internal/hwmon"
+	"optimus/internal/mem"
+	"optimus/internal/pagetable"
+	"optimus/internal/sim"
+)
+
+// rig is a single-accelerator platform: accel → auditor/mux → shell with an
+// identity GVA→IOVA→HPA mapping over `size` bytes.
+type rig struct {
+	t     *testing.T
+	k     *sim.Kernel
+	shell *ccip.Shell
+	mon   *hwmon.Monitor
+	acc   *Accel
+	size  uint64
+}
+
+func newRig(t *testing.T, name string, size uint64) *rig {
+	t.Helper()
+	k := sim.NewKernel()
+	pm := mem.NewPhysMem(size + (1 << 30))
+	shell := ccip.NewShell(k, pm, ccip.DefaultConfig())
+	ps := shell.IOMMU.Table().PageSize()
+	for va := uint64(0); va < size; va += ps {
+		if err := shell.IOMMU.Table().Map(va, va, pagetable.PermRW); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mon, err := hwmon.New(k, shell, hwmon.Config{NumAccels: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon.SetWindow(0, 0, 0, size)
+	acc, err := NewByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc.Attach(k, mon.AccelPort(0))
+	mon.RegisterAccel(0, acc, acc.Reset)
+	return &rig{t: t, k: k, shell: shell, mon: mon, acc: acc, size: size}
+}
+
+func (r *rig) setArg(i int, v uint64) {
+	if err := r.mon.MMIOWrite(hwmon.AccelMMIO(0)+RegArgBase+uint64(8*i), v); err != nil {
+		r.t.Fatal(err)
+	}
+}
+
+func (r *rig) ctrl(cmd uint64) {
+	if err := r.mon.MMIOWrite(hwmon.AccelMMIO(0)+RegCtrl, cmd); err != nil {
+		r.t.Fatal(err)
+	}
+}
+
+func (r *rig) status() uint64 {
+	v, err := r.mon.MMIORead(hwmon.AccelMMIO(0) + RegStatus)
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	return v
+}
+
+// run starts the job and runs the simulation to completion, asserting the
+// accelerator finished successfully.
+func (r *rig) run() {
+	r.t.Helper()
+	r.ctrl(CmdStart)
+	r.k.Run()
+	if got := r.status(); got != StatusDone {
+		r.t.Fatalf("status = %s (err: %v)", StatusName(got), r.acc.LastErr())
+	}
+}
+
+func (r *rig) write(addr uint64, data []byte) { r.shell.Mem.Write(addr, data) }
+func (r *rig) read(addr uint64, n int) []byte {
+	b := make([]byte, n)
+	r.shell.Mem.Read(addr, b)
+	return b
+}
+
+func TestRegistryComplete(t *testing.T) {
+	if len(Names()) != 14 {
+		t.Fatalf("registry has %d accelerators, want 14", len(Names()))
+	}
+	if _, err := NewByName("NOPE"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+	for _, n := range Names() {
+		a, err := NewByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Name() != n {
+			t.Fatalf("name mismatch: %s vs %s", a.Name(), n)
+		}
+	}
+}
+
+func TestAESEndToEnd(t *testing.T) {
+	r := newRig(t, "AES", 16<<20)
+	key := []byte("0123456789abcdef")
+	keyPage := make([]byte, 64)
+	copy(keyPage, key)
+	r.write(0x10000, keyPage)
+	plain := make([]byte, 4096)
+	for i := range plain {
+		plain[i] = byte(i * 7)
+	}
+	r.write(0x20000, plain)
+	r.setArg(XFArgSrc, 0x20000)
+	r.setArg(XFArgDst, 0x40000)
+	r.setArg(XFArgLen, uint64(len(plain)))
+	r.setArg(XFArgParam, 0x10000)
+	r.run()
+
+	got := r.read(0x40000, len(plain))
+	ref, _ := stdaes.NewCipher(key)
+	want := make([]byte, len(plain))
+	for i := 0; i < len(plain); i += 16 {
+		ref.Encrypt(want[i:i+16], plain[i:i+16])
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("AES accelerator output does not match crypto/aes")
+	}
+}
+
+func TestMD5EndToEnd(t *testing.T) {
+	r := newRig(t, "MD5", 16<<20)
+	msg := make([]byte, 8192)
+	for i := range msg {
+		msg[i] = byte(i ^ 0x5a)
+	}
+	r.write(0x20000, msg)
+	r.setArg(XFArgSrc, 0x20000)
+	r.setArg(XFArgDst, 0x80000)
+	r.setArg(XFArgLen, uint64(len(msg)))
+	r.run()
+	got := r.read(0x80000, 16)
+	want := stdmd5.Sum(msg)
+	if !bytes.Equal(got, want[:]) {
+		t.Fatalf("MD5 = %x, want %x", got, want)
+	}
+}
+
+func TestSHAEndToEnd(t *testing.T) {
+	r := newRig(t, "SHA", 16<<20)
+	msg := make([]byte, 4096+64)
+	for i := range msg {
+		msg[i] = byte(3 * i)
+	}
+	r.write(0x20000, msg)
+	r.setArg(XFArgSrc, 0x20000)
+	r.setArg(XFArgDst, 0x80000)
+	r.setArg(XFArgLen, uint64(len(msg)))
+	r.run()
+	got := r.read(0x80000, 64)
+	want := stdsha512.Sum512(msg)
+	if !bytes.Equal(got, want[:]) {
+		t.Fatal("SHA-512 digest mismatch")
+	}
+}
+
+func TestFIREndToEnd(t *testing.T) {
+	r := newRig(t, "FIR", 16<<20)
+	// 1024 int32 samples: an impulse then a step.
+	samples := make([]byte, 4096)
+	put32 := func(i int, v int32) {
+		u := uint32(v)
+		samples[4*i] = byte(u)
+		samples[4*i+1] = byte(u >> 8)
+		samples[4*i+2] = byte(u >> 16)
+		samples[4*i+3] = byte(u >> 24)
+	}
+	for i := 0; i < 1024; i++ {
+		if i >= 512 {
+			put32(i, 1000)
+		}
+	}
+	put32(0, 4096)
+	r.write(0x20000, samples)
+	r.setArg(XFArgSrc, 0x20000)
+	r.setArg(XFArgDst, 0x60000)
+	r.setArg(XFArgLen, 4096)
+	r.setArg(XFArgParam, 8) // 8-tap moving average
+	r.run()
+	out := r.read(0x60000, 4096)
+	get32 := func(b []byte, i int) int32 {
+		return int32(uint32(b[4*i]) | uint32(b[4*i+1])<<8 | uint32(b[4*i+2])<<16 | uint32(b[4*i+3])<<24)
+	}
+	// Impulse spread: output[0] ≈ 4096/8 = 512.
+	if v := get32(out, 0); v < 500 || v > 520 {
+		t.Fatalf("impulse response[0] = %d, want ≈512", v)
+	}
+	// Steady state of the step ≈ 1000.
+	if v := get32(out, 1023); v < 990 || v > 1001 {
+		t.Fatalf("step steady state = %d, want ≈1000", v)
+	}
+}
+
+func TestGRNEndToEnd(t *testing.T) {
+	r := newRig(t, "GRN", 32<<20)
+	const n = 1 << 20 // bytes → 256K samples
+	r.setArg(GRNArgDst, 0x100000)
+	r.setArg(GRNArgBytes, n)
+	r.setArg(GRNArgSeed, 42)
+	r.setArg(GRNArgStddev, 1<<12)
+	r.run()
+	out := r.read(0x100000, n)
+	var sum, sumSq float64
+	cnt := n / 4
+	for i := 0; i < cnt; i++ {
+		v := float64(int32(uint32(out[4*i]) | uint32(out[4*i+1])<<8 | uint32(out[4*i+2])<<16 | uint32(out[4*i+3])<<24))
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(cnt)
+	std := sumSq/float64(cnt) - mean*mean
+	if mean < -30 || mean > 30 {
+		t.Fatalf("mean = %v, want ≈0 (σ=4096)", mean)
+	}
+	wantVar := float64(1<<12) * float64(1<<12)
+	if std < wantVar*0.95 || std > wantVar*1.05 {
+		t.Fatalf("variance = %v, want ≈%v", std, wantVar)
+	}
+}
+
+func TestRSDEndToEnd(t *testing.T) {
+	r := newRig(t, "RSD", 16<<20)
+	code, _ := reedsolomon.New(255, 223)
+	rng := sim.NewRand(5)
+	const count = 16
+	msgs := make([][]byte, count)
+	for i := 0; i < count; i++ {
+		msg := make([]byte, 223)
+		rng.Fill(msg)
+		msgs[i] = msg
+		cw, _ := code.Encode(msg)
+		slot := make([]byte, RSDSlot)
+		copy(slot, cw)
+		// Corrupt up to t errors (codeword 7 gets too many: must fail).
+		nerr := rng.Intn(17)
+		if i == 7 {
+			nerr = 40
+		}
+		for _, p := range rng.Perm(255)[:nerr] {
+			slot[p] ^= byte(1 + rng.Intn(255))
+		}
+		r.write(0x20000+uint64(i*RSDSlot), slot)
+	}
+	r.setArg(RSDArgSrc, 0x20000)
+	r.setArg(RSDArgDst, 0x80000)
+	r.setArg(RSDArgCount, count)
+	r.run()
+	for i := 0; i < count; i++ {
+		got := r.read(0x80000+uint64(i*RSDSlot), 223)
+		if i == 7 {
+			if !bytes.Equal(got, make([]byte, 223)) {
+				t.Fatal("uncorrectable codeword should decode to zeros")
+			}
+			continue
+		}
+		if !bytes.Equal(got, msgs[i]) {
+			t.Fatalf("codeword %d not recovered", i)
+		}
+	}
+	if r.acc.Arg(RSDArgFailures) != 1 {
+		t.Fatalf("failures = %d, want 1", r.acc.Arg(RSDArgFailures))
+	}
+}
+
+func TestSWEndToEnd(t *testing.T) {
+	r := newRig(t, "SW", 16<<20)
+	a := []byte("TGTTACGGTTTACCGGAACGTTAACCGGTT")
+	b := []byte("GGTTGACTAGGTTCAGTACCA")
+	bufA := make([]byte, 64)
+	bufB := make([]byte, 64)
+	copy(bufA, a)
+	copy(bufB, b)
+	r.write(0x20000, bufA)
+	r.write(0x30000, bufB)
+	r.setArg(SWArgSeqA, 0x20000)
+	r.setArg(SWArgLenA, uint64(len(a)))
+	r.setArg(SWArgSeqB, 0x30000)
+	r.setArg(SWArgLenB, uint64(len(b)))
+	r.run()
+	want := smithwaterman.Score(a, b, smithwaterman.DefaultScoring())
+	if got := r.acc.Arg(SWArgScore); got != uint64(want) {
+		t.Fatalf("SW score = %d, want %d", got, want)
+	}
+}
+
+func testImage(t *testing.T, name string) {
+	const w, h = 128, 64
+	r := newRig(t, name, 16<<20)
+	rng := sim.NewRand(9)
+	var inBytes int
+	if name == "GRS" {
+		inBytes = 3 * w * h
+	} else {
+		inBytes = w * h
+	}
+	in := make([]byte, inBytes)
+	rng.Fill(in)
+	r.write(0x20000, in)
+	r.setArg(ImgArgSrc, 0x20000)
+	r.setArg(ImgArgDst, 0x100000)
+	r.setArg(ImgArgWidth, w)
+	r.setArg(ImgArgHeight, h)
+	r.run()
+	got := r.read(0x100000, w*h)
+
+	var want []byte
+	switch name {
+	case "GAU":
+		src := &imgfilter.Gray{W: w, H: h, Pix: in}
+		want = imgfilter.Gaussian(src).Pix
+	case "SBL":
+		src := &imgfilter.Gray{W: w, H: h, Pix: in}
+		want = imgfilter.Sobel(src).Pix
+	case "GRS":
+		src := &imgfilter.RGB{W: w, H: h, Pix: in}
+		want = imgfilter.Grayscale(src).Pix
+	}
+	if !bytes.Equal(got, want) {
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s pixel %d (row %d): got %d want %d", name, i, i/w, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestGAUEndToEnd(t *testing.T) { testImage(t, "GAU") }
+func TestSBLEndToEnd(t *testing.T) { testImage(t, "SBL") }
+func TestGRSEndToEnd(t *testing.T) { testImage(t, "GRS") }
+
+// layoutSSSP writes a CSR graph + descriptor into rig memory and returns
+// the descriptor GVA.
+func layoutSSSP(r *rig, g *graph.CSR, source int) uint64 {
+	const (
+		descGVA   = 0x10000
+		rowPtrGVA = 0x20000
+	)
+	put32 := func(base uint64, vals []uint32) uint64 {
+		buf := make([]byte, (len(vals)*4+63)&^63)
+		for i, v := range vals {
+			buf[4*i] = byte(v)
+			buf[4*i+1] = byte(v >> 8)
+			buf[4*i+2] = byte(v >> 16)
+			buf[4*i+3] = byte(v >> 24)
+		}
+		r.write(base, buf)
+		return base + uint64(len(buf))
+	}
+	colGVA := put32(rowPtrGVA, g.RowPtr)
+	wGVA := put32(colGVA, g.Col)
+	distGVA := put32(wGVA, g.Weight)
+	distGVA = (distGVA + 63) &^ 63
+	dist := make([]byte, (g.NumVertices*8+63)&^63)
+	for v := 0; v < g.NumVertices; v++ {
+		val := SSSPInf
+		if v == source {
+			val = 0
+		}
+		for i := 0; i < 8; i++ {
+			dist[8*v+i] = byte(val >> (8 * i))
+		}
+	}
+	r.write(distGVA, dist)
+	desc := make([]byte, 64)
+	fields := map[int]uint64{
+		0x00: uint64(g.NumVertices), 0x08: uint64(g.NumEdges()),
+		0x10: rowPtrGVA, 0x18: colGVA, 0x20: wGVA, 0x28: distGVA,
+		0x30: uint64(source),
+	}
+	for off, v := range fields {
+		for i := 0; i < 8; i++ {
+			desc[off+i] = byte(v >> (8 * i))
+		}
+	}
+	r.write(descGVA, desc)
+	return distGVA
+}
+
+func TestSSSPEndToEnd(t *testing.T) {
+	g := graph.Uniform(2000, 10000, 64, 3)
+	r := newRig(t, "SSSP", 64<<20)
+	distGVA := layoutSSSP(r, g, 0)
+	r.setArg(SSSPArgDesc, 0x10000)
+	r.run()
+	want := graph.Dijkstra(g, 0)
+	got := r.read(distGVA, g.NumVertices*8)
+	for v := 0; v < g.NumVertices; v++ {
+		var d uint64
+		for i := 0; i < 8; i++ {
+			d |= uint64(got[8*v+i]) << (8 * i)
+		}
+		w := uint64(want[v])
+		if want[v] == graph.Inf {
+			w = SSSPInf
+		}
+		if d != w {
+			t.Fatalf("dist[%d] = %d, want %d", v, d, w)
+		}
+	}
+	if r.acc.Arg(SSSPArgResult) == 0 {
+		t.Fatal("rounds result not reported")
+	}
+}
+
+func TestBTCEndToEnd(t *testing.T) {
+	r := newRig(t, "BTC", 16<<20)
+	rng := sim.NewRand(1)
+	header := make([]byte, 128)
+	rng.Fill(header[:80])
+	r.write(0x20000, header)
+	target := bitcoin.TargetWithDifficulty(10)
+	tbuf := make([]byte, 64)
+	copy(tbuf, target[:])
+	r.write(0x30000, tbuf)
+	r.setArg(BTCArgHeader, 0x20000)
+	r.setArg(BTCArgTarget, 0x30000)
+	r.setArg(BTCArgStart, 0)
+	r.setArg(BTCArgCount, 1<<16)
+	r.run()
+	if r.acc.Arg(BTCArgFound) != 1 {
+		t.Fatal("no solution found at difficulty 10 in 64K nonces")
+	}
+	nonce := uint32(r.acc.Arg(BTCArgNonce))
+	// Verify against the software miner.
+	want, found, _ := bitcoin.Mine(header[:80], target, 0, 1<<16)
+	if !found || nonce != want {
+		t.Fatalf("nonce = %d, want %d", nonce, want)
+	}
+}
+
+func TestMemBenchFiniteJob(t *testing.T) {
+	r := newRig(t, "MB", 64<<20)
+	r.setArg(MBArgBase, 0)
+	r.setArg(MBArgSize, 32<<20)
+	r.setArg(MBArgBursts, 1000)
+	r.setArg(MBArgBurst, 8)
+	r.setArg(MBArgWritePct, 30)
+	r.setArg(MBArgSeed, 7)
+	r.run()
+	if r.acc.WorkDone() != 1000*8*ccip.LineSize {
+		t.Fatalf("work done = %d", r.acc.WorkDone())
+	}
+	if r.acc.BytesRead() == 0 || r.acc.BytesWritten() == 0 {
+		t.Fatal("expected both reads and writes")
+	}
+}
+
+// buildList writes an n-node linked list with the given permutation order
+// and returns head GVA and payload checksum.
+func buildList(r *rig, base uint64, n int, seed uint64) (head uint64, checksum uint64) {
+	rng := sim.NewRand(seed)
+	order := rng.Perm(n)
+	addrs := make([]uint64, n)
+	for i, slot := range order {
+		addrs[i] = base + uint64(slot)*ccip.LineSize
+	}
+	for i := 0; i < n; i++ {
+		node := make([]byte, ccip.LineSize)
+		var next uint64
+		if i+1 < n {
+			next = addrs[i+1]
+		}
+		payload := rng.Uint64()
+		checksum += payload
+		for b := 0; b < 8; b++ {
+			node[LLNextOffset+b] = byte(next >> (8 * b))
+			node[LLPayloadOffset+b] = byte(payload >> (8 * b))
+		}
+		r.write(addrs[i], node)
+	}
+	return addrs[0], checksum
+}
+
+func TestLinkedListEndToEnd(t *testing.T) {
+	r := newRig(t, "LL", 16<<20)
+	head, sum := buildList(r, 0x100000, 500, 11)
+	r.setArg(LLArgHead, head)
+	r.run()
+	if r.acc.WorkDone() != 500 {
+		t.Fatalf("visited %d nodes, want 500", r.acc.WorkDone())
+	}
+	if r.acc.Arg(LLArgChecksum) != sum {
+		t.Fatalf("checksum = %#x, want %#x", r.acc.Arg(LLArgChecksum), sum)
+	}
+	// Latency-bound: mean DMA latency should be in the hundreds of ns.
+	if m := r.acc.DMALatency().Mean(); m < 300*sim.Nanosecond {
+		t.Fatalf("LL mean latency %v suspiciously low", m)
+	}
+}
+
+func TestLinkedListMaxNodes(t *testing.T) {
+	r := newRig(t, "LL", 16<<20)
+	head, _ := buildList(r, 0x100000, 100, 12)
+	r.setArg(LLArgHead, head)
+	r.setArg(LLArgMaxNodes, 40)
+	r.run()
+	if r.acc.WorkDone() != 40 {
+		t.Fatalf("visited %d, want 40", r.acc.WorkDone())
+	}
+}

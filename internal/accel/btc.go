@@ -1,0 +1,126 @@
+package accel
+
+import (
+	"fmt"
+
+	"optimus/internal/algo/bitcoin"
+)
+
+// BTC application registers.
+const (
+	BTCArgHeader = 0 // GVA of the 80-byte block header (2 lines)
+	BTCArgTarget = 1 // GVA of the 32-byte little-endian target
+	BTCArgStart  = 2 // first nonce to scan
+	BTCArgCount  = 3 // nonces to scan
+	BTCArgFound  = 4 // result: 1 if a solution was found
+	BTCArgNonce  = 5 // result: winning nonce
+)
+
+// btcBatch is the number of nonces hashed per scheduling quantum.
+const btcBatch = 4096
+
+// BTCAccel is the Bitcoin miner: double SHA-256 over the block header,
+// scanning a nonce range for a hash below the target. It is almost purely
+// compute-bound — two DMA reads at start, then 2 cycles per hash at 100 MHz
+// — so it scales linearly with spatial multiplexing (Fig. 7).
+type BTCAccel struct {
+	header []byte
+	target [32]byte
+	next   uint32
+	end    uint64 // one past the last nonce (may be 1<<32)
+	loaded int
+}
+
+// NewBTC returns the BTC logic.
+func NewBTC() *BTCAccel { return &BTCAccel{} }
+
+// Name implements Logic.
+func (x *BTCAccel) Name() string { return "BTC" }
+
+// FreqMHz implements Logic.
+func (x *BTCAccel) FreqMHz() int { return 100 }
+
+// StateBytes implements Logic: header + target + scan position.
+func (x *BTCAccel) StateBytes() int { return 128 + 64 + 16 }
+
+// Start implements Logic.
+func (x *BTCAccel) Start(a *Accel) {
+	x.loaded = 0
+	x.next = uint32(a.Arg(BTCArgStart))
+	x.end = uint64(x.next) + a.Arg(BTCArgCount)
+	if x.end > 1<<32 {
+		x.end = 1 << 32
+	}
+	a.SetArg(BTCArgFound, 0)
+	a.Read(a.Arg(BTCArgHeader), 2, func(data []byte, err error) {
+		if err != nil {
+			a.Fail(fmt.Errorf("btc header: %w", err))
+			return
+		}
+		x.header = append([]byte(nil), data[:bitcoin.HeaderSize]...)
+		x.loaded++
+	})
+	a.Read(a.Arg(BTCArgTarget), 1, func(data []byte, err error) {
+		if err != nil {
+			a.Fail(fmt.Errorf("btc target: %w", err))
+			return
+		}
+		copy(x.target[:], data[:32])
+		x.loaded++
+	})
+}
+
+// Pump implements Logic.
+func (x *BTCAccel) Pump(a *Accel) {
+	if x.loaded < 2 || !a.CanIssue() || !a.Idle() {
+		return
+	}
+	if uint64(x.next) >= x.end {
+		a.JobDone()
+		return
+	}
+	count := x.end - uint64(x.next)
+	if count > btcBatch {
+		count = btcBatch
+	}
+	start := x.next
+	// 2 cycles per double-SHA256 hash: the two pipelined cores each emit a
+	// digest per cycle at 100 MHz.
+	a.Compute(int64(2*count), func() {
+		nonce, found, hashes := bitcoin.Mine(x.header, x.target, start, uint32(count))
+		a.AddWork(hashes)
+		if found {
+			a.SetArg(BTCArgFound, 1)
+			a.SetArg(BTCArgNonce, uint64(nonce))
+			a.JobDone()
+			return
+		}
+		x.next = start + uint32(count)
+	})
+}
+
+// SaveState implements Logic.
+func (x *BTCAccel) SaveState() []byte {
+	buf := make([]byte, x.StateBytes())
+	copy(buf[0:], x.header)
+	copy(buf[128:], x.target[:])
+	putU64(buf[192:], uint64(x.next))
+	putU64(buf[200:], x.end)
+	return buf
+}
+
+// RestoreState implements Logic.
+func (x *BTCAccel) RestoreState(data []byte) error {
+	if len(data) < x.StateBytes() {
+		return fmt.Errorf("btc: short state")
+	}
+	x.header = append([]byte(nil), data[:bitcoin.HeaderSize]...)
+	copy(x.target[:], data[128:160])
+	x.next = uint32(getU64(data[192:]))
+	x.end = getU64(data[200:])
+	x.loaded = 2
+	return nil
+}
+
+// ResetLogic implements Logic.
+func (x *BTCAccel) ResetLogic() { *x = BTCAccel{} }

@@ -1,0 +1,254 @@
+package accel
+
+import (
+	"fmt"
+
+	"optimus/internal/algo/aes"
+	"optimus/internal/algo/md5"
+	"optimus/internal/algo/sha512"
+	"optimus/internal/ccip"
+)
+
+// Shared application register conventions for the transform accelerators.
+const (
+	XFArgSrc   = 0 // input GVA
+	XFArgDst   = 1 // output GVA
+	XFArgLen   = 2 // input length in bytes (line-aligned)
+	XFArgParam = 3 // accelerator-specific (AES: key GVA; FIR: taps; ...)
+)
+
+// AESAccel streams a buffer through an AES-128 ECB encryption datapath:
+// 8-line bursts in, encrypted bursts out, at 8 cycles per line on the
+// 200 MHz clock (≈1.6 GB/s demand).
+type AESAccel struct {
+	s      stream
+	cipher *aes.Cipher
+	key    [16]byte
+	dst    uint64
+}
+
+// NewAES returns the AES logic.
+func NewAES() *AESAccel { return &AESAccel{} }
+
+// Name implements Logic.
+func (x *AESAccel) Name() string { return "AES" }
+
+// FreqMHz implements Logic.
+func (x *AESAccel) FreqMHz() int { return 200 }
+
+// StateBytes implements Logic: key + stream position + job parameters.
+func (x *AESAccel) StateBytes() int { return 16 + 8 + 8 + 8 + 8 }
+
+const aesCyclesPerLine = 8
+
+// Start implements Logic.
+func (x *AESAccel) Start(a *Accel) {
+	if err := x.s.init(a.Arg(XFArgSrc), a.Arg(XFArgLen), 8); err != nil {
+		a.Fail(err)
+		return
+	}
+	x.dst = a.Arg(XFArgDst)
+	x.cipher = nil
+	// The key is fetched by DMA from the GVA in the param register.
+	keyAddr := a.Arg(XFArgParam)
+	a.Read(keyAddr, 1, func(data []byte, err error) {
+		if err != nil {
+			a.Fail(fmt.Errorf("aes key fetch: %w", err))
+			return
+		}
+		copy(x.key[:], data[:16])
+		c, cerr := aes.New(x.key[:])
+		if cerr != nil {
+			a.Fail(cerr)
+			return
+		}
+		x.cipher = c
+	})
+}
+
+// Pump implements Logic.
+func (x *AESAccel) Pump(a *Accel) {
+	if x.cipher == nil {
+		return // key fetch in flight; afterCompletion re-pumps
+	}
+	if x.s.done() {
+		if a.Status() == StatusRunning && a.Idle() {
+			a.JobDone()
+		}
+		return
+	}
+	x.s.pump(a, func(off uint64, data []byte) {
+		a.Compute(int64(len(data)/ccip.LineSize*aesCyclesPerLine), func() {
+			out := make([]byte, len(data))
+			copy(out, data)
+			if err := x.cipher.EncryptECB(out); err != nil {
+				a.Fail(err)
+				return
+			}
+			a.Write(x.dst+off, out, func(err error) {
+				if err != nil {
+					a.Fail(fmt.Errorf("aes write: %w", err))
+					return
+				}
+				a.AddWork(uint64(len(out)))
+			})
+		})
+	})
+}
+
+// SaveState implements Logic.
+func (x *AESAccel) SaveState() []byte {
+	buf := make([]byte, x.StateBytes())
+	copy(buf, x.key[:])
+	putU64(buf[16:], x.s.progress())
+	putU64(buf[24:], x.s.src)
+	putU64(buf[32:], x.s.total)
+	putU64(buf[40:], x.dst)
+	return buf
+}
+
+// RestoreState implements Logic.
+func (x *AESAccel) RestoreState(data []byte) error {
+	if len(data) < x.StateBytes() {
+		return fmt.Errorf("aes: short state")
+	}
+	copy(x.key[:], data[:16])
+	c, err := aes.New(x.key[:])
+	if err != nil {
+		return err
+	}
+	x.cipher = c
+	if err := x.s.init(getU64(data[24:]), getU64(data[32:]), 8); err != nil {
+		return err
+	}
+	x.s.seek(getU64(data[16:]))
+	x.dst = getU64(data[40:])
+	return nil
+}
+
+// ResetLogic implements Logic.
+func (x *AESAccel) ResetLogic() { *x = AESAccel{} }
+
+// hashAccel is the shared machinery of the MD5 and SHA-512 accelerators: a
+// sequential absorb pipeline that writes the final digest (padded to one
+// line) to the destination GVA.
+type hashAccel struct {
+	name     string
+	freq     int
+	cycles   int64 // per line
+	s        stream
+	dst      uint64
+	snapshot func() []byte
+	restore  func([]byte) error
+	absorb   func([]byte)
+	final    func() []byte
+	reset    func()
+}
+
+// Name implements Logic.
+func (h *hashAccel) Name() string { return h.name }
+
+// FreqMHz implements Logic.
+func (h *hashAccel) FreqMHz() int { return h.freq }
+
+// StateBytes implements Logic.
+func (h *hashAccel) StateBytes() int { return 256 + 32 }
+
+// Start implements Logic.
+func (h *hashAccel) Start(a *Accel) {
+	if err := h.s.init(a.Arg(XFArgSrc), a.Arg(XFArgLen), 8); err != nil {
+		a.Fail(err)
+		return
+	}
+	h.dst = a.Arg(XFArgDst)
+	h.reset()
+}
+
+// Pump implements Logic.
+func (h *hashAccel) Pump(a *Accel) {
+	if h.s.done() {
+		if a.Status() == StatusRunning && a.Idle() {
+			// Emit the digest, padded to one line.
+			out := make([]byte, ccip.LineSize)
+			copy(out, h.final())
+			a.Write(h.dst, out, func(err error) {
+				if err != nil {
+					a.Fail(fmt.Errorf("%s digest write: %w", h.name, err))
+					return
+				}
+				a.JobDone()
+			})
+		}
+		return
+	}
+	h.s.pump(a, func(off uint64, data []byte) {
+		// Absorb immediately — chunks arrive in order, and the compression
+		// state is strictly sequential; deferring it under variable-length
+		// compute delays would reorder absorption. The datapath occupancy
+		// is charged separately.
+		h.absorb(data)
+		n := uint64(len(data))
+		a.Compute(int64(len(data)/ccip.LineSize)*h.cycles, func() { a.AddWork(n) })
+	})
+}
+
+// SaveState implements Logic.
+func (h *hashAccel) SaveState() []byte {
+	snap := h.snapshot()
+	buf := make([]byte, 32+len(snap))
+	putU64(buf[0:], h.s.progress())
+	putU64(buf[8:], h.s.src)
+	putU64(buf[16:], h.s.total)
+	putU64(buf[24:], h.dst)
+	copy(buf[32:], snap)
+	return buf
+}
+
+// RestoreState implements Logic.
+func (h *hashAccel) RestoreState(data []byte) error {
+	if len(data) < 32 {
+		return fmt.Errorf("%s: short state", h.name)
+	}
+	if err := h.restore(data[32:]); err != nil {
+		return err
+	}
+	if err := h.s.init(getU64(data[8:]), getU64(data[16:]), 8); err != nil {
+		return err
+	}
+	h.s.seek(getU64(data[0:]))
+	h.dst = getU64(data[24:])
+	return nil
+}
+
+// ResetLogic implements Logic.
+func (h *hashAccel) ResetLogic() {
+	h.reset()
+	h.s = stream{}
+	h.dst = 0
+}
+
+// NewMD5 returns the MD5 logic: 8 cycles/line at 100 MHz (≈0.8 GB/s).
+func NewMD5() Logic {
+	d := md5.New()
+	return &hashAccel{
+		name: "MD5", freq: 100, cycles: 8,
+		snapshot: d.Snapshot,
+		restore:  d.RestoreSnapshot,
+		absorb:   func(p []byte) { d.Write(p) },
+		final:    func() []byte { s := d.Sum(); return s[:] },
+		reset:    d.Reset,
+	}
+}
+
+// NewSHA returns the SHA-512 logic: 10 cycles/line at 200 MHz (≈1.28 GB/s).
+func NewSHA() Logic {
+	d := sha512.New()
+	return &hashAccel{
+		name: "SHA", freq: 200, cycles: 10,
+		snapshot: d.Snapshot,
+		restore:  d.RestoreSnapshot,
+		absorb:   func(p []byte) { d.Write(p) },
+		final:    func() []byte { s := d.Sum(); return s[:] },
+		reset:    d.Reset,
+	}
+}

@@ -1,0 +1,239 @@
+package accel
+
+import (
+	"fmt"
+
+	"optimus/internal/algo/imgfilter"
+	"optimus/internal/ccip"
+)
+
+// Image application registers.
+const (
+	ImgArgSrc    = 0 // GVA of input image (row-major)
+	ImgArgDst    = 1 // GVA of output image
+	ImgArgWidth  = 2 // pixels per row; must make rows line-aligned
+	ImgArgHeight = 3 // rows
+)
+
+// ImgMaxRowBytes caps the row size (the line-buffer BRAM footprint).
+const ImgMaxRowBytes = 8192
+
+// ImageAccel models the three image-filter benchmarks. GAU and SBL are 3×3
+// stencil pipelines over 8-bit grayscale images: rows stream in once and a
+// three-row line buffer emits one output row per input row. GRS converts
+// interleaved RGB rows (3 bytes/pixel) to luminance. All run at 200 MHz
+// with 4 cycles per input line (≈3.2 GB/s read demand) — the benchmarks
+// that saturate the interconnect beyond four concurrent jobs in Fig. 7.
+type ImageAccel struct {
+	kind string // "gaussian", "sobel", "grayscale"
+	name string
+
+	src, dst uint64
+	width    int // pixels
+	height   int
+
+	nextIn  int            // next input row to request
+	nextOut int            // next output row to emit
+	rows    map[int][]byte // received input rows pending processing
+}
+
+// NewGAU returns the Gaussian-filter logic.
+func NewGAU() *ImageAccel { return &ImageAccel{kind: "gaussian", name: "GAU"} }
+
+// NewSBL returns the Sobel-filter logic.
+func NewSBL() *ImageAccel { return &ImageAccel{kind: "sobel", name: "SBL"} }
+
+// NewGRS returns the grayscale-conversion logic.
+func NewGRS() *ImageAccel { return &ImageAccel{kind: "grayscale", name: "GRS"} }
+
+// Name implements Logic.
+func (x *ImageAccel) Name() string { return x.name }
+
+// FreqMHz implements Logic.
+func (x *ImageAccel) FreqMHz() int { return 200 }
+
+// StateBytes implements Logic: output-row progress plus job parameters; the
+// line buffers are refilled on resume by re-reading up to two rows.
+func (x *ImageAccel) StateBytes() int { return 8 * 5 }
+
+// inRowBytes is the input row stride in bytes.
+func (x *ImageAccel) inRowBytes() int {
+	if x.kind == "grayscale" {
+		return 3 * x.width
+	}
+	return x.width
+}
+
+// outRowBytes is the output row stride in bytes.
+func (x *ImageAccel) outRowBytes() int { return x.width }
+
+// Start implements Logic.
+func (x *ImageAccel) Start(a *Accel) {
+	x.src = a.Arg(ImgArgSrc)
+	x.dst = a.Arg(ImgArgDst)
+	x.width = int(a.Arg(ImgArgWidth))
+	x.height = int(a.Arg(ImgArgHeight))
+	x.nextIn = 0
+	x.nextOut = 0
+	x.rows = make(map[int][]byte)
+	switch {
+	case x.width <= 0 || x.height <= 0:
+		a.Fail(fmt.Errorf("%s: empty image %dx%d", x.name, x.width, x.height))
+	case x.inRowBytes()%ccip.LineSize != 0 || x.outRowBytes()%ccip.LineSize != 0:
+		a.Fail(fmt.Errorf("%s: row strides %d/%d not line-aligned", x.name, x.inRowBytes(), x.outRowBytes()))
+	case x.inRowBytes() > ImgMaxRowBytes:
+		a.Fail(fmt.Errorf("%s: row of %d bytes exceeds line buffer (%d)", x.name, x.inRowBytes(), ImgMaxRowBytes))
+	}
+}
+
+// rowsNeededFor returns the highest input row index needed to emit output
+// row y (stencils need y+1, clamped; grayscale needs y).
+func (x *ImageAccel) rowsNeededFor(y int) int {
+	if x.kind == "grayscale" {
+		return y
+	}
+	n := y + 1
+	if n > x.height-1 {
+		n = x.height - 1
+	}
+	return n
+}
+
+// Pump implements Logic.
+func (x *ImageAccel) Pump(a *Accel) {
+	// Emit any output rows whose stencil inputs are all buffered.
+	for x.nextOut < x.height && x.haveThrough(x.rowsNeededFor(x.nextOut)) {
+		y := x.nextOut
+		x.nextOut++
+		x.emit(a, y)
+	}
+	// Evict rows no longer needed (below nextOut-1).
+	for r := range x.rows {
+		if r < x.nextOut-1 {
+			delete(x.rows, r)
+		}
+	}
+	if x.nextOut >= x.height {
+		if a.Status() == StatusRunning && a.Idle() {
+			a.JobDone()
+		}
+		return
+	}
+	// Request further input rows.
+	for a.CanIssue() && x.nextIn < x.height {
+		y := x.nextIn
+		x.nextIn++
+		rb := x.inRowBytes()
+		a.Read(x.src+uint64(y*rb), rb/ccip.LineSize, func(data []byte, err error) {
+			if err != nil {
+				a.Fail(fmt.Errorf("%s row %d: %w", x.name, y, err))
+				return
+			}
+			x.rows[y] = data
+			// afterCompletion re-enters Pump, which emits newly ready rows.
+		})
+	}
+}
+
+// haveThrough reports whether input rows up to and including r (and the two
+// before it, as needed by the stencil) are buffered.
+func (x *ImageAccel) haveThrough(r int) bool {
+	lo := x.nextOut - 1
+	if x.kind == "grayscale" {
+		lo = r
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	for i := lo; i <= r; i++ {
+		if _, ok := x.rows[i]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (x *ImageAccel) clampRow(y int) []byte {
+	if y < 0 {
+		y = 0
+	}
+	if y > x.height-1 {
+		y = x.height - 1
+	}
+	return x.rows[y]
+}
+
+// emit computes and writes output row y. The stencil inputs are captured
+// now — Pump may evict them from the line buffer before the deferred
+// compute completes.
+func (x *ImageAccel) emit(a *Accel, y int) {
+	inLines := x.inRowBytes() / ccip.LineSize
+	cur := x.rows[y]
+	var above, below []byte
+	if x.kind != "grayscale" {
+		above, below = x.clampRow(y-1), x.clampRow(y+1)
+	}
+	a.Compute(int64(4*inLines), func() {
+		var out []byte
+		var err error
+		if x.kind == "grayscale" {
+			out, err = imgfilter.GrayscaleRow(cur)
+		} else {
+			out, err = imgfilter.FilterRow(x.kind, above, cur, below)
+		}
+		if err != nil {
+			a.Fail(err)
+			return
+		}
+		a.Write(x.dst+uint64(y*x.outRowBytes()), out, func(werr error) {
+			if werr != nil {
+				a.Fail(fmt.Errorf("%s write row %d: %w", x.name, y, werr))
+				return
+			}
+			a.AddWork(uint64(len(out)))
+		})
+	})
+}
+
+// SaveState implements Logic.
+func (x *ImageAccel) SaveState() []byte {
+	buf := make([]byte, x.StateBytes())
+	putU64(buf[0:], x.src)
+	putU64(buf[8:], x.dst)
+	putU64(buf[16:], uint64(x.width)|uint64(x.height)<<32)
+	putU64(buf[24:], uint64(x.nextOut))
+	return buf
+}
+
+// RestoreState implements Logic: the line buffers are discarded; input
+// restarts at the first row the next output row needs (outputs are
+// idempotent, so recomputing an in-flight row is safe).
+func (x *ImageAccel) RestoreState(data []byte) error {
+	if len(data) < x.StateBytes() {
+		return fmt.Errorf("%s: short state", x.name)
+	}
+	x.src = getU64(data[0:])
+	x.dst = getU64(data[8:])
+	wh := getU64(data[16:])
+	x.width = int(wh & (1<<32 - 1))
+	x.height = int(wh >> 32)
+	x.nextOut = int(getU64(data[24:]))
+	if x.width <= 0 || x.height <= 0 || x.nextOut < 0 || x.nextOut > x.height {
+		return fmt.Errorf("%s: corrupt state", x.name)
+	}
+	x.nextIn = x.nextOut - 1
+	if x.kind == "grayscale" {
+		x.nextIn = x.nextOut
+	}
+	if x.nextIn < 0 {
+		x.nextIn = 0
+	}
+	x.rows = make(map[int][]byte)
+	return nil
+}
+
+// ResetLogic implements Logic.
+func (x *ImageAccel) ResetLogic() {
+	kind, name := x.kind, x.name
+	*x = ImageAccel{kind: kind, name: name}
+}

@@ -1,0 +1,103 @@
+package accel
+
+import (
+	"fmt"
+
+	"optimus/internal/ccip"
+)
+
+// LinkedList application registers.
+const (
+	LLArgHead     = 0 // GVA of the first node
+	LLArgMaxNodes = 1 // stop after this many nodes (0 = walk to the end)
+	LLArgChecksum = 2 // result: sum of node payloads (written by the accel)
+)
+
+// LLNextOffset and LLPayloadOffset define the 64-byte node layout: the
+// next-pointer GVA in the first 8 bytes (0 terminates), a payload word next.
+const (
+	LLNextOffset    = 0
+	LLPayloadOffset = 8
+)
+
+// LinkedList sequentially fetches cache-line-sized nodes of a linked list
+// distributed randomly in DRAM (§6.1). With a single outstanding request it
+// is a pure latency benchmark — every hop pays the full round trip — making
+// it the worst case for latency-bound, pointer-chasing workloads.
+// Synthesized at 400 MHz; conforms to the preemption interface.
+type LinkedList struct {
+	cur      uint64
+	visited  uint64
+	limit    uint64
+	checksum uint64
+}
+
+// NewLinkedList returns the LL logic.
+func NewLinkedList() *LinkedList { return &LinkedList{} }
+
+// Name implements Logic.
+func (l *LinkedList) Name() string { return "LL" }
+
+// FreqMHz implements Logic.
+func (l *LinkedList) FreqMHz() int { return 400 }
+
+// StateBytes implements Logic: the minimal state the paper highlights —
+// essentially the address of the next node (§4.2), plus progress counters.
+func (l *LinkedList) StateBytes() int { return 32 }
+
+// Start implements Logic.
+func (l *LinkedList) Start(a *Accel) {
+	l.cur = a.Arg(LLArgHead)
+	l.limit = a.Arg(LLArgMaxNodes)
+	l.visited = 0
+	l.checksum = 0
+	a.SetWindow(1) // single outstanding request: latency-bound by design
+}
+
+// Pump implements Logic.
+func (l *LinkedList) Pump(a *Accel) {
+	if !a.CanIssue() {
+		return
+	}
+	if l.cur == 0 || (l.limit > 0 && l.visited >= l.limit) {
+		a.SetArg(LLArgChecksum, l.checksum)
+		a.JobDone()
+		return
+	}
+	addr := l.cur &^ (ccip.LineSize - 1)
+	a.Read(addr, 1, func(data []byte, err error) {
+		if err != nil {
+			a.Fail(fmt.Errorf("linkedlist node at %#x: %w", addr, err))
+			return
+		}
+		l.cur = getU64(data[LLNextOffset:])
+		l.checksum += getU64(data[LLPayloadOffset:])
+		l.visited++
+		a.AddWork(1)
+	})
+}
+
+// SaveState implements Logic.
+func (l *LinkedList) SaveState() []byte {
+	buf := make([]byte, l.StateBytes())
+	putU64(buf[0:], l.cur)
+	putU64(buf[8:], l.visited)
+	putU64(buf[16:], l.limit)
+	putU64(buf[24:], l.checksum)
+	return buf
+}
+
+// RestoreState implements Logic.
+func (l *LinkedList) RestoreState(data []byte) error {
+	if len(data) < l.StateBytes() {
+		return fmt.Errorf("linkedlist: short state (%d bytes)", len(data))
+	}
+	l.cur = getU64(data[0:])
+	l.visited = getU64(data[8:])
+	l.limit = getU64(data[16:])
+	l.checksum = getU64(data[24:])
+	return nil
+}
+
+// ResetLogic implements Logic.
+func (l *LinkedList) ResetLogic() { *l = LinkedList{} }

@@ -1,0 +1,256 @@
+package accel
+
+import (
+	"bytes"
+	stdaes "crypto/aes"
+	"testing"
+
+	"optimus/internal/algo/graph"
+	"optimus/internal/hwmon"
+	"optimus/internal/sim"
+)
+
+// preemptCycle drives a full preempt/reset/resume cycle against the rig's
+// accelerator, saving state to stateGVA, and leaves the accelerator running
+// the restored job. It returns the simulated time spent context switching.
+func preemptCycle(r *rig, stateGVA uint64) {
+	r.t.Helper()
+	base := hwmon.AccelMMIO(0)
+	r.mon.MMIOWrite(base+RegStateAddr, stateGVA)
+	r.ctrl(CmdPreempt)
+	// Drain and save (bounded wait).
+	for i := 0; i < 100000 && r.status() != StatusSaved; i++ {
+		if !r.k.Step() {
+			break
+		}
+	}
+	if got := r.status(); got != StatusSaved {
+		r.t.Fatalf("status after preempt = %s (err %v)", StatusName(got), r.acc.LastErr())
+	}
+	// The hypervisor would reset the physical accelerator and schedule
+	// another guest here; emulate that.
+	if err := r.mon.Reset(0); err != nil {
+		r.t.Fatal(err)
+	}
+	if r.status() != StatusIdle {
+		r.t.Fatal("reset did not return accelerator to idle")
+	}
+	// Resume the saved job.
+	r.mon.MMIOWrite(base+RegStateAddr, stateGVA)
+	r.ctrl(CmdResume)
+}
+
+func TestPreemptResumeLinkedList(t *testing.T) {
+	// Walk the same list with and without a mid-walk preemption; the
+	// visited count and checksum must match exactly.
+	ref := newRig(t, "LL", 16<<20)
+	head, sum := buildList(ref, 0x100000, 400, 21)
+	ref.setArg(LLArgHead, head)
+	ref.run()
+
+	r := newRig(t, "LL", 16<<20)
+	head2, sum2 := buildList(r, 0x100000, 400, 21)
+	if head2 != head || sum2 != sum {
+		t.Fatal("list construction not deterministic")
+	}
+	r.setArg(LLArgHead, head)
+	r.ctrl(CmdStart)
+	r.k.RunFor(50 * sim.Microsecond) // partway through the walk
+	visited := r.acc.WorkDone()
+	if visited == 0 || visited >= 400 {
+		t.Fatalf("bad preemption point: %d nodes visited", visited)
+	}
+	preemptCycle(r, 0x800000)
+	r.k.Run()
+	if got := r.status(); got != StatusDone {
+		t.Fatalf("resumed job: %s (%v)", StatusName(got), r.acc.LastErr())
+	}
+	if r.acc.WorkDone() != 400 {
+		t.Fatalf("visited %d nodes across preemption, want 400", r.acc.WorkDone())
+	}
+	if r.acc.Arg(LLArgChecksum) != sum {
+		t.Fatalf("checksum across preemption = %#x, want %#x", r.acc.Arg(LLArgChecksum), sum)
+	}
+}
+
+func TestPreemptResumeMemBenchExactSequence(t *testing.T) {
+	// The RNG state is part of the checkpoint: a preempted MemBench must
+	// issue the identical remaining access sequence, so total work matches
+	// an uninterrupted run exactly.
+	ref := newRig(t, "MB", 64<<20)
+	ref.setArg(MBArgBase, 0)
+	ref.setArg(MBArgSize, 32<<20)
+	ref.setArg(MBArgBursts, 2000)
+	ref.setArg(MBArgWritePct, 40)
+	ref.setArg(MBArgSeed, 5)
+	ref.run()
+	refWork := ref.acc.WorkDone()
+
+	r := newRig(t, "MB", 64<<20)
+	r.setArg(MBArgBase, 0)
+	r.setArg(MBArgSize, 32<<20)
+	r.setArg(MBArgBursts, 2000)
+	r.setArg(MBArgWritePct, 40)
+	r.setArg(MBArgSeed, 5)
+	r.ctrl(CmdStart)
+	r.k.RunFor(20 * sim.Microsecond)
+	preemptCycle(r, 0x3000000)
+	r.k.Run()
+	if got := r.status(); got != StatusDone {
+		t.Fatalf("resumed job: %s (%v)", StatusName(got), r.acc.LastErr())
+	}
+	if r.acc.WorkDone() != refWork {
+		t.Fatalf("work across preemption = %d, want %d", r.acc.WorkDone(), refWork)
+	}
+}
+
+func TestPreemptResumeAES(t *testing.T) {
+	key := []byte("fedcba9876543210")
+	plain := make([]byte, 64<<10)
+	for i := range plain {
+		plain[i] = byte(i * 13)
+	}
+	r := newRig(t, "AES", 16<<20)
+	keyPage := make([]byte, 64)
+	copy(keyPage, key)
+	r.write(0x10000, keyPage)
+	r.write(0x100000, plain)
+	r.setArg(XFArgSrc, 0x100000)
+	r.setArg(XFArgDst, 0x400000)
+	r.setArg(XFArgLen, uint64(len(plain)))
+	r.setArg(XFArgParam, 0x10000)
+	r.ctrl(CmdStart)
+	r.k.RunFor(10 * sim.Microsecond)
+	preemptCycle(r, 0x800000)
+	r.k.Run()
+	if got := r.status(); got != StatusDone {
+		t.Fatalf("resumed job: %s (%v)", StatusName(got), r.acc.LastErr())
+	}
+	got := r.read(0x400000, len(plain))
+	ref, _ := stdaes.NewCipher(key)
+	want := make([]byte, len(plain))
+	for i := 0; i < len(plain); i += 16 {
+		ref.Encrypt(want[i:i+16], plain[i:i+16])
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("AES output corrupted by preemption")
+	}
+}
+
+func TestPreemptResumeSSSP(t *testing.T) {
+	g := graph.Uniform(1000, 6000, 64, 8)
+	r := newRig(t, "SSSP", 64<<20)
+	distGVA := layoutSSSP(r, g, 0)
+	r.setArg(SSSPArgDesc, 0x10000)
+	r.ctrl(CmdStart)
+	r.k.RunFor(30 * sim.Microsecond)
+	preemptCycle(r, 0x2000000)
+	r.k.Run()
+	if got := r.status(); got != StatusDone {
+		t.Fatalf("resumed job: %s (%v)", StatusName(got), r.acc.LastErr())
+	}
+	want := graph.Dijkstra(g, 0)
+	got := r.read(distGVA, g.NumVertices*8)
+	for v := 0; v < g.NumVertices; v++ {
+		var d uint64
+		for i := 0; i < 8; i++ {
+			d |= uint64(got[8*v+i]) << (8 * i)
+		}
+		w := uint64(want[v])
+		if want[v] == graph.Inf {
+			w = SSSPInf
+		}
+		if d != w {
+			t.Fatalf("dist[%d] = %d, want %d (preemption corrupted the run)", v, d, w)
+		}
+	}
+}
+
+func TestPreemptOfIdleAccelIsNoop(t *testing.T) {
+	r := newRig(t, "LL", 1<<20)
+	r.ctrl(CmdPreempt)
+	r.k.Run()
+	if r.status() != StatusIdle {
+		t.Fatal("preempting an idle accelerator should do nothing")
+	}
+}
+
+func TestResumeWithoutStateFails(t *testing.T) {
+	r := newRig(t, "LL", 1<<20)
+	r.ctrl(CmdResume)
+	r.k.Run()
+	if r.status() != StatusError {
+		t.Fatalf("resume with no saved state: %s", StatusName(r.status()))
+	}
+}
+
+func TestStartWhileRunningFails(t *testing.T) {
+	r := newRig(t, "MB", 64<<20)
+	r.setArg(MBArgBase, 0)
+	r.setArg(MBArgSize, 32<<20)
+	r.setArg(MBArgWritePct, 0)
+	r.ctrl(CmdStart)
+	r.k.RunFor(sim.Microsecond)
+	r.ctrl(CmdStart)
+	if r.status() != StatusError {
+		t.Fatalf("double start: %s", StatusName(r.status()))
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	r := newRig(t, "MB", 64<<20)
+	r.setArg(MBArgBase, 0)
+	r.setArg(MBArgSize, 32<<20)
+	r.setArg(MBArgBursts, 0) // infinite
+	r.ctrl(CmdStart)
+	r.k.RunFor(10 * sim.Microsecond)
+	if r.acc.WorkDone() == 0 {
+		t.Fatal("no work before reset")
+	}
+	r.mon.Reset(0)
+	if r.status() != StatusIdle {
+		t.Fatal("reset should idle the accelerator")
+	}
+	if r.acc.Arg(MBArgSize) != 0 {
+		t.Fatal("reset should clear application registers")
+	}
+	// The accelerator is reusable after reset.
+	r.setArg(MBArgBase, 0)
+	r.setArg(MBArgSize, 16<<20)
+	r.setArg(MBArgBursts, 100)
+	r.run()
+}
+
+func TestStateSizeReported(t *testing.T) {
+	for _, name := range Names() {
+		r := newRig(t, name, 1<<20)
+		v, err := r.mon.MMIORead(hwmon.AccelMMIO(0) + RegStateSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v == 0 || v%64 != 0 {
+			t.Fatalf("%s: state size %d not a positive line multiple", name, v)
+		}
+	}
+}
+
+func TestPreemptDuringDrainDeliversSaved(t *testing.T) {
+	// Preempt immediately after start: outstanding requests must drain
+	// before the save completes.
+	r := newRig(t, "MB", 64<<20)
+	r.setArg(MBArgBase, 0)
+	r.setArg(MBArgSize, 32<<20)
+	r.setArg(MBArgBursts, 0)
+	r.ctrl(CmdStart)
+	r.k.RunFor(100 * sim.Nanosecond) // requests in flight
+	base := hwmon.AccelMMIO(0)
+	r.mon.MMIOWrite(base+RegStateAddr, 0x3000000)
+	r.ctrl(CmdPreempt)
+	if r.status() != StatusSaving {
+		t.Fatalf("status = %s, want saving", StatusName(r.status()))
+	}
+	r.k.Run()
+	if r.status() != StatusSaved {
+		t.Fatalf("status = %s, want saved", StatusName(r.status()))
+	}
+}

@@ -1,0 +1,43 @@
+package accel
+
+import (
+	"fmt"
+	"sort"
+)
+
+// factories maps Table 1 abbreviations to logic constructors.
+var factories = map[string]func() Logic{
+	"AES":  func() Logic { return NewAES() },
+	"MD5":  NewMD5,
+	"SHA":  NewSHA,
+	"FIR":  func() Logic { return NewFIR() },
+	"GRN":  func() Logic { return NewGRN() },
+	"RSD":  func() Logic { return NewRSD() },
+	"SW":   func() Logic { return NewSW() },
+	"GAU":  func() Logic { return NewGAU() },
+	"GRS":  func() Logic { return NewGRS() },
+	"SBL":  func() Logic { return NewSBL() },
+	"SSSP": func() Logic { return NewSSSP() },
+	"BTC":  func() Logic { return NewBTC() },
+	"MB":   func() Logic { return NewMemBench() },
+	"LL":   func() Logic { return NewLinkedList() },
+}
+
+// NewByName builds a framework-wrapped accelerator from its Table 1 name.
+func NewByName(name string) (*Accel, error) {
+	f, ok := factories[name]
+	if !ok {
+		return nil, fmt.Errorf("accel: unknown accelerator %q", name)
+	}
+	return New(f()), nil
+}
+
+// Names returns the supported accelerator names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(factories))
+	for n := range factories {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,131 @@
+package accel
+
+import (
+	"fmt"
+
+	"optimus/internal/algo/reedsolomon"
+	"optimus/internal/ccip"
+)
+
+// RSD application registers.
+const (
+	RSDArgSrc      = 0 // GVA of received codewords, one per 256-byte slot
+	RSDArgDst      = 1 // GVA of decoded messages, one per 256-byte slot
+	RSDArgCount    = 2 // number of codewords
+	RSDArgFailures = 3 // result: uncorrectable codewords (written by accel)
+)
+
+// RSDSlot is the byte stride of one codeword/message slot (255-byte
+// RS(255,223) codewords padded to four cache lines).
+const RSDSlot = 256
+
+// RSDAccel decodes a stream of RS(255,223) codewords: each 4-line slot is
+// read, run through the syndrome → Berlekamp–Massey → Chien → Forney
+// pipeline (36 cycles per codeword at 200 MHz, ≈1.42 GB/s), and the
+// corrected 223-byte message is written to the matching output slot.
+// Uncorrectable codewords write zeros and bump the failure counter.
+type RSDAccel struct {
+	code     *reedsolomon.Code
+	src, dst uint64
+	count    uint64
+	next     uint64 // codewords processed or in flight
+	failures uint64
+}
+
+// NewRSD returns the RSD logic.
+func NewRSD() *RSDAccel {
+	code, err := reedsolomon.New(255, 223)
+	if err != nil {
+		panic(err) // static parameters; cannot fail
+	}
+	return &RSDAccel{code: code}
+}
+
+// Name implements Logic.
+func (x *RSDAccel) Name() string { return "RSD" }
+
+// FreqMHz implements Logic.
+func (x *RSDAccel) FreqMHz() int { return 200 }
+
+// StateBytes implements Logic.
+func (x *RSDAccel) StateBytes() int { return 8 * 4 }
+
+// Start implements Logic.
+func (x *RSDAccel) Start(a *Accel) {
+	x.src = a.Arg(RSDArgSrc)
+	x.dst = a.Arg(RSDArgDst)
+	x.count = a.Arg(RSDArgCount)
+	x.next = 0
+	x.failures = 0
+}
+
+// Pump implements Logic.
+func (x *RSDAccel) Pump(a *Accel) {
+	for a.CanIssue() {
+		if x.next >= x.count {
+			if a.Status() == StatusRunning && a.Idle() {
+				a.SetArg(RSDArgFailures, x.failures)
+				a.JobDone()
+			}
+			return
+		}
+		idx := x.next
+		x.next++
+		a.Read(x.src+idx*RSDSlot, RSDSlot/ccip.LineSize, func(data []byte, err error) {
+			if err != nil {
+				a.Fail(fmt.Errorf("rsd read cw %d: %w", idx, err))
+				return
+			}
+			a.Compute(36, func() {
+				out := make([]byte, RSDSlot)
+				received := append([]byte(nil), data[:255]...)
+				msg, _, derr := x.code.Decode(received)
+				if derr != nil {
+					x.failures++
+				} else {
+					copy(out, msg)
+				}
+				a.Write(x.dst+idx*RSDSlot, out, func(werr error) {
+					if werr != nil {
+						a.Fail(fmt.Errorf("rsd write cw %d: %w", idx, werr))
+						return
+					}
+					a.AddWork(RSDSlot)
+				})
+			})
+		})
+	}
+}
+
+// SaveState implements Logic: codeword progress is the minimal state —
+// slots are decoded independently, so resuming at x.next is exact. Slots
+// already read but not yet written are re-decoded (idempotent).
+func (x *RSDAccel) SaveState() []byte {
+	buf := make([]byte, x.StateBytes())
+	putU64(buf[0:], x.src)
+	putU64(buf[8:], x.dst)
+	putU64(buf[16:], x.count)
+	// Drain guarantees in-flight slots completed; next is exact.
+	putU64(buf[24:], x.next|x.failures<<40)
+	return buf
+}
+
+// RestoreState implements Logic.
+func (x *RSDAccel) RestoreState(data []byte) error {
+	if len(data) < x.StateBytes() {
+		return fmt.Errorf("rsd: short state")
+	}
+	x.src = getU64(data[0:])
+	x.dst = getU64(data[8:])
+	x.count = getU64(data[16:])
+	packed := getU64(data[24:])
+	x.next = packed & (1<<40 - 1)
+	x.failures = packed >> 40
+	return nil
+}
+
+// ResetLogic implements Logic.
+func (x *RSDAccel) ResetLogic() {
+	code := x.code
+	*x = RSDAccel{code: code}
+}

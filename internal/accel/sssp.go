@@ -1,0 +1,445 @@
+package accel
+
+import (
+	"fmt"
+
+	"optimus/internal/ccip"
+)
+
+// SSSP application registers and in-memory graph descriptor. The guest lays
+// out a CSR graph in its DMA region and points Arg0 at a descriptor:
+//
+//	+0x00 numVertices   +0x20 weightGVA (u32 per edge)
+//	+0x08 numEdges      +0x28 distGVA   (u64 per vertex; pre-initialized
+//	+0x10 rowPtrGVA          to SSSPInf except dist[source] = 0)
+//	+0x18 colGVA        +0x30 source
+const (
+	SSSPArgDesc   = 0 // GVA of the 64-byte descriptor
+	SSSPArgRounds = 1 // max relaxation rounds (0 = run to fixpoint)
+	SSSPArgResult = 2 // result: rounds executed
+)
+
+// SSSPInf is the distance value meaning "unreached" (matches graph.Inf).
+const SSSPInf = uint64(1) << 62
+
+// Descriptor field offsets.
+const (
+	ssspOffV      = 0x00
+	ssspOffE      = 0x08
+	ssspOffRowPtr = 0x10
+	ssspOffCol    = 0x18
+	ssspOffWeight = 0x20
+	ssspOffDist   = 0x28
+	ssspOffSource = 0x30
+)
+
+// ssspBlockVerts is the number of vertices processed per block.
+const ssspBlockVerts = 128
+
+// ssspCacheSets sizes the on-chip direct-mapped distance cache (in lines).
+const ssspCacheSets = 512
+
+// SSSPAccel runs iterative edge relaxation (Bellman–Ford) over a CSR graph
+// in shared memory — the pointer-chasing-style workload that motivates the
+// shared-memory FPGA model (§2.1). Row pointers, columns, and weights
+// stream sequentially; distance accesses go through a 512-line
+// direct-mapped write-through cache, so random relaxations hit DRAM exactly
+// as the paper's irregular workloads do. 200 MHz, one edge per cycle.
+type SSSPAccel struct {
+	// Descriptor.
+	nv, ne                           uint64
+	rowPtrGVA, colGVA, wGVA, distGVA uint64
+	source                           uint64
+	maxRounds                        uint64
+
+	round   uint64
+	block   uint64 // next vertex-block index within the round
+	changed bool
+
+	cache ssspCache
+	// wbuf is the write-combining store buffer: the latest data for lines
+	// with write-through DMAs pending. Cache refills forward from it
+	// (store-to-load forwarding), and at most one write per line is in
+	// flight at a time — two same-line writes on different channels could
+	// otherwise complete out of order and let stale data win in memory.
+	wbuf  map[uint64][]byte
+	wbusy map[uint64]bool
+	// inflight tracks dist lines with a fetch pending; defers queues the
+	// relaxations deferred on each in-flight line.
+	inflight map[uint64]bool
+	defers   map[uint64][]ssspDeferred
+}
+
+// ssspDeferred is one relaxation parked while its target line is fetched.
+type ssspDeferred struct {
+	c  uint64 // target vertex
+	nd uint64 // candidate distance
+}
+
+type ssspCacheLine struct {
+	valid bool
+	addr  uint64
+	data  []byte
+}
+
+type ssspCache struct {
+	sets [ssspCacheSets]ssspCacheLine
+}
+
+func (c *ssspCache) lookup(lineAddr uint64) ([]byte, bool) {
+	s := &c.sets[(lineAddr/ccip.LineSize)%ssspCacheSets]
+	if s.valid && s.addr == lineAddr {
+		return s.data, true
+	}
+	return nil, false
+}
+
+func (c *ssspCache) fill(lineAddr uint64, data []byte) {
+	s := &c.sets[(lineAddr/ccip.LineSize)%ssspCacheSets]
+	*s = ssspCacheLine{valid: true, addr: lineAddr, data: data}
+}
+
+func (c *ssspCache) invalidateAll() {
+	for i := range c.sets {
+		c.sets[i] = ssspCacheLine{}
+	}
+}
+
+// NewSSSP returns the SSSP logic.
+func NewSSSP() *SSSPAccel { return &SSSPAccel{} }
+
+// Name implements Logic.
+func (x *SSSPAccel) Name() string { return "SSSP" }
+
+// FreqMHz implements Logic.
+func (x *SSSPAccel) FreqMHz() int { return 200 }
+
+// StateBytes implements Logic: descriptor + round/block progress. The
+// distance cache is write-through, so dropping it at preemption is safe;
+// re-running a partially processed block is idempotent (relaxation is
+// monotone).
+func (x *SSSPAccel) StateBytes() int { return 8 * 11 }
+
+// Start implements Logic.
+func (x *SSSPAccel) Start(a *Accel) {
+	x.round = 0
+	x.block = 0
+	x.changed = false
+	x.cache.invalidateAll()
+	x.wbuf = make(map[uint64][]byte)
+	x.wbusy = make(map[uint64]bool)
+	x.inflight = make(map[uint64]bool)
+	x.defers = make(map[uint64][]ssspDeferred)
+	x.maxRounds = a.Arg(SSSPArgRounds)
+	desc := a.Arg(SSSPArgDesc)
+	a.Read(desc, 1, func(data []byte, err error) {
+		if err != nil {
+			a.Fail(fmt.Errorf("sssp descriptor: %w", err))
+			return
+		}
+		x.nv = getU64(data[ssspOffV:])
+		x.ne = getU64(data[ssspOffE:])
+		x.rowPtrGVA = getU64(data[ssspOffRowPtr:])
+		x.colGVA = getU64(data[ssspOffCol:])
+		x.wGVA = getU64(data[ssspOffWeight:])
+		x.distGVA = getU64(data[ssspOffDist:])
+		x.source = getU64(data[ssspOffSource:])
+		if x.nv == 0 || x.source >= x.nv {
+			a.Fail(fmt.Errorf("sssp: bad graph (V=%d source=%d)", x.nv, x.source))
+			return
+		}
+		if x.maxRounds == 0 {
+			x.maxRounds = x.nv // Bellman–Ford upper bound
+		}
+		// afterCompletion pumps; the descriptor read completing starts the
+		// first block.
+	})
+}
+
+// Pump implements Logic.
+func (x *SSSPAccel) Pump(a *Accel) {
+	if x.nv == 0 || !a.CanIssue() || !a.Idle() {
+		return // descriptor pending, mid-block, or done
+	}
+	if x.block*ssspBlockVerts >= x.nv {
+		// Round finished.
+		x.round++
+		if !x.changed || x.round >= x.maxRounds {
+			a.SetArg(SSSPArgResult, x.round)
+			a.JobDone()
+			return
+		}
+		x.block = 0
+		x.changed = false
+	}
+	blk := x.block
+	x.block++
+	x.processBlock(a, blk)
+}
+
+// readRange fetches [addr, addr+bytes) using ≤8-line bursts, invoking done
+// with the assembled buffer once every burst has landed.
+func (x *SSSPAccel) readRange(a *Accel, addr, bytes uint64, done func([]byte)) {
+	if bytes == 0 {
+		a.Compute(1, func() { done(nil) })
+		return
+	}
+	start := addr &^ (ccip.LineSize - 1)
+	end := (addr + bytes + ccip.LineSize - 1) &^ (ccip.LineSize - 1)
+	buf := make([]byte, end-start)
+	pending := 0
+	launched := false
+	for off := uint64(0); off < uint64(len(buf)); off += 8 * ccip.LineSize {
+		lines := 8
+		if rem := (uint64(len(buf)) - off) / ccip.LineSize; uint64(lines) > rem {
+			lines = int(rem)
+		}
+		o := off
+		pending++
+		a.Read(start+o, lines, func(data []byte, err error) {
+			if err != nil {
+				a.Fail(fmt.Errorf("sssp read %#x: %w", start+o, err))
+				return
+			}
+			copy(buf[o:], data)
+			pending--
+			if pending == 0 && launched {
+				done(buf[addr-start : addr-start+bytes])
+			}
+		})
+	}
+	launched = true
+	if pending == 0 { // all completed synchronously (cannot happen, but safe)
+		done(buf[addr-start : addr-start+bytes])
+	}
+}
+
+func u32at(b []byte, i int) uint32 {
+	return uint32(b[4*i]) | uint32(b[4*i+1])<<8 | uint32(b[4*i+2])<<16 | uint32(b[4*i+3])<<24
+}
+
+// processBlock loads one vertex block's row pointers, edge arrays, and the
+// block's (contiguous) source-distance range, then relaxes its edges.
+func (x *SSSPAccel) processBlock(a *Accel, blk uint64) {
+	v0 := blk * ssspBlockVerts
+	v1 := v0 + ssspBlockVerts
+	if v1 > x.nv {
+		v1 = x.nv
+	}
+	nverts := v1 - v0
+	x.readRange(a, x.rowPtrGVA+4*v0, 4*(nverts+1), func(rowptr []byte) {
+		e0 := uint64(u32at(rowptr, 0))
+		e1 := uint64(u32at(rowptr, int(nverts)))
+		if e1 < e0 || e1 > x.ne {
+			a.Fail(fmt.Errorf("sssp: corrupt row pointers at block %d", blk))
+			return
+		}
+		nedges := e1 - e0
+		var col, wgt, srcDist []byte
+		parts := 3
+		arrive := func() {
+			parts--
+			if parts == 0 {
+				x.relaxEdges(a, v0, nverts, e0, rowptr, col, wgt, srcDist, nedges)
+			}
+		}
+		x.readRange(a, x.colGVA+4*e0, 4*nedges, func(b []byte) { col = b; arrive() })
+		x.readRange(a, x.wGVA+4*e0, 4*nedges, func(b []byte) { wgt = b; arrive() })
+		x.readRange(a, x.distGVA+8*v0, 8*nverts, func(b []byte) { srcDist = b; arrive() })
+	})
+}
+
+// distLine returns the line address holding dist[v].
+func (x *SSSPAccel) distLine(v uint64) uint64 {
+	return (x.distGVA + 8*v) &^ (ccip.LineSize - 1)
+}
+
+// distCached returns the cached line and word index for dist[v], if present.
+func (x *SSSPAccel) distCached(v uint64) (line []byte, idx int, ok bool) {
+	lineAddr := x.distLine(v)
+	idx = int((x.distGVA + 8*v - lineAddr) / 8)
+	line, ok = x.cache.lookup(lineAddr)
+	return line, idx, ok
+}
+
+// relaxEdges processes the block's edges in one pipeline pass. Source
+// distances come from an on-chip vertex buffer filled by the bulk block
+// load; target distances go through the cache, and edges whose target line
+// misses are DEFERRED — queued per line while its fetch is in flight — so
+// the pipeline never stalls on an individual random access (the real
+// accelerator's latency-hiding structure). Relaxation order does not
+// matter: values are monotone upper bounds.
+func (x *SSSPAccel) relaxEdges(a *Accel, v0, nverts, e0 uint64, rowptr, col, wgt, srcDist []byte, nedges uint64) {
+	// Datapath occupancy: one edge per cycle.
+	a.Compute(int64(nedges)+1, func() {})
+
+	// Refresh the cache from the bulk load for source lines it does not
+	// already hold newer data for (cache + store buffer are authoritative).
+	firstLine := x.distLine(v0)
+	for off := uint64(0); off < 8*nverts; off += ccip.LineSize {
+		lineAddr := firstLine + off
+		if _, ok := x.cache.lookup(lineAddr); ok {
+			continue
+		}
+		line := make([]byte, ccip.LineSize)
+		lo := int64(lineAddr) - int64(x.distGVA+8*v0)
+		for b := 0; b < ccip.LineSize; b++ {
+			if src := lo + int64(b); src >= 0 && src < int64(len(srcDist)) {
+				line[b] = srcDist[src]
+			}
+		}
+		if buffered, ok := x.wbuf[lineAddr]; ok {
+			copy(line, buffered)
+		}
+		x.cache.fill(lineAddr, line)
+	}
+
+	// On-chip vertex buffer: the block's source distances.
+	local := make([]uint64, nverts)
+	for i := uint64(0); i < nverts; i++ {
+		if line, idx, ok := x.distCached(v0 + i); ok {
+			local[i] = getU64(line[8*idx:])
+		} else {
+			local[i] = getU64(srcDist[8*i:])
+		}
+	}
+
+	for vi := uint64(0); vi < nverts; vi++ {
+		du := local[vi]
+		if du >= SSSPInf {
+			continue
+		}
+		eStart := uint64(u32at(rowptr, int(vi))) - e0
+		eEnd := uint64(u32at(rowptr, int(vi+1))) - e0
+		for ei := eStart; ei < eEnd; ei++ {
+			c := uint64(u32at(col, int(ei)))
+			w := uint64(u32at(wgt, int(ei)))
+			x.relaxTarget(a, c, du+w, v0, nverts, local)
+			// In-block self-updates propagate through the vertex buffer.
+			du = local[vi]
+		}
+	}
+}
+
+// relaxTarget applies dist[c] = min(dist[c], nd), deferring on cache miss.
+func (x *SSSPAccel) relaxTarget(a *Accel, c, nd, v0, nverts uint64, local []uint64) {
+	if line, idx, ok := x.distCached(c); ok {
+		x.applyRelax(a, c, nd, line, idx, v0, nverts, local)
+		return
+	}
+	lineAddr := x.distLine(c)
+	x.defers[lineAddr] = append(x.defers[lineAddr], ssspDeferred{c: c, nd: nd})
+	if x.inflight[lineAddr] {
+		return
+	}
+	x.inflight[lineAddr] = true
+	a.Read(lineAddr, 1, func(data []byte, err error) {
+		delete(x.inflight, lineAddr)
+		if err != nil {
+			a.Fail(fmt.Errorf("sssp dist fetch: %w", err))
+			return
+		}
+		// The store buffer wins over (possibly stale) memory data.
+		if buffered, ok := x.wbuf[lineAddr]; ok {
+			data = append([]byte(nil), buffered...)
+		}
+		x.cache.fill(lineAddr, data)
+		ds := x.defers[lineAddr]
+		delete(x.defers, lineAddr)
+		for _, d := range ds {
+			if line, idx, ok := x.distCached(d.c); ok {
+				x.applyRelax(a, d.c, d.nd, line, idx, v0, nverts, local)
+			} else {
+				// Evicted between fills: retry through the normal path.
+				x.relaxTarget(a, d.c, d.nd, v0, nverts, local)
+			}
+		}
+	})
+}
+
+// applyRelax performs the compare-and-update on a cached line, writing
+// improvements through the store buffer and keeping the current block's
+// vertex buffer coherent.
+func (x *SSSPAccel) applyRelax(a *Accel, c, nd uint64, line []byte, idx int, v0, nverts uint64, local []uint64) {
+	if cur := getU64(line[8*idx:]); nd < cur {
+		putU64(line[8*idx:], nd)
+		x.changed = true
+		out := make([]byte, ccip.LineSize)
+		copy(out, line)
+		x.storeLine(a, x.distLine(c), out)
+		if c >= v0 && c < v0+nverts {
+			local[c-v0] = nd
+		}
+		a.AddWork(1)
+	}
+}
+
+// storeLine queues data for write-through. If a write to the line is
+// already in flight, the data is combined into the buffer and written when
+// the first DMA acknowledges — memory therefore always converges to the
+// newest value regardless of channel completion order.
+func (x *SSSPAccel) storeLine(a *Accel, lineAddr uint64, data []byte) {
+	x.wbuf[lineAddr] = data
+	if x.wbusy[lineAddr] {
+		return
+	}
+	x.issueStore(a, lineAddr)
+}
+
+func (x *SSSPAccel) issueStore(a *Accel, lineAddr uint64) {
+	data := x.wbuf[lineAddr]
+	x.wbusy[lineAddr] = true
+	a.Write(lineAddr, data, func(err error) {
+		if err != nil {
+			a.Fail(fmt.Errorf("sssp dist write: %w", err))
+			return
+		}
+		x.wbusy[lineAddr] = false
+		if cur, ok := x.wbuf[lineAddr]; ok {
+			if &cur[0] == &data[0] {
+				delete(x.wbuf, lineAddr) // buffer drained
+			} else {
+				x.issueStore(a, lineAddr) // newer data arrived meanwhile
+			}
+		}
+	})
+}
+
+// SaveState implements Logic.
+func (x *SSSPAccel) SaveState() []byte {
+	buf := make([]byte, x.StateBytes())
+	vals := []uint64{x.nv, x.ne, x.rowPtrGVA, x.colGVA, x.wGVA, x.distGVA,
+		x.source, x.maxRounds, x.round, x.block, boolU64(x.changed)}
+	for i, v := range vals {
+		putU64(buf[8*i:], v)
+	}
+	return buf
+}
+
+// RestoreState implements Logic.
+func (x *SSSPAccel) RestoreState(data []byte) error {
+	if len(data) < x.StateBytes() {
+		return fmt.Errorf("sssp: short state")
+	}
+	get := func(i int) uint64 { return getU64(data[8*i:]) }
+	x.nv, x.ne = get(0), get(1)
+	x.rowPtrGVA, x.colGVA, x.wGVA, x.distGVA = get(2), get(3), get(4), get(5)
+	x.source, x.maxRounds = get(6), get(7)
+	x.round, x.block = get(8), get(9)
+	x.changed = get(10) != 0
+	if x.block > 0 {
+		x.block-- // the interrupted block reruns (idempotent relaxation)
+	}
+	x.cache.invalidateAll()
+	x.wbuf = make(map[uint64][]byte)
+	x.wbusy = make(map[uint64]bool)
+	x.inflight = make(map[uint64]bool)
+	x.defers = make(map[uint64][]ssspDeferred)
+	if x.nv == 0 {
+		return fmt.Errorf("sssp: corrupt state")
+	}
+	return nil
+}
+
+// ResetLogic implements Logic.
+func (x *SSSPAccel) ResetLogic() { *x = SSSPAccel{} }

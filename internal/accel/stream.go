@@ -1,0 +1,77 @@
+package accel
+
+import (
+	"fmt"
+
+	"optimus/internal/ccip"
+)
+
+// stream is the sequential in-order input reader shared by the transform
+// accelerators (AES, MD5, SHA, FIR, RSD, image filters): it keeps a window
+// of outstanding burst reads and hands completed data to the processing
+// stage strictly in address order (hardware pipelines consume in order).
+type stream struct {
+	src   uint64 // GVA of input
+	total uint64 // input bytes (line-aligned)
+	burst int    // lines per read
+
+	issued uint64
+	next   uint64
+	ready  map[uint64][]byte
+}
+
+func (s *stream) init(src, total uint64, burst int) error {
+	if total%ccip.LineSize != 0 {
+		return fmt.Errorf("accel: stream length %d not line-aligned", total)
+	}
+	if burst <= 0 {
+		burst = 8
+	}
+	*s = stream{src: src, total: total, burst: burst, ready: make(map[uint64][]byte)}
+	return nil
+}
+
+// seek repositions the stream (preemption resume).
+func (s *stream) seek(off uint64) {
+	s.issued = off
+	s.next = off
+	s.ready = make(map[uint64][]byte)
+}
+
+// done reports whether every input byte has been processed.
+func (s *stream) done() bool { return s.next >= s.total }
+
+// progress returns the processed-byte watermark, which is also the safe
+// resume point: drain guarantees ready is empty at preemption time.
+func (s *stream) progress() uint64 { return s.next }
+
+// pump issues reads while the accelerator has window space, delivering
+// completed chunks to process in order.
+func (s *stream) pump(a *Accel, process func(off uint64, data []byte)) {
+	for a.CanIssue() && s.issued < s.total {
+		off := s.issued
+		lines := s.burst
+		if rem := (s.total - off) / ccip.LineSize; uint64(lines) > rem {
+			lines = int(rem)
+		}
+		bytes := uint64(lines) * ccip.LineSize
+		s.issued += bytes
+		a.Read(s.src+off, lines, func(data []byte, err error) {
+			if err != nil {
+				a.Fail(fmt.Errorf("stream read at +%#x: %w", off, err))
+				return
+			}
+			s.ready[off] = data
+			for {
+				d, ok := s.ready[s.next]
+				if !ok {
+					break
+				}
+				delete(s.ready, s.next)
+				o := s.next
+				s.next += uint64(len(d))
+				process(o, d)
+			}
+		})
+	}
+}

@@ -1,0 +1,150 @@
+package accel
+
+import (
+	"fmt"
+
+	"optimus/internal/algo/smithwaterman"
+	"optimus/internal/ccip"
+)
+
+// SW application registers.
+const (
+	SWArgSeqA  = 0 // GVA of sequence A (line-aligned buffer)
+	SWArgLenA  = 1 // length of A in bytes
+	SWArgSeqB  = 2 // GVA of sequence B
+	SWArgLenB  = 3 // length of B
+	SWArgScore = 4 // result: optimal local alignment score
+	SWArgPairs = 5 // number of (A,B) pairs laid out at SWMaxSeq stride (0→1)
+)
+
+// SWMaxSeq caps sequence length: both sequences must fit the accelerator's
+// BRAM (which is what the preemption interface would have to checkpoint).
+const SWMaxSeq = 4096
+
+// SWAccel computes Smith–Waterman local alignment scores with a systolic
+// array of 64 processing elements at 100 MHz: the DP matrix costs
+// lenA×lenB/64 cycles per pair. Memory demand is low; the benchmark is
+// compute-bound (as in Table 1, SW runs at the lowest clock).
+type SWAccel struct {
+	seqA, seqB uint64
+	lenA, lenB uint64
+	pairs      uint64
+	nextPair   uint64
+	totalScore uint64
+	bufA, bufB []byte
+	phase      int // 0 idle, 1 reading, 2 computing
+}
+
+// NewSW returns the SW logic.
+func NewSW() *SWAccel { return &SWAccel{} }
+
+// Name implements Logic.
+func (x *SWAccel) Name() string { return "SW" }
+
+// FreqMHz implements Logic.
+func (x *SWAccel) FreqMHz() int { return 100 }
+
+// StateBytes implements Logic: job parameters plus pair progress. Sequences
+// are immutable inputs re-fetched on resume; the running score accumulator
+// is the only data state.
+func (x *SWAccel) StateBytes() int { return 8 * 7 }
+
+// Start implements Logic.
+func (x *SWAccel) Start(a *Accel) {
+	x.seqA = a.Arg(SWArgSeqA)
+	x.lenA = a.Arg(SWArgLenA)
+	x.seqB = a.Arg(SWArgSeqB)
+	x.lenB = a.Arg(SWArgLenB)
+	x.pairs = a.Arg(SWArgPairs)
+	if x.pairs == 0 {
+		x.pairs = 1
+	}
+	x.nextPair = 0
+	x.totalScore = 0
+	x.phase = 0
+	if x.lenA == 0 || x.lenA > SWMaxSeq || x.lenB == 0 || x.lenB > SWMaxSeq {
+		a.Fail(fmt.Errorf("sw: sequence lengths %d/%d out of (0,%d]", x.lenA, x.lenB, SWMaxSeq))
+	}
+}
+
+func lineCeil(n uint64) int { return int((n + ccip.LineSize - 1) / ccip.LineSize) }
+
+// Pump implements Logic.
+func (x *SWAccel) Pump(a *Accel) {
+	if x.phase != 0 || !a.CanIssue() {
+		return
+	}
+	if x.nextPair >= x.pairs {
+		a.SetArg(SWArgScore, x.totalScore)
+		a.JobDone()
+		return
+	}
+	pair := x.nextPair
+	x.phase = 1
+	strideA := uint64(lineCeil(x.lenA) * ccip.LineSize)
+	strideB := uint64(lineCeil(x.lenB) * ccip.LineSize)
+	pendingReads := 2
+	proceed := func() {
+		pendingReads--
+		if pendingReads > 0 {
+			return
+		}
+		x.phase = 2
+		cycles := int64(x.lenA*x.lenB/64) + 1
+		a.Compute(cycles, func() {
+			score := smithwaterman.Score(x.bufA[:x.lenA], x.bufB[:x.lenB], smithwaterman.DefaultScoring())
+			x.totalScore += uint64(score)
+			x.nextPair = pair + 1
+			x.phase = 0
+			a.AddWork(1)
+		})
+	}
+	a.Read(x.seqA+pair*strideA, lineCeil(x.lenA), func(data []byte, err error) {
+		if err != nil {
+			a.Fail(fmt.Errorf("sw seqA: %w", err))
+			return
+		}
+		x.bufA = data
+		proceed()
+	})
+	a.Read(x.seqB+pair*strideB, lineCeil(x.lenB), func(data []byte, err error) {
+		if err != nil {
+			a.Fail(fmt.Errorf("sw seqB: %w", err))
+			return
+		}
+		x.bufB = data
+		proceed()
+	})
+}
+
+// SaveState implements Logic.
+func (x *SWAccel) SaveState() []byte {
+	buf := make([]byte, x.StateBytes())
+	putU64(buf[0:], x.seqA)
+	putU64(buf[8:], x.lenA)
+	putU64(buf[16:], x.seqB)
+	putU64(buf[24:], x.lenB)
+	putU64(buf[32:], x.pairs)
+	putU64(buf[40:], x.nextPair)
+	putU64(buf[48:], x.totalScore)
+	return buf
+}
+
+// RestoreState implements Logic.
+func (x *SWAccel) RestoreState(data []byte) error {
+	if len(data) < x.StateBytes() {
+		return fmt.Errorf("sw: short state")
+	}
+	x.seqA = getU64(data[0:])
+	x.lenA = getU64(data[8:])
+	x.seqB = getU64(data[16:])
+	x.lenB = getU64(data[24:])
+	x.pairs = getU64(data[32:])
+	x.nextPair = getU64(data[40:])
+	x.totalScore = getU64(data[48:])
+	x.phase = 0
+	return nil
+}
+
+// ResetLogic implements Logic.
+func (x *SWAccel) ResetLogic() { *x = SWAccel{} }

@@ -1,0 +1,181 @@
+package accel
+
+import (
+	"fmt"
+
+	"optimus/internal/ccip"
+	"optimus/internal/hwmon"
+	"optimus/internal/mem"
+	"optimus/internal/pagetable"
+	"optimus/internal/sim"
+)
+
+// TestBench is the accelerator-developer harness (§4.3: OPTIMUS provides a
+// separate implementation of the simplified API for use in simulations, so
+// designs can be developed against the virtualization interface before a
+// bitstream exists). It instantiates one accelerator behind a real auditor
+// and shell with an identity-mapped address space, and exposes direct
+// memory and register access plus preemption/reset drivers.
+type TestBench struct {
+	K     *sim.Kernel
+	Accel *Accel
+
+	shell *ccip.Shell
+	mon   *hwmon.Monitor
+	size  uint64
+
+	// savedArgs mirrors the hypervisor's software register cache: the
+	// application registers snapshotted at preemption and reprogrammed at
+	// resume (§4.2).
+	savedArgs [NumArgRegs]uint64
+}
+
+// NewTestBench wires logic into a single-slot platform with `size` bytes of
+// DMA-addressable memory at GVA 0.
+func NewTestBench(logic Logic, size uint64) (*TestBench, error) {
+	k := sim.NewKernel()
+	pm := mem.NewPhysMem(size + (1 << 30))
+	shell := ccip.NewShell(k, pm, ccip.DefaultConfig())
+	ps := shell.IOMMU.Table().PageSize()
+	for va := uint64(0); va < size; va += ps {
+		if err := shell.IOMMU.Table().Map(va, va, pagetable.PermRW); err != nil {
+			return nil, err
+		}
+	}
+	mon, err := hwmon.New(k, shell, hwmon.Config{NumAccels: 1})
+	if err != nil {
+		return nil, err
+	}
+	if err := mon.SetWindow(0, 0, 0, size); err != nil {
+		return nil, err
+	}
+	a := New(logic)
+	a.Attach(k, mon.AccelPort(0))
+	if err := mon.RegisterAccel(0, a, a.Reset); err != nil {
+		return nil, err
+	}
+	return &TestBench{K: k, Accel: a, shell: shell, mon: mon, size: size}, nil
+}
+
+// WriteMem places data at a DMA-visible address.
+func (tb *TestBench) WriteMem(addr uint64, data []byte) { tb.shell.Mem.Write(addr, data) }
+
+// ReadMem copies n bytes from a DMA-visible address.
+func (tb *TestBench) ReadMem(addr uint64, n int) []byte {
+	b := make([]byte, n)
+	tb.shell.Mem.Read(addr, b)
+	return b
+}
+
+// SetArg programs application register i.
+func (tb *TestBench) SetArg(i int, v uint64) {
+	tb.mon.MMIOWrite(hwmon.AccelMMIO(0)+RegArgBase+uint64(8*i), v)
+}
+
+// Arg reads application register i.
+func (tb *TestBench) Arg(i int) uint64 {
+	v, _ := tb.mon.MMIORead(hwmon.AccelMMIO(0) + RegArgBase + uint64(8*i))
+	return v
+}
+
+// Run starts a job and drives the simulation until it completes.
+func (tb *TestBench) Run() error {
+	tb.mon.MMIOWrite(hwmon.AccelMMIO(0)+RegCtrl, CmdStart)
+	tb.K.Run()
+	if st := tb.Accel.Status(); st != StatusDone {
+		return fmt.Errorf("testbench: job finished in state %s: %v", StatusName(st), tb.Accel.LastErr())
+	}
+	return nil
+}
+
+// Start launches a job without driving the clock (use K.RunFor / K.Run).
+func (tb *TestBench) Start() {
+	tb.mon.MMIOWrite(hwmon.AccelMMIO(0)+RegCtrl, CmdStart)
+}
+
+// Preempt drives the full preemption handshake — state buffer at stateGVA,
+// PREEMPT, wait for SAVED — then resets the accelerator, exactly as the
+// hypervisor would on a context switch. Returns the drain+save duration.
+func (tb *TestBench) Preempt(stateGVA uint64) (sim.Time, error) {
+	base := hwmon.AccelMMIO(0)
+	tb.mon.MMIOWrite(base+RegStateAddr, stateGVA)
+	start := tb.K.Now()
+	tb.mon.MMIOWrite(base+RegCtrl, CmdPreempt)
+	for tb.Accel.Status() != StatusSaved {
+		if !tb.K.Step() {
+			return 0, fmt.Errorf("testbench: accelerator never reached SAVED (state %s)",
+				StatusName(tb.Accel.Status()))
+		}
+	}
+	elapsed := tb.K.Now() - start
+	// Snapshot the application registers before the isolation reset wipes
+	// them — the hypervisor keeps this cache per virtual accelerator.
+	for i := range tb.savedArgs {
+		tb.savedArgs[i] = tb.Arg(i)
+	}
+	if err := tb.mon.Reset(0); err != nil {
+		return 0, err
+	}
+	return elapsed, nil
+}
+
+// Resume restores a previously saved job from stateGVA and continues it to
+// completion.
+func (tb *TestBench) Resume(stateGVA uint64) error {
+	base := hwmon.AccelMMIO(0)
+	for i, v := range tb.savedArgs {
+		if v != 0 {
+			tb.SetArg(i, v)
+		}
+	}
+	tb.mon.MMIOWrite(base+RegStateAddr, stateGVA)
+	tb.mon.MMIOWrite(base+RegCtrl, CmdResume)
+	tb.K.Run()
+	if st := tb.Accel.Status(); st != StatusDone {
+		return fmt.Errorf("testbench: resumed job finished in state %s: %v", StatusName(st), tb.Accel.LastErr())
+	}
+	return nil
+}
+
+// CheckPreemption is the conformance test for the preemption interface
+// (§4.2): it runs the programmed job once uninterrupted, then again with a
+// preempt/reset/resume cycle after `runFor` of simulated time, and verifies
+// the progress counter and all application registers converge to the same
+// values. Accelerator designers run this before deploying a design.
+//
+// The caller provides `program`, which (re)writes inputs and registers —
+// it is invoked before each of the two runs.
+func (tb *TestBench) CheckPreemption(program func(tb *TestBench), runFor sim.Time, stateGVA uint64) error {
+	program(tb)
+	if err := tb.Run(); err != nil {
+		return fmt.Errorf("uninterrupted run: %w", err)
+	}
+	wantWork := tb.Accel.WorkDone()
+	var wantArgs [NumArgRegs]uint64
+	for i := range wantArgs {
+		wantArgs[i] = tb.Arg(i)
+	}
+
+	tb.mon.Reset(0)
+	program(tb)
+	tb.Start()
+	tb.K.RunFor(runFor)
+	if st := tb.Accel.Status(); st == StatusDone {
+		return fmt.Errorf("job finished before the preemption point; shorten runFor")
+	}
+	if _, err := tb.Preempt(stateGVA); err != nil {
+		return err
+	}
+	if err := tb.Resume(stateGVA); err != nil {
+		return err
+	}
+	if got := tb.Accel.WorkDone(); got != wantWork {
+		return fmt.Errorf("work across preemption = %d, want %d", got, wantWork)
+	}
+	for i := range wantArgs {
+		if got := tb.Arg(i); got != wantArgs[i] {
+			return fmt.Errorf("arg[%d] across preemption = %#x, want %#x", i, got, wantArgs[i])
+		}
+	}
+	return nil
+}

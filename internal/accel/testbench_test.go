@@ -1,0 +1,158 @@
+package accel
+
+import (
+	"testing"
+
+	"optimus/internal/sim"
+)
+
+func TestTestBenchRunLL(t *testing.T) {
+	tb, err := NewTestBench(NewLinkedList(), 16<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build a list directly in testbench memory.
+	rng := sim.NewRand(1)
+	const n = 200
+	order := rng.Perm(n)
+	addrs := make([]uint64, n)
+	for i, s := range order {
+		addrs[i] = 0x100000 + uint64(s)*64
+	}
+	var sum uint64
+	for i := 0; i < n; i++ {
+		node := make([]byte, 64)
+		var next uint64
+		if i+1 < n {
+			next = addrs[i+1]
+		}
+		payload := rng.Uint64()
+		sum += payload
+		for b := 0; b < 8; b++ {
+			node[b] = byte(next >> (8 * b))
+			node[8+b] = byte(payload >> (8 * b))
+		}
+		tb.WriteMem(addrs[i], node)
+	}
+	tb.SetArg(LLArgHead, addrs[0])
+	if err := tb.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Arg(LLArgChecksum) != sum {
+		t.Fatalf("checksum = %#x, want %#x", tb.Arg(LLArgChecksum), sum)
+	}
+}
+
+// Every built-in preemptable design passes the conformance check.
+func TestCheckPreemptionConformanceMB(t *testing.T) {
+	tb, err := NewTestBench(NewMemBench(), 64<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	program := func(tb *TestBench) {
+		tb.SetArg(MBArgBase, 0)
+		tb.SetArg(MBArgSize, 32<<20)
+		tb.SetArg(MBArgBursts, 3000)
+		tb.SetArg(MBArgWritePct, 25)
+		tb.SetArg(MBArgSeed, 4)
+	}
+	if err := tb.CheckPreemption(program, 20*sim.Microsecond, 0x3000000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckPreemptionConformanceSHA(t *testing.T) {
+	tb, err := NewTestBench(NewSHA(), 16<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := make([]byte, 256<<10)
+	for i := range msg {
+		msg[i] = byte(i * 31)
+	}
+	program := func(tb *TestBench) {
+		tb.WriteMem(0x100000, msg)
+		tb.SetArg(XFArgSrc, 0x100000)
+		tb.SetArg(XFArgDst, 0x800000)
+		tb.SetArg(XFArgLen, uint64(len(msg)))
+	}
+	if err := tb.CheckPreemption(program, 30*sim.Microsecond, 0x900000); err != nil {
+		t.Fatal(err)
+	}
+	// The digest written by the preempted run matches a fresh clean run.
+	want := tb.ReadMem(0x800000, 64)
+	tb.WriteMem(0x800000, make([]byte, 64))
+	program(tb)
+	if err := tb.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got := tb.ReadMem(0x800000, 64)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatal("digest differs between preempted and clean runs")
+		}
+	}
+}
+
+func TestCheckPreemptionDetectsBrokenSave(t *testing.T) {
+	// A logic whose SaveState forgets the checksum must be caught.
+	tb, err := NewTestBench(&brokenLL{}, 16<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRand(2)
+	const n = 3000
+	order := rng.Perm(n)
+	addrs := make([]uint64, n)
+	for i, s := range order {
+		addrs[i] = 0x100000 + uint64(s)*64
+	}
+	for i := 0; i < n; i++ {
+		node := make([]byte, 64)
+		var next uint64
+		if i+1 < n {
+			next = addrs[i+1]
+		}
+		for b := 0; b < 8; b++ {
+			node[b] = byte(next >> (8 * b))
+			node[8+b] = byte(uint64(i) >> (8 * b))
+		}
+		tb.WriteMem(addrs[i], node)
+	}
+	program := func(tb *TestBench) { tb.SetArg(LLArgHead, addrs[0]) }
+	if err := tb.CheckPreemption(program, 100*sim.Microsecond, 0x900000); err == nil {
+		t.Fatal("conformance check passed a design that loses its checksum")
+	}
+}
+
+// brokenLL deliberately corrupts its checksum on restore.
+type brokenLL struct{ LinkedList }
+
+func (b *brokenLL) RestoreState(data []byte) error {
+	if err := b.LinkedList.RestoreState(data); err != nil {
+		return err
+	}
+	b.checksum = 0 // the bug
+	return nil
+}
+
+func TestTestBenchPreemptTiming(t *testing.T) {
+	tb, err := NewTestBench(NewMemBench(), 64<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.SetArg(MBArgBase, 0)
+	tb.SetArg(MBArgSize, 32<<20)
+	tb.SetArg(MBArgBursts, 0)
+	tb.Start()
+	tb.K.RunFor(50 * sim.Microsecond)
+	drain, err := tb.Preempt(0x3000000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Draining 64 outstanding bursts plus the state DMA: microseconds, not
+	// milliseconds.
+	if drain <= 0 || drain > 100*sim.Microsecond {
+		t.Fatalf("drain+save took %v", drain)
+	}
+}

@@ -1,0 +1,209 @@
+package accel
+
+import (
+	"strings"
+	"testing"
+
+	"optimus/internal/ccip"
+	"optimus/internal/sim"
+)
+
+// runExpectError starts a job expecting the accelerator to reach
+// StatusError with a message containing substr.
+func runExpectError(t *testing.T, r *rig, substr string) {
+	t.Helper()
+	r.ctrl(CmdStart)
+	r.k.Run()
+	if got := r.status(); got != StatusError {
+		t.Fatalf("status = %s, want error", StatusName(got))
+	}
+	if err := r.acc.LastErr(); err == nil || !strings.Contains(err.Error(), substr) {
+		t.Fatalf("error = %v, want substring %q", err, substr)
+	}
+}
+
+func TestStreamRejectsUnalignedLength(t *testing.T) {
+	r := newRig(t, "MD5", 4<<20)
+	r.setArg(XFArgSrc, 0x10000)
+	r.setArg(XFArgDst, 0x20000)
+	r.setArg(XFArgLen, 100) // not line-aligned
+	runExpectError(t, r, "not line-aligned")
+}
+
+func TestImageRejectsBadGeometry(t *testing.T) {
+	r := newRig(t, "GAU", 4<<20)
+	r.setArg(ImgArgSrc, 0x10000)
+	r.setArg(ImgArgDst, 0x20000)
+	r.setArg(ImgArgWidth, 100) // rows not line-aligned
+	r.setArg(ImgArgHeight, 8)
+	runExpectError(t, r, "not line-aligned")
+
+	r2 := newRig(t, "GAU", 4<<20)
+	r2.setArg(ImgArgWidth, 0)
+	r2.setArg(ImgArgHeight, 8)
+	runExpectError(t, r2, "empty image")
+
+	r3 := newRig(t, "GRS", 4<<20)
+	r3.setArg(ImgArgWidth, 16384) // 48KB RGB rows exceed the line buffer
+	r3.setArg(ImgArgHeight, 8)
+	runExpectError(t, r3, "line buffer")
+}
+
+func TestSWRejectsOversizedSequences(t *testing.T) {
+	r := newRig(t, "SW", 4<<20)
+	r.setArg(SWArgSeqA, 0x10000)
+	r.setArg(SWArgLenA, SWMaxSeq+1)
+	r.setArg(SWArgSeqB, 0x20000)
+	r.setArg(SWArgLenB, 64)
+	runExpectError(t, r, "sequence lengths")
+}
+
+func TestFIRRejectsBadTapCount(t *testing.T) {
+	r := newRig(t, "FIR", 4<<20)
+	r.setArg(XFArgSrc, 0x10000)
+	r.setArg(XFArgDst, 0x20000)
+	r.setArg(XFArgLen, 4096)
+	r.setArg(XFArgParam, 1000)
+	runExpectError(t, r, "tap count")
+}
+
+func TestGRNRejectsUnaligned(t *testing.T) {
+	r := newRig(t, "GRN", 4<<20)
+	r.setArg(GRNArgDst, 0x10000)
+	r.setArg(GRNArgBytes, 130)
+	runExpectError(t, r, "not line-aligned")
+}
+
+func TestMemBenchRejectsTinyWorkingSet(t *testing.T) {
+	r := newRig(t, "MB", 4<<20)
+	r.setArg(MBArgBase, 0)
+	r.setArg(MBArgSize, 64)
+	r.setArg(MBArgBurst, 4)
+	runExpectError(t, r, "smaller than one burst")
+}
+
+func TestSSSPRejectsBadGraph(t *testing.T) {
+	r := newRig(t, "SSSP", 4<<20)
+	// Descriptor with zero vertices.
+	r.write(0x10000, make([]byte, 64))
+	r.setArg(SSSPArgDesc, 0x10000)
+	runExpectError(t, r, "bad graph")
+}
+
+func TestDMAFaultFailsJob(t *testing.T) {
+	// Reading beyond the mapped IOPT region surfaces as a job error, not a
+	// hang or panic.
+	r := newRig(t, "MD5", 1<<20) // only 1 MB mapped (window matches)
+	r.mon.SetWindow(0, 0, 0, 64<<20)
+	r.setArg(XFArgSrc, 8<<20) // unmapped
+	r.setArg(XFArgDst, 0x20000)
+	r.setArg(XFArgLen, 4096)
+	runExpectError(t, r, "not mapped")
+}
+
+func TestPadStateRoundTrip(t *testing.T) {
+	r := newRig(t, "LL", 16<<20)
+	PadState(r.acc, 1<<20)
+	v, _ := r.mon.MMIORead(0x2000 + RegStateSize)
+	if v < 1<<20 {
+		t.Fatalf("padded state size = %d", v)
+	}
+	head, sum := buildList(r, 0x100000, 300, 31)
+	r.setArg(LLArgHead, head)
+	r.ctrl(CmdStart)
+	r.k.RunFor(30 * sim.Microsecond)
+	preemptCycle(r, 0x800000)
+	r.k.Run()
+	if r.status() != StatusDone {
+		t.Fatalf("resumed padded job: %s (%v)", StatusName(r.status()), r.acc.LastErr())
+	}
+	if r.acc.Arg(LLArgChecksum) != sum {
+		t.Fatal("checksum corrupted with padded state")
+	}
+}
+
+func TestStatusNames(t *testing.T) {
+	cases := map[uint64]string{
+		StatusIdle: "idle", StatusRunning: "running", StatusSaving: "saving",
+		StatusSaved: "saved", StatusLoading: "loading", StatusDone: "done",
+		StatusError: "error", 99: "status(99)",
+	}
+	for in, want := range cases {
+		if got := StatusName(in); got != want {
+			t.Fatalf("StatusName(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSetChannelPinsDMA(t *testing.T) {
+	r := newRig(t, "LL", 4<<20)
+	r.acc.SetChannel(ccip.VCPCIe0)
+	head, _ := buildList(r, 0x100000, 50, 3)
+	r.setArg(LLArgHead, head)
+	r.run()
+	st := r.shell.Stats()
+	if st.PerChannelRdBytes["UPI"] != 0 {
+		t.Fatal("pinned PCIe accel used UPI")
+	}
+	if st.PerChannelRdBytes["PCIe0"] == 0 {
+		t.Fatal("no PCIe traffic")
+	}
+}
+
+func TestBTCImpossibleRangeCompletes(t *testing.T) {
+	r := newRig(t, "BTC", 4<<20)
+	r.write(0x10000, make([]byte, 128))
+	tbuf := make([]byte, 64) // zero target: nothing qualifies
+	r.write(0x20000, tbuf)
+	r.setArg(BTCArgHeader, 0x10000)
+	r.setArg(BTCArgTarget, 0x20000)
+	r.setArg(BTCArgCount, 8192)
+	r.run()
+	if r.acc.Arg(BTCArgFound) != 0 {
+		t.Fatal("found a hash below zero target")
+	}
+	if r.acc.WorkDone() != 8192 {
+		t.Fatalf("hashes = %d", r.acc.WorkDone())
+	}
+}
+
+func TestRSDZeroCount(t *testing.T) {
+	r := newRig(t, "RSD", 4<<20)
+	r.setArg(RSDArgSrc, 0x10000)
+	r.setArg(RSDArgDst, 0x20000)
+	r.setArg(RSDArgCount, 0)
+	r.run() // empty job completes immediately
+	if r.acc.Arg(RSDArgFailures) != 0 {
+		t.Fatal("failures on empty job")
+	}
+}
+
+func TestAllLogicsRejectShortState(t *testing.T) {
+	for _, name := range Names() {
+		a, err := NewByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Logic().RestoreState(make([]byte, 1)); err == nil {
+			t.Errorf("%s: RestoreState accepted a 1-byte state", name)
+		}
+	}
+}
+
+func TestCorruptStateHeaderFailsResume(t *testing.T) {
+	r := newRig(t, "MB", 64<<20)
+	r.setArg(MBArgBase, 0)
+	r.setArg(MBArgSize, 32<<20)
+	r.setArg(MBArgBursts, 0)
+	r.ctrl(CmdStart)
+	r.k.RunFor(10 * sim.Microsecond)
+	preemptCycle(r, 0x3000000)
+	// Corrupt the saved window field before resuming.
+	r.write(0x3000000+8, []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	r.mon.MMIOWrite(0x2000+RegStateAddr, 0x3000000)
+	r.ctrl(CmdResume)
+	r.k.Run()
+	if r.status() != StatusError {
+		t.Fatalf("corrupt header resumed: %s", StatusName(r.status()))
+	}
+}

@@ -1,0 +1,124 @@
+package aes
+
+import (
+	"bytes"
+	stdaes "crypto/aes"
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+)
+
+// FIPS-197 Appendix C.1 known-answer test.
+func TestFIPS197Vector(t *testing.T) {
+	key, _ := hex.DecodeString("000102030405060708090a0b0c0d0e0f")
+	pt, _ := hex.DecodeString("00112233445566778899aabbccddeeff")
+	want, _ := hex.DecodeString("69c4e0d86a7b0430d8cdb78070b4c55a")
+	c, err := New(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 16)
+	c.Encrypt(got, pt)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("encrypt = %x, want %x", got, want)
+	}
+	dec := make([]byte, 16)
+	c.Decrypt(dec, got)
+	if !bytes.Equal(dec, pt) {
+		t.Fatalf("decrypt = %x, want %x", dec, pt)
+	}
+}
+
+// Property: matches crypto/aes on random keys and blocks.
+func TestMatchesStdlib(t *testing.T) {
+	f := func(key [16]byte, block [16]byte) bool {
+		ours, err := New(key[:])
+		if err != nil {
+			return false
+		}
+		ref, err := stdaes.NewCipher(key[:])
+		if err != nil {
+			return false
+		}
+		a := make([]byte, 16)
+		b := make([]byte, 16)
+		ours.Encrypt(a, block[:])
+		ref.Encrypt(b, block[:])
+		return bytes.Equal(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Decrypt ∘ Encrypt = identity.
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	f := func(key [16]byte, block [16]byte) bool {
+		c, _ := New(key[:])
+		enc := make([]byte, 16)
+		c.Encrypt(enc, block[:])
+		dec := make([]byte, 16)
+		c.Decrypt(dec, enc)
+		return bytes.Equal(dec, block[:])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestECBRoundTrip(t *testing.T) {
+	key := []byte("0123456789abcdef")
+	c, _ := New(key)
+	buf := make([]byte, 256)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	orig := append([]byte(nil), buf...)
+	if err := c.EncryptECB(buf); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(buf, orig) {
+		t.Fatal("ECB encryption did nothing")
+	}
+	if err := c.DecryptECB(buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, orig) {
+		t.Fatal("ECB round trip failed")
+	}
+}
+
+func TestECBBadLength(t *testing.T) {
+	c, _ := New(make([]byte, 16))
+	if err := c.EncryptECB(make([]byte, 17)); err == nil {
+		t.Fatal("expected length error")
+	}
+	if err := c.DecryptECB(make([]byte, 15)); err == nil {
+		t.Fatal("expected length error")
+	}
+}
+
+func TestBadKeySize(t *testing.T) {
+	if _, err := New(make([]byte, 24)); err == nil {
+		t.Fatal("AES-128 model should reject 24-byte keys")
+	}
+}
+
+func TestGF256Multiply(t *testing.T) {
+	// Known products in the AES field.
+	if gmul(0x57, 0x83) != 0xc1 {
+		t.Fatalf("gmul(0x57,0x83) = %#x, want 0xc1", gmul(0x57, 0x83))
+	}
+	if gmul(0x57, 0x13) != 0xfe {
+		t.Fatalf("gmul(0x57,0x13) = %#x, want 0xfe", gmul(0x57, 0x13))
+	}
+}
+
+func BenchmarkEncryptBlock(b *testing.B) {
+	c, _ := New(make([]byte, 16))
+	buf := make([]byte, 16)
+	b.SetBytes(16)
+	for i := 0; i < b.N; i++ {
+		c.Encrypt(buf, buf)
+	}
+}

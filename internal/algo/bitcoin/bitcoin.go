@@ -1,0 +1,73 @@
+// Package bitcoin implements the Bitcoin proof-of-work search as the
+// functional model of the paper's BTC benchmark accelerator: double SHA-256
+// over an 80-byte block header, scanning nonces for a hash below the target.
+package bitcoin
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"optimus/internal/algo/sha256"
+)
+
+// HeaderSize is the Bitcoin block header size in bytes.
+const HeaderSize = 80
+
+// NonceOffset is the byte offset of the 32-bit little-endian nonce.
+const NonceOffset = 76
+
+// Hash computes the proof-of-work hash (double SHA-256) of an 80-byte
+// header. Bitcoin interprets the digest as a little-endian 256-bit integer.
+func Hash(header []byte) ([32]byte, error) {
+	if len(header) != HeaderSize {
+		return [32]byte{}, fmt.Errorf("bitcoin: header length %d, want %d", len(header), HeaderSize)
+	}
+	return sha256.DoubleSum(header), nil
+}
+
+// MeetsTarget reports whether digest, read as a little-endian integer, is
+// strictly below the target (also little-endian).
+func MeetsTarget(digest, target [32]byte) bool {
+	for i := 31; i >= 0; i-- {
+		if digest[i] != target[i] {
+			return digest[i] < target[i]
+		}
+	}
+	return false
+}
+
+// TargetWithDifficulty returns a target with the top `zeroBits` bits of the
+// (big-end) of the little-endian integer forced to zero — i.e., expected
+// 2^zeroBits hashes per solution.
+func TargetWithDifficulty(zeroBits int) [32]byte {
+	var t [32]byte
+	for i := range t {
+		t[i] = 0xff
+	}
+	for b := 0; b < zeroBits; b++ {
+		byteIdx := 31 - b/8
+		t[byteIdx] &^= 1 << (7 - uint(b%8))
+	}
+	return t
+}
+
+// Mine scans nonces in [start, start+count) and returns the first nonce
+// whose header hash meets the target, whether one was found, and the number
+// of hashes computed. header's nonce field is overwritten during the scan.
+func Mine(header []byte, target [32]byte, start, count uint32) (nonce uint32, found bool, hashes uint64) {
+	if len(header) != HeaderSize {
+		return 0, false, 0
+	}
+	buf := make([]byte, HeaderSize)
+	copy(buf, header)
+	for i := uint32(0); i < count; i++ {
+		n := start + i
+		binary.LittleEndian.PutUint32(buf[NonceOffset:], n)
+		h := sha256.DoubleSum(buf)
+		hashes++
+		if MeetsTarget(h, target) {
+			return n, true, hashes
+		}
+	}
+	return 0, false, hashes
+}

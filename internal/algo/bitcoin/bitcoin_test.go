@@ -1,0 +1,120 @@
+package bitcoin
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"optimus/internal/sim"
+)
+
+func testHeader() []byte {
+	h := make([]byte, HeaderSize)
+	rng := sim.NewRand(1)
+	rng.Fill(h)
+	return h
+}
+
+func TestHashLength(t *testing.T) {
+	if _, err := Hash(make([]byte, 10)); err == nil {
+		t.Fatal("short header accepted")
+	}
+	if _, err := Hash(testHeader()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeetsTargetOrdering(t *testing.T) {
+	var lo, hi [32]byte
+	hi[31] = 1 // little-endian: byte 31 is most significant
+	if !MeetsTarget(lo, hi) {
+		t.Fatal("0 should meet target 2^248")
+	}
+	if MeetsTarget(hi, lo) {
+		t.Fatal("larger value met smaller target")
+	}
+	if MeetsTarget(lo, lo) {
+		t.Fatal("equal should not meet (strictly below)")
+	}
+}
+
+func TestTargetWithDifficulty(t *testing.T) {
+	t0 := TargetWithDifficulty(0)
+	for _, b := range t0 {
+		if b != 0xff {
+			t.Fatal("difficulty 0 should be all-ones")
+		}
+	}
+	t8 := TargetWithDifficulty(8)
+	if t8[31] != 0 {
+		t.Fatalf("top byte = %#x, want 0", t8[31])
+	}
+	if t8[30] != 0xff {
+		t.Fatal("second byte should be untouched")
+	}
+	t4 := TargetWithDifficulty(4)
+	if t4[31] != 0x0f {
+		t.Fatalf("4-bit difficulty top byte = %#x, want 0x0f", t4[31])
+	}
+}
+
+func TestMineFindsSolution(t *testing.T) {
+	header := testHeader()
+	target := TargetWithDifficulty(10) // ~1 in 1024 hashes
+	nonce, found, hashes := Mine(header, target, 0, 1<<16)
+	if !found {
+		t.Fatalf("no solution in %d hashes at difficulty 10", hashes)
+	}
+	// Verify the solution.
+	binary.LittleEndian.PutUint32(header[NonceOffset:], nonce)
+	h, _ := Hash(header)
+	if !MeetsTarget(h, target) {
+		t.Fatal("reported nonce does not meet target")
+	}
+}
+
+func TestMineCountsHashes(t *testing.T) {
+	header := testHeader()
+	impossible := [32]byte{} // nothing is below zero
+	_, found, hashes := Mine(header, impossible, 0, 500)
+	if found {
+		t.Fatal("found a hash below zero")
+	}
+	if hashes != 500 {
+		t.Fatalf("hashes = %d, want 500", hashes)
+	}
+}
+
+func TestMineResumable(t *testing.T) {
+	// Mining [0, N) in two halves finds the same solution as one scan —
+	// the property the preemption interface relies on.
+	header := testHeader()
+	target := TargetWithDifficulty(9)
+	n1, f1, _ := Mine(header, target, 0, 1<<15)
+	if !f1 {
+		t.Skip("no solution in range; statistical skip")
+	}
+	var n2 uint32
+	var f2 bool
+	half := uint32(1 << 14)
+	if n2, f2, _ = Mine(header, target, 0, half); !f2 {
+		n2, f2, _ = Mine(header, target, half, 1<<15-half)
+	}
+	if !f2 || n1 != n2 {
+		t.Fatalf("split mining found %d/%v, whole scan found %d", n2, f2, n1)
+	}
+}
+
+func TestMineBadHeader(t *testing.T) {
+	_, found, hashes := Mine(make([]byte, 3), TargetWithDifficulty(1), 0, 10)
+	if found || hashes != 0 {
+		t.Fatal("bad header should mine nothing")
+	}
+}
+
+func BenchmarkHash(b *testing.B) {
+	h := testHeader()
+	b.SetBytes(HeaderSize)
+	for i := 0; i < b.N; i++ {
+		Hash(h)
+	}
+}

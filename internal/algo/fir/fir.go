@@ -1,0 +1,100 @@
+// Package fir implements a fixed-point finite impulse response filter as the
+// functional model of the paper's FIR benchmark accelerator.
+//
+// The hardware analogue is a tapped delay line: each output sample is the
+// dot product of the last len(taps) input samples with the coefficient
+// vector, computed in Q15 fixed point (as DSP-block FIR cores do).
+package fir
+
+import "fmt"
+
+// Filter is a fixed-point FIR filter with Q15 coefficients.
+type Filter struct {
+	taps  []int32 // Q15
+	delay []int32 // delay line, most recent first
+	pos   int
+}
+
+// New returns a filter with the given Q15 coefficients.
+func New(taps []int32) (*Filter, error) {
+	if len(taps) == 0 {
+		return nil, fmt.Errorf("fir: empty tap vector")
+	}
+	t := make([]int32, len(taps))
+	copy(t, taps)
+	return &Filter{taps: t, delay: make([]int32, len(taps))}, nil
+}
+
+// NumTaps returns the filter order + 1.
+func (f *Filter) NumTaps() int { return len(f.taps) }
+
+// Reset clears the delay line.
+func (f *Filter) Reset() {
+	for i := range f.delay {
+		f.delay[i] = 0
+	}
+	f.pos = 0
+}
+
+// Step pushes one sample and returns one filtered output (Q15 rounding).
+func (f *Filter) Step(x int32) int32 {
+	f.delay[f.pos] = x
+	var acc int64
+	idx := f.pos
+	for _, c := range f.taps {
+		acc += int64(c) * int64(f.delay[idx])
+		idx--
+		if idx < 0 {
+			idx = len(f.delay) - 1
+		}
+	}
+	f.pos++
+	if f.pos == len(f.delay) {
+		f.pos = 0
+	}
+	return int32((acc + 1<<14) >> 15)
+}
+
+// Process filters in into out sample by sample; len(out) must equal len(in).
+func (f *Filter) Process(out, in []int32) error {
+	if len(out) != len(in) {
+		return fmt.Errorf("fir: output length %d != input length %d", len(out), len(in))
+	}
+	for i, x := range in {
+		out[i] = f.Step(x)
+	}
+	return nil
+}
+
+// SaveState returns the delay line contents and position — the state a
+// preemption-capable FIR accelerator would checkpoint.
+func (f *Filter) SaveState() []int32 {
+	s := make([]int32, len(f.delay)+1)
+	copy(s, f.delay)
+	s[len(f.delay)] = int32(f.pos)
+	return s
+}
+
+// RestoreState reinstates a checkpoint produced by SaveState.
+func (f *Filter) RestoreState(s []int32) error {
+	if len(s) != len(f.delay)+1 {
+		return fmt.Errorf("fir: state length %d, want %d", len(s), len(f.delay)+1)
+	}
+	copy(f.delay, s[:len(f.delay)])
+	f.pos = int(s[len(f.delay)])
+	if f.pos < 0 || f.pos >= len(f.delay) {
+		return fmt.Errorf("fir: corrupt state position %d", f.pos)
+	}
+	return nil
+}
+
+// LowPass returns a len-tap moving-average low-pass coefficient vector in
+// Q15 (each tap = 1/len).
+func LowPass(n int) []int32 {
+	taps := make([]int32, n)
+	c := int32((1 << 15) / n)
+	for i := range taps {
+		taps[i] = c
+	}
+	return taps
+}

@@ -1,0 +1,133 @@
+package fir
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestImpulseResponse(t *testing.T) {
+	taps := []int32{1 << 15, 1 << 14, 1 << 13} // 1, 0.5, 0.25
+	f, err := New(taps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []int32{1000, 0, 0, 0}
+	out := make([]int32, 4)
+	if err := f.Process(out, in); err != nil {
+		t.Fatal(err)
+	}
+	want := []int32{1000, 500, 250, 0}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("impulse response[%d] = %d, want %d", i, out[i], want[i])
+		}
+	}
+}
+
+func TestMovingAverageDC(t *testing.T) {
+	// A constant input through a unity-DC-gain low-pass converges to itself.
+	f, _ := New(LowPass(8))
+	in := make([]int32, 32)
+	for i := range in {
+		in[i] = 4096
+	}
+	out := make([]int32, len(in))
+	f.Process(out, in)
+	got := out[len(out)-1]
+	// (1<<15)/8 truncates so gain is slightly under 1.
+	if got < 4090 || got > 4096 {
+		t.Fatalf("DC response = %d, want ≈4096", got)
+	}
+}
+
+func TestLinearity(t *testing.T) {
+	taps := []int32{1 << 14, -(1 << 13), 1 << 12}
+	f := func(a, b int16) bool {
+		f1, _ := New(taps)
+		f2, _ := New(taps)
+		f3, _ := New(taps)
+		in1 := []int32{int32(a), int32(b), int32(a) + int32(b)}
+		in2 := []int32{int32(b), int32(a), int32(a) - int32(b)}
+		sum := make([]int32, 3)
+		for i := range sum {
+			sum[i] = in1[i] + in2[i]
+		}
+		o1 := make([]int32, 3)
+		o2 := make([]int32, 3)
+		o3 := make([]int32, 3)
+		f1.Process(o1, in1)
+		f2.Process(o2, in2)
+		f3.Process(o3, sum)
+		for i := range o3 {
+			d := o3[i] - o1[i] - o2[i]
+			if d < -2 || d > 2 { // rounding slack
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSaveRestoreState(t *testing.T) {
+	taps := LowPass(5)
+	f1, _ := New(taps)
+	in := []int32{1, 2, 3, 4, 5, 6, 7, 8}
+	out := make([]int32, len(in))
+	f1.Process(out[:4], in[:4])
+	state := f1.SaveState()
+
+	// Continue on a second filter restored from the checkpoint.
+	f2, _ := New(taps)
+	if err := f2.RestoreState(state); err != nil {
+		t.Fatal(err)
+	}
+	contFromCheckpoint := make([]int32, 4)
+	f2.Process(contFromCheckpoint, in[4:])
+
+	// Reference: uninterrupted run.
+	ref, _ := New(taps)
+	refOut := make([]int32, len(in))
+	ref.Process(refOut, in)
+	for i := range contFromCheckpoint {
+		if contFromCheckpoint[i] != refOut[4+i] {
+			t.Fatalf("resumed output[%d] = %d, want %d", i, contFromCheckpoint[i], refOut[4+i])
+		}
+	}
+}
+
+func TestRestoreStateValidation(t *testing.T) {
+	f, _ := New(LowPass(4))
+	if err := f.RestoreState([]int32{1, 2}); err == nil {
+		t.Fatal("short state accepted")
+	}
+	bad := f.SaveState()
+	bad[len(bad)-1] = 99 // out-of-range position
+	if err := f.RestoreState(bad); err == nil {
+		t.Fatal("corrupt position accepted")
+	}
+}
+
+func TestReset(t *testing.T) {
+	f, _ := New(LowPass(4))
+	f.Step(10000)
+	f.Reset()
+	if got := f.Step(0); got != 0 {
+		t.Fatalf("after reset, Step(0) = %d", got)
+	}
+}
+
+func TestEmptyTapsRejected(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Fatal("empty taps accepted")
+	}
+}
+
+func TestProcessLengthMismatch(t *testing.T) {
+	f, _ := New(LowPass(4))
+	if err := f.Process(make([]int32, 3), make([]int32, 4)); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}

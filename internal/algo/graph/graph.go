@@ -1,0 +1,198 @@
+// Package graph provides the graph substrate for the SSSP benchmark: a CSR
+// (compressed sparse row) graph representation matching the memory layout
+// the accelerator walks over DMA, synthetic graph generators, and software
+// reference implementations (Dijkstra and Bellman–Ford) used as oracles.
+package graph
+
+import (
+	"container/heap"
+	"fmt"
+
+	"optimus/internal/sim"
+)
+
+// Inf marks an unreachable vertex distance.
+const Inf = int64(1) << 62
+
+// CSR is a weighted directed graph in compressed sparse row form. This is
+// the exact layout the SSSP accelerator DMAs: RowPtr (one entry per vertex,
+// plus a terminator), and parallel Col/Weight arrays of edges.
+type CSR struct {
+	NumVertices int
+	RowPtr      []uint32 // len = NumVertices+1
+	Col         []uint32 // len = NumEdges
+	Weight      []uint32 // len = NumEdges
+}
+
+// NumEdges returns the edge count.
+func (g *CSR) NumEdges() int { return len(g.Col) }
+
+// Validate checks structural invariants.
+func (g *CSR) Validate() error {
+	if len(g.RowPtr) != g.NumVertices+1 {
+		return fmt.Errorf("graph: RowPtr length %d, want %d", len(g.RowPtr), g.NumVertices+1)
+	}
+	if g.RowPtr[0] != 0 || int(g.RowPtr[g.NumVertices]) != len(g.Col) {
+		return fmt.Errorf("graph: RowPtr endpoints invalid")
+	}
+	if len(g.Col) != len(g.Weight) {
+		return fmt.Errorf("graph: Col/Weight length mismatch")
+	}
+	for v := 0; v < g.NumVertices; v++ {
+		if g.RowPtr[v] > g.RowPtr[v+1] {
+			return fmt.Errorf("graph: RowPtr not monotone at vertex %d", v)
+		}
+	}
+	for i, c := range g.Col {
+		if int(c) >= g.NumVertices {
+			return fmt.Errorf("graph: edge %d targets vertex %d of %d", i, c, g.NumVertices)
+		}
+	}
+	return nil
+}
+
+// Neighbors returns the adjacency slice of v (columns and weights).
+func (g *CSR) Neighbors(v int) ([]uint32, []uint32) {
+	lo, hi := g.RowPtr[v], g.RowPtr[v+1]
+	return g.Col[lo:hi], g.Weight[lo:hi]
+}
+
+// Uniform generates a random directed graph with the given vertex and edge
+// counts, uniform endpoints, and weights in [1, maxWeight]. Deterministic in
+// the seed. Mirrors the paper's synthetic SSSP inputs (800K vertices,
+// 3.2M–51.2M edges).
+func Uniform(vertices, edges int, maxWeight uint32, seed uint64) *CSR {
+	if maxWeight == 0 {
+		maxWeight = 100
+	}
+	rng := sim.NewRand(seed)
+	deg := make([]uint32, vertices+1)
+	src := make([]uint32, edges)
+	dst := make([]uint32, edges)
+	w := make([]uint32, edges)
+	for i := 0; i < edges; i++ {
+		s := uint32(rng.Intn(vertices))
+		src[i] = s
+		dst[i] = uint32(rng.Intn(vertices))
+		w[i] = 1 + uint32(rng.Uint64n(uint64(maxWeight)))
+		deg[s+1]++
+	}
+	for v := 0; v < vertices; v++ {
+		deg[v+1] += deg[v]
+	}
+	g := &CSR{
+		NumVertices: vertices,
+		RowPtr:      deg,
+		Col:         make([]uint32, edges),
+		Weight:      make([]uint32, edges),
+	}
+	next := make([]uint32, vertices)
+	copy(next, deg[:vertices])
+	for i := 0; i < edges; i++ {
+		p := next[src[i]]
+		next[src[i]]++
+		g.Col[p] = dst[i]
+		g.Weight[p] = w[i]
+	}
+	return g
+}
+
+// Chain generates a path graph 0→1→…→n-1 with unit weights, useful for
+// deterministic tests.
+func Chain(n int) *CSR {
+	g := &CSR{NumVertices: n, RowPtr: make([]uint32, n+1)}
+	for v := 0; v < n-1; v++ {
+		g.Col = append(g.Col, uint32(v+1))
+		g.Weight = append(g.Weight, 1)
+	}
+	for v := 1; v <= n; v++ {
+		e := v
+		if e > n-1 {
+			e = n - 1
+		}
+		g.RowPtr[v] = uint32(e)
+	}
+	return g
+}
+
+// Dijkstra computes single-source shortest paths with a binary heap — the
+// software oracle for the accelerator.
+func Dijkstra(g *CSR, source int) []int64 {
+	dist := make([]int64, g.NumVertices)
+	for i := range dist {
+		dist[i] = Inf
+	}
+	dist[source] = 0
+	pq := &vertexHeap{{v: source, d: 0}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(vertexDist)
+		if it.d > dist[it.v] {
+			continue
+		}
+		cols, ws := g.Neighbors(it.v)
+		for i, c := range cols {
+			nd := it.d + int64(ws[i])
+			if nd < dist[c] {
+				dist[c] = nd
+				heap.Push(pq, vertexDist{v: int(c), d: nd})
+			}
+		}
+	}
+	return dist
+}
+
+// BellmanFordRounds runs |V|-1 (or fewer, until fixpoint) rounds of edge
+// relaxation — the iterative algorithm the hardware implements, exposed for
+// round-by-round testing.
+func BellmanFordRounds(g *CSR, source, maxRounds int) (dist []int64, rounds int) {
+	dist = make([]int64, g.NumVertices)
+	for i := range dist {
+		dist[i] = Inf
+	}
+	dist[source] = 0
+	if maxRounds <= 0 {
+		maxRounds = g.NumVertices - 1
+		if maxRounds < 1 {
+			maxRounds = 1
+		}
+	}
+	for r := 0; r < maxRounds; r++ {
+		changed := false
+		for v := 0; v < g.NumVertices; v++ {
+			if dist[v] == Inf {
+				continue
+			}
+			cols, ws := g.Neighbors(v)
+			for i, c := range cols {
+				if nd := dist[v] + int64(ws[i]); nd < dist[c] {
+					dist[c] = nd
+					changed = true
+				}
+			}
+		}
+		rounds = r + 1
+		if !changed {
+			break
+		}
+	}
+	return dist, rounds
+}
+
+type vertexDist struct {
+	v int
+	d int64
+}
+
+type vertexHeap []vertexDist
+
+func (h vertexHeap) Len() int            { return len(h) }
+func (h vertexHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h vertexHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *vertexHeap) Push(x interface{}) { *h = append(*h, x.(vertexDist)) }
+func (h *vertexHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,144 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestChain(t *testing.T) {
+	g := Chain(5)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	dist := Dijkstra(g, 0)
+	for v := 0; v < 5; v++ {
+		if dist[v] != int64(v) {
+			t.Fatalf("dist[%d] = %d, want %d", v, dist[v], v)
+		}
+	}
+	// Backwards is unreachable.
+	dist = Dijkstra(g, 4)
+	if dist[0] != Inf {
+		t.Fatal("chain should not be reachable backwards")
+	}
+}
+
+func TestUniformValid(t *testing.T) {
+	g := Uniform(1000, 8000, 100, 1)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 8000 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+	// Weight bounds.
+	for _, w := range g.Weight {
+		if w < 1 || w > 100 {
+			t.Fatalf("weight %d out of [1,100]", w)
+		}
+	}
+}
+
+func TestUniformDeterministic(t *testing.T) {
+	a := Uniform(500, 2000, 50, 42)
+	b := Uniform(500, 2000, 50, 42)
+	for i := range a.Col {
+		if a.Col[i] != b.Col[i] || a.Weight[i] != b.Weight[i] {
+			t.Fatal("same seed produced different graphs")
+		}
+	}
+	c := Uniform(500, 2000, 50, 43)
+	diff := false
+	for i := range a.Col {
+		if a.Col[i] != c.Col[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestDijkstraVsBellmanFord(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		g := Uniform(300, 1500, 64, seed)
+		d1 := Dijkstra(g, 0)
+		d2, _ := BellmanFordRounds(g, 0, 0)
+		for v := range d1 {
+			if d1[v] != d2[v] {
+				t.Fatalf("seed %d vertex %d: dijkstra %d, bellman-ford %d", seed, v, d1[v], d2[v])
+			}
+		}
+	}
+}
+
+func TestBellmanFordConvergesEarly(t *testing.T) {
+	g := Chain(50)
+	_, rounds := BellmanFordRounds(g, 0, 0)
+	// A chain needs |V|-1 relaxation rounds plus one no-change round at
+	// most; with forward vertex order it converges in 2.
+	if rounds > 50 {
+		t.Fatalf("rounds = %d", rounds)
+	}
+	dist, _ := BellmanFordRounds(g, 0, 0)
+	if dist[49] != 49 {
+		t.Fatalf("dist[49] = %d", dist[49])
+	}
+}
+
+func TestTriangleInequalityProperty(t *testing.T) {
+	// For every edge (u,v,w): dist[v] <= dist[u] + w.
+	f := func(seed uint64) bool {
+		g := Uniform(200, 1000, 32, seed)
+		dist := Dijkstra(g, 0)
+		for u := 0; u < g.NumVertices; u++ {
+			if dist[u] == Inf {
+				continue
+			}
+			cols, ws := g.Neighbors(u)
+			for i, v := range cols {
+				if dist[v] > dist[u]+int64(ws[i]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	g := Chain(4)
+	g.RowPtr[2] = 99
+	if err := g.Validate(); err == nil {
+		t.Fatal("monotonicity violation not caught")
+	}
+	g = Chain(4)
+	g.Col[0] = 100
+	if err := g.Validate(); err == nil {
+		t.Fatal("out-of-range target not caught")
+	}
+	g = Chain(4)
+	g.RowPtr = g.RowPtr[:3]
+	if err := g.Validate(); err == nil {
+		t.Fatal("short RowPtr not caught")
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	g := Uniform(100, 400, 10, 9)
+	total := 0
+	for v := 0; v < 100; v++ {
+		cols, ws := g.Neighbors(v)
+		if len(cols) != len(ws) {
+			t.Fatal("neighbor slices mismatched")
+		}
+		total += len(cols)
+	}
+	if total != 400 {
+		t.Fatalf("neighbors total %d, want 400", total)
+	}
+}

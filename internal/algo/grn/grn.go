@@ -1,0 +1,93 @@
+// Package grn implements a Gaussian random number generator as the
+// functional model of the paper's GRN benchmark accelerator, using the
+// Box–Muller transform over a hardware-style uniform source (xoshiro).
+package grn
+
+import (
+	"math"
+
+	"optimus/internal/sim"
+)
+
+// Generator produces standard-normal variates. It generates pairs (as the
+// polar Box–Muller hardware pipeline does) and caches the spare.
+type Generator struct {
+	rng   *sim.Rand
+	spare float64
+	has   bool
+}
+
+// New returns a generator with the given seed.
+func New(seed uint64) *Generator {
+	return &Generator{rng: sim.NewRand(seed)}
+}
+
+// Next returns one standard-normal sample.
+func (g *Generator) Next() float64 {
+	if g.has {
+		g.has = false
+		return g.spare
+	}
+	for {
+		u := 2*g.rng.Float64() - 1
+		v := 2*g.rng.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			f := math.Sqrt(-2 * math.Log(s) / s)
+			g.spare = v * f
+			g.has = true
+			return u * f
+		}
+	}
+}
+
+// Fill writes len(out) samples with the given mean and standard deviation.
+func (g *Generator) Fill(out []float64, mean, stddev float64) {
+	for i := range out {
+		out[i] = mean + stddev*g.Next()
+	}
+}
+
+// FillQ15 writes fixed-point Q15 samples clipped to ±4σ, the output format
+// of a fixed-point hardware GRN core.
+func (g *Generator) FillQ15(out []int32, stddevQ15 int32) {
+	for i := range out {
+		x := g.Next()
+		if x > 4 {
+			x = 4
+		} else if x < -4 {
+			x = -4
+		}
+		out[i] = int32(x * float64(stddevQ15))
+	}
+}
+
+// Moments returns the sample mean and variance of xs.
+func Moments(xs []float64) (mean, variance float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		d := x - mean
+		variance += d * d
+	}
+	variance /= float64(len(xs))
+	return mean, variance
+}
+
+// State snapshots the generator (uniform-source state plus the cached
+// spare sample) for the preemption interface.
+func (g *Generator) State() (rng [4]uint64, spare float64, has bool) {
+	return g.rng.State(), g.spare, g.has
+}
+
+// RestoreState reinstates a State snapshot.
+func (g *Generator) RestoreState(rng [4]uint64, spare float64, has bool) {
+	g.rng = sim.RandFromState(rng)
+	g.spare = spare
+	g.has = has
+}

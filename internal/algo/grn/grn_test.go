@@ -1,0 +1,85 @@
+package grn
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMomentsOfStandardNormal(t *testing.T) {
+	g := New(42)
+	const n = 200000
+	xs := make([]float64, n)
+	g.Fill(xs, 0, 1)
+	mean, variance := Moments(xs)
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("mean = %v, want ≈0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("variance = %v, want ≈1", variance)
+	}
+}
+
+func TestFillWithMeanStddev(t *testing.T) {
+	g := New(7)
+	xs := make([]float64, 100000)
+	g.Fill(xs, 10, 3)
+	mean, variance := Moments(xs)
+	if math.Abs(mean-10) > 0.1 {
+		t.Fatalf("mean = %v, want ≈10", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-3) > 0.1 {
+		t.Fatalf("stddev = %v, want ≈3", math.Sqrt(variance))
+	}
+}
+
+func TestTailProbabilities(t *testing.T) {
+	// P(|X| > 2) ≈ 4.55%, P(|X| > 3) ≈ 0.27%.
+	g := New(99)
+	const n = 300000
+	over2, over3 := 0, 0
+	for i := 0; i < n; i++ {
+		x := math.Abs(g.Next())
+		if x > 2 {
+			over2++
+		}
+		if x > 3 {
+			over3++
+		}
+	}
+	p2 := float64(over2) / n
+	p3 := float64(over3) / n
+	if p2 < 0.040 || p2 > 0.051 {
+		t.Fatalf("P(|X|>2) = %v, want ≈0.0455", p2)
+	}
+	if p3 < 0.0015 || p3 > 0.0045 {
+		t.Fatalf("P(|X|>3) = %v, want ≈0.0027", p3)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(5), New(5)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestFillQ15Clipping(t *testing.T) {
+	g := New(3)
+	out := make([]int32, 100000)
+	g.FillQ15(out, 1<<12)
+	limit := int32(4 << 12)
+	for _, v := range out {
+		if v > limit || v < -limit {
+			t.Fatalf("sample %d outside ±4σ clip", v)
+		}
+	}
+}
+
+func TestMomentsEmpty(t *testing.T) {
+	m, v := Moments(nil)
+	if m != 0 || v != 0 {
+		t.Fatal("empty moments should be zero")
+	}
+}

@@ -1,0 +1,226 @@
+// Package imgfilter implements the three image-processing kernels used as
+// benchmark accelerators in the paper: a 3×3 Gaussian blur (GAU), an RGB to
+// grayscale conversion (GRS), and a Sobel edge detector (SBL). All operate
+// on 8-bit images in integer arithmetic, as the hardware pipelines do.
+package imgfilter
+
+import "fmt"
+
+// Gray is an 8-bit single-channel image in row-major order.
+type Gray struct {
+	W, H int
+	Pix  []byte // len == W*H
+}
+
+// NewGray allocates a W×H grayscale image.
+func NewGray(w, h int) *Gray {
+	return &Gray{W: w, H: h, Pix: make([]byte, w*h)}
+}
+
+// At returns the pixel at (x, y) with edge clamping.
+func (g *Gray) At(x, y int) byte {
+	if x < 0 {
+		x = 0
+	} else if x >= g.W {
+		x = g.W - 1
+	}
+	if y < 0 {
+		y = 0
+	} else if y >= g.H {
+		y = g.H - 1
+	}
+	return g.Pix[y*g.W+x]
+}
+
+// RGB is an 8-bit three-channel image, interleaved row-major.
+type RGB struct {
+	W, H int
+	Pix  []byte // len == 3*W*H
+}
+
+// NewRGB allocates a W×H RGB image.
+func NewRGB(w, h int) *RGB {
+	return &RGB{W: w, H: h, Pix: make([]byte, 3*w*h)}
+}
+
+// Grayscale converts src to luminance using the integer BT.601 weights
+// (77R + 150G + 29B) >> 8, the standard fixed-point hardware formula.
+func Grayscale(src *RGB) *Gray {
+	dst := NewGray(src.W, src.H)
+	for i := 0; i < src.W*src.H; i++ {
+		r := int(src.Pix[3*i])
+		g := int(src.Pix[3*i+1])
+		b := int(src.Pix[3*i+2])
+		dst.Pix[i] = byte((77*r + 150*g + 29*b) >> 8)
+	}
+	return dst
+}
+
+// gaussKernel is the 3×3 binomial approximation with divisor 16.
+var gaussKernel = [3][3]int{
+	{1, 2, 1},
+	{2, 4, 2},
+	{1, 2, 1},
+}
+
+// Gaussian applies the 3×3 Gaussian blur with edge clamping.
+func Gaussian(src *Gray) *Gray {
+	dst := NewGray(src.W, src.H)
+	for y := 0; y < src.H; y++ {
+		for x := 0; x < src.W; x++ {
+			sum := 0
+			for ky := -1; ky <= 1; ky++ {
+				for kx := -1; kx <= 1; kx++ {
+					sum += gaussKernel[ky+1][kx+1] * int(src.At(x+kx, y+ky))
+				}
+			}
+			dst.Pix[y*src.W+x] = byte((sum + 8) / 16)
+		}
+	}
+	return dst
+}
+
+// Sobel applies the Sobel operator, returning the gradient magnitude
+// |Gx| + |Gy| clamped to 255 (the usual hardware approximation of the
+// Euclidean magnitude).
+func Sobel(src *Gray) *Gray {
+	dst := NewGray(src.W, src.H)
+	for y := 0; y < src.H; y++ {
+		for x := 0; x < src.W; x++ {
+			gx := -int(src.At(x-1, y-1)) + int(src.At(x+1, y-1)) +
+				-2*int(src.At(x-1, y)) + 2*int(src.At(x+1, y)) +
+				-int(src.At(x-1, y+1)) + int(src.At(x+1, y+1))
+			gy := -int(src.At(x-1, y-1)) - 2*int(src.At(x, y-1)) - int(src.At(x+1, y-1)) +
+				int(src.At(x-1, y+1)) + 2*int(src.At(x, y+1)) + int(src.At(x+1, y+1))
+			if gx < 0 {
+				gx = -gx
+			}
+			if gy < 0 {
+				gy = -gy
+			}
+			m := gx + gy
+			if m > 255 {
+				m = 255
+			}
+			dst.Pix[y*src.W+x] = byte(m)
+		}
+	}
+	return dst
+}
+
+// FilterRows applies fn ∈ {gaussian, sobel} to a horizontal band
+// [y0, y1) of src into dst, which must have identical dimensions. This is
+// the row-streaming entry point the accelerator models use: a hardware
+// pipeline holds three line buffers and emits one output row per input row.
+func FilterRows(kind string, dst, src *Gray, y0, y1 int) error {
+	if dst.W != src.W || dst.H != src.H {
+		return fmt.Errorf("imgfilter: dimension mismatch %dx%d vs %dx%d", dst.W, dst.H, src.W, src.H)
+	}
+	if y0 < 0 || y1 > src.H || y0 > y1 {
+		return fmt.Errorf("imgfilter: bad row range [%d,%d)", y0, y1)
+	}
+	for y := y0; y < y1; y++ {
+		for x := 0; x < src.W; x++ {
+			switch kind {
+			case "gaussian":
+				sum := 0
+				for ky := -1; ky <= 1; ky++ {
+					for kx := -1; kx <= 1; kx++ {
+						sum += gaussKernel[ky+1][kx+1] * int(src.At(x+kx, y+ky))
+					}
+				}
+				dst.Pix[y*src.W+x] = byte((sum + 8) / 16)
+			case "sobel":
+				gx := -int(src.At(x-1, y-1)) + int(src.At(x+1, y-1)) +
+					-2*int(src.At(x-1, y)) + 2*int(src.At(x+1, y)) +
+					-int(src.At(x-1, y+1)) + int(src.At(x+1, y+1))
+				gy := -int(src.At(x-1, y-1)) - 2*int(src.At(x, y-1)) - int(src.At(x+1, y-1)) +
+					int(src.At(x-1, y+1)) + 2*int(src.At(x, y+1)) + int(src.At(x+1, y+1))
+				if gx < 0 {
+					gx = -gx
+				}
+				if gy < 0 {
+					gy = -gy
+				}
+				m := gx + gy
+				if m > 255 {
+					m = 255
+				}
+				dst.Pix[y*src.W+x] = byte(m)
+			default:
+				return fmt.Errorf("imgfilter: unknown kind %q", kind)
+			}
+		}
+	}
+	return nil
+}
+
+// FilterRow computes one output row from three clamped input rows — the
+// operation a hardware pipeline with three line buffers performs per cycle
+// burst. above and below may alias cur at image edges. All rows must share
+// one width.
+func FilterRow(kind string, above, cur, below []byte) ([]byte, error) {
+	w := len(cur)
+	if len(above) != w || len(below) != w {
+		return nil, fmt.Errorf("imgfilter: row length mismatch %d/%d/%d", len(above), w, len(below))
+	}
+	if w == 0 {
+		return nil, fmt.Errorf("imgfilter: empty row")
+	}
+	rows := [3][]byte{above, cur, below}
+	at := func(r, x int) int {
+		if x < 0 {
+			x = 0
+		} else if x >= w {
+			x = w - 1
+		}
+		return int(rows[r][x])
+	}
+	out := make([]byte, w)
+	switch kind {
+	case "gaussian":
+		for x := 0; x < w; x++ {
+			sum := 0
+			for r := 0; r < 3; r++ {
+				for kx := -1; kx <= 1; kx++ {
+					sum += gaussKernel[r][kx+1] * at(r, x+kx)
+				}
+			}
+			out[x] = byte((sum + 8) / 16)
+		}
+	case "sobel":
+		for x := 0; x < w; x++ {
+			gx := -at(0, x-1) + at(0, x+1) - 2*at(1, x-1) + 2*at(1, x+1) - at(2, x-1) + at(2, x+1)
+			gy := -at(0, x-1) - 2*at(0, x) - at(0, x+1) + at(2, x-1) + 2*at(2, x) + at(2, x+1)
+			if gx < 0 {
+				gx = -gx
+			}
+			if gy < 0 {
+				gy = -gy
+			}
+			m := gx + gy
+			if m > 255 {
+				m = 255
+			}
+			out[x] = byte(m)
+		}
+	default:
+		return nil, fmt.Errorf("imgfilter: unknown kind %q", kind)
+	}
+	return out, nil
+}
+
+// GrayscaleRow converts one interleaved RGB row (3w bytes) to luminance.
+func GrayscaleRow(rgb []byte) ([]byte, error) {
+	if len(rgb)%3 != 0 {
+		return nil, fmt.Errorf("imgfilter: RGB row length %d not a multiple of 3", len(rgb))
+	}
+	out := make([]byte, len(rgb)/3)
+	for i := range out {
+		r := int(rgb[3*i])
+		g := int(rgb[3*i+1])
+		b := int(rgb[3*i+2])
+		out[i] = byte((77*r + 150*g + 29*b) >> 8)
+	}
+	return out, nil
+}

@@ -1,0 +1,212 @@
+package imgfilter
+
+import (
+	"testing"
+
+	"optimus/internal/sim"
+)
+
+func constImage(w, h int, v byte) *Gray {
+	g := NewGray(w, h)
+	for i := range g.Pix {
+		g.Pix[i] = v
+	}
+	return g
+}
+
+func TestGaussianPreservesConstant(t *testing.T) {
+	src := constImage(16, 16, 100)
+	dst := Gaussian(src)
+	for i, v := range dst.Pix {
+		if v != 100 {
+			t.Fatalf("pixel %d = %d, want 100 (kernel should have unity DC gain)", i, v)
+		}
+	}
+}
+
+func TestGaussianSmooths(t *testing.T) {
+	src := NewGray(9, 9)
+	src.Pix[4*9+4] = 160 // single bright pixel
+	dst := Gaussian(src)
+	center := dst.Pix[4*9+4]
+	neighbor := dst.Pix[4*9+5]
+	diag := dst.Pix[3*9+3]
+	if center != 40 { // 160*4/16
+		t.Fatalf("center = %d, want 40", center)
+	}
+	if neighbor != 20 { // 160*2/16
+		t.Fatalf("edge neighbor = %d, want 20", neighbor)
+	}
+	if diag != 10 { // 160*1/16
+		t.Fatalf("diagonal = %d, want 10", diag)
+	}
+}
+
+func TestSobelFlatIsZero(t *testing.T) {
+	dst := Sobel(constImage(8, 8, 77))
+	for i, v := range dst.Pix {
+		if v != 0 {
+			t.Fatalf("pixel %d = %d on flat image", i, v)
+		}
+	}
+}
+
+func TestSobelVerticalEdge(t *testing.T) {
+	src := NewGray(8, 8)
+	for y := 0; y < 8; y++ {
+		for x := 4; x < 8; x++ {
+			src.Pix[y*8+x] = 255
+		}
+	}
+	dst := Sobel(src)
+	// Gradient magnitude peaks along the edge columns (x=3,4) and is zero
+	// far from the edge.
+	if dst.Pix[4*8+3] == 0 || dst.Pix[4*8+4] == 0 {
+		t.Fatal("no response at edge")
+	}
+	if dst.Pix[4*8+0] != 0 || dst.Pix[4*8+7] != 0 {
+		t.Fatal("response far from edge")
+	}
+}
+
+func TestGrayscaleWeights(t *testing.T) {
+	img := NewRGB(2, 1)
+	// Pure red / pure green pixels.
+	img.Pix[0] = 255
+	img.Pix[4] = 255
+	g := Grayscale(img)
+	if g.Pix[0] != byte(77*255>>8) {
+		t.Fatalf("red luma = %d, want %d", g.Pix[0], byte(77*255>>8))
+	}
+	if g.Pix[1] != byte(150*255>>8) {
+		t.Fatalf("green luma = %d, want %d", g.Pix[1], byte(150*255>>8))
+	}
+}
+
+func TestGrayscaleWhiteBlack(t *testing.T) {
+	img := NewRGB(2, 1)
+	for i := 0; i < 3; i++ {
+		img.Pix[i] = 255
+	}
+	g := Grayscale(img)
+	if g.Pix[0] != 255 {
+		t.Fatalf("white luma = %d, want 255", g.Pix[0])
+	}
+	if g.Pix[1] != 0 {
+		t.Fatalf("black luma = %d, want 0", g.Pix[1])
+	}
+}
+
+func TestEdgeClamping(t *testing.T) {
+	g := constImage(4, 4, 9)
+	if g.At(-1, -1) != 9 || g.At(4, 4) != 9 || g.At(-5, 2) != 9 {
+		t.Fatal("clamped access wrong")
+	}
+}
+
+func TestFilterRowsMatchesWholeImage(t *testing.T) {
+	rng := sim.NewRand(3)
+	src := NewGray(32, 24)
+	rng.Fill(src.Pix)
+	for _, kind := range []string{"gaussian", "sobel"} {
+		var whole *Gray
+		if kind == "gaussian" {
+			whole = Gaussian(src)
+		} else {
+			whole = Sobel(src)
+		}
+		banded := NewGray(32, 24)
+		for y := 0; y < 24; y += 5 {
+			y1 := y + 5
+			if y1 > 24 {
+				y1 = 24
+			}
+			if err := FilterRows(kind, banded, src, y, y1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := range whole.Pix {
+			if whole.Pix[i] != banded.Pix[i] {
+				t.Fatalf("%s: banded filtering diverges at pixel %d", kind, i)
+			}
+		}
+	}
+}
+
+func TestFilterRowsValidation(t *testing.T) {
+	src := NewGray(8, 8)
+	if err := FilterRows("gaussian", NewGray(4, 4), src, 0, 8); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	if err := FilterRows("gaussian", NewGray(8, 8), src, 5, 3); err == nil {
+		t.Fatal("bad row range accepted")
+	}
+	if err := FilterRows("median", NewGray(8, 8), src, 0, 1); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestFilterRowMatchesWholeImage(t *testing.T) {
+	rng := sim.NewRand(8)
+	src := NewGray(64, 12)
+	rng.Fill(src.Pix)
+	for _, kind := range []string{"gaussian", "sobel"} {
+		var whole *Gray
+		if kind == "gaussian" {
+			whole = Gaussian(src)
+		} else {
+			whole = Sobel(src)
+		}
+		row := func(y int) []byte {
+			if y < 0 {
+				y = 0
+			}
+			if y > src.H-1 {
+				y = src.H - 1
+			}
+			return src.Pix[y*src.W : (y+1)*src.W]
+		}
+		for y := 0; y < src.H; y++ {
+			out, err := FilterRow(kind, row(y-1), row(y), row(y+1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for x := 0; x < src.W; x++ {
+				if out[x] != whole.Pix[y*src.W+x] {
+					t.Fatalf("%s row %d pixel %d: %d != %d", kind, y, x, out[x], whole.Pix[y*src.W+x])
+				}
+			}
+		}
+	}
+}
+
+func TestFilterRowValidation(t *testing.T) {
+	if _, err := FilterRow("gaussian", make([]byte, 3), make([]byte, 4), make([]byte, 4)); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := FilterRow("gaussian", nil, nil, nil); err == nil {
+		t.Fatal("empty rows accepted")
+	}
+	if _, err := FilterRow("median", make([]byte, 4), make([]byte, 4), make([]byte, 4)); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestGrayscaleRowMatchesImage(t *testing.T) {
+	rng := sim.NewRand(9)
+	img := NewRGB(32, 1)
+	rng.Fill(img.Pix)
+	whole := Grayscale(img)
+	row, err := GrayscaleRow(img.Pix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range row {
+		if row[i] != whole.Pix[i] {
+			t.Fatalf("pixel %d: %d != %d", i, row[i], whole.Pix[i])
+		}
+	}
+	if _, err := GrayscaleRow(make([]byte, 4)); err == nil {
+		t.Fatal("non-multiple-of-3 accepted")
+	}
+}

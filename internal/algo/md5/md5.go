@@ -1,0 +1,183 @@
+// Package md5 implements the MD5 message digest as the functional model of
+// the paper's MD5 benchmark accelerator; verified against crypto/md5.
+package md5
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Size is the digest length in bytes.
+const Size = 16
+
+// BlockSize is the compression-function block size in bytes.
+const BlockSize = 64
+
+var shifts = [64]uint{
+	7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+	5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20,
+	4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+	6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+}
+
+// sines[i] = floor(2^32 × abs(sin(i+1))), the standard MD5 constants.
+var sines = [64]uint32{
+	0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a, 0xa8304613, 0xfd469501,
+	0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be, 0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821,
+	0xf61e2562, 0xc040b340, 0x265e5a51, 0xe9b6c7aa, 0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8,
+	0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed, 0xa9e3e905, 0xfcefa3f8, 0x676f02d9, 0x8d2a4c8a,
+	0xfffa3942, 0x8771f681, 0x6d9d6122, 0xfde5380c, 0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70,
+	0x289b7ec6, 0xeaa127fa, 0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665,
+	0xf4292244, 0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92, 0xffeff47d, 0x85845dd1,
+	0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1, 0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391,
+}
+
+// Digest is a streaming MD5 state, mirroring the accelerator's pipeline:
+// 64-byte blocks through the compression function with running state.
+type Digest struct {
+	s   [4]uint32
+	buf [BlockSize]byte
+	nx  int
+	len uint64
+}
+
+// New returns an initialized Digest.
+func New() *Digest {
+	d := &Digest{}
+	d.Reset()
+	return d
+}
+
+// Reset restores the initial chaining values.
+func (d *Digest) Reset() {
+	d.s = [4]uint32{0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476}
+	d.nx = 0
+	d.len = 0
+}
+
+func (d *Digest) block(p []byte) {
+	a0, b0, c0, d0 := d.s[0], d.s[1], d.s[2], d.s[3]
+	var m [16]uint32
+	for i := 0; i < 16; i++ {
+		m[i] = binary.LittleEndian.Uint32(p[4*i:])
+	}
+	a, b, c, dd := a0, b0, c0, d0
+	for i := 0; i < 64; i++ {
+		var f uint32
+		var g int
+		switch {
+		case i < 16:
+			f = (b & c) | (^b & dd)
+			g = i
+		case i < 32:
+			f = (dd & b) | (^dd & c)
+			g = (5*i + 1) % 16
+		case i < 48:
+			f = b ^ c ^ dd
+			g = (3*i + 5) % 16
+		default:
+			f = c ^ (b | ^dd)
+			g = (7 * i) % 16
+		}
+		f += a + sines[i] + m[g]
+		a = dd
+		dd = c
+		c = b
+		b += f<<shifts[i] | f>>(32-shifts[i])
+	}
+	d.s[0] = a0 + a
+	d.s[1] = b0 + b
+	d.s[2] = c0 + c
+	d.s[3] = d0 + dd
+}
+
+// Write absorbs data into the digest; it never fails.
+func (d *Digest) Write(p []byte) (int, error) {
+	n := len(p)
+	d.len += uint64(n)
+	if d.nx > 0 {
+		c := copy(d.buf[d.nx:], p)
+		d.nx += c
+		if d.nx == BlockSize {
+			d.block(d.buf[:])
+			d.nx = 0
+		}
+		p = p[c:]
+	}
+	for len(p) >= BlockSize {
+		d.block(p[:BlockSize])
+		p = p[BlockSize:]
+	}
+	if len(p) > 0 {
+		d.nx = copy(d.buf[:], p)
+	}
+	return n, nil
+}
+
+// Sum returns the digest of everything written so far, without modifying
+// the running state.
+func (d *Digest) Sum() [Size]byte {
+	dd := *d
+	var pad [BlockSize + 8]byte
+	pad[0] = 0x80
+	msgLen := dd.len
+	padLen := 56 - int(msgLen%BlockSize)
+	if padLen <= 0 {
+		padLen += BlockSize
+	}
+	dd.Write(pad[:padLen])
+	var lenBytes [8]byte
+	binary.LittleEndian.PutUint64(lenBytes[:], msgLen<<3)
+	dd.Write(lenBytes[:])
+	var out [Size]byte
+	for i, v := range dd.s {
+		binary.LittleEndian.PutUint32(out[4*i:], v)
+	}
+	return out
+}
+
+// Sum computes the MD5 digest of data in one call.
+func Sum(data []byte) [Size]byte {
+	d := New()
+	d.Write(data)
+	return d.Sum()
+}
+
+// Snapshot serializes the running digest state (chaining values, buffered
+// tail, and length) so a hardware MD5 pipeline can be preempted mid-stream.
+func (d *Digest) Snapshot() []byte {
+	buf := make([]byte, 4*4+BlockSize+8+8)
+	off := 0
+	for _, v := range d.s {
+		binary.LittleEndian.PutUint32(buf[off:], v)
+		off += 4
+	}
+	copy(buf[off:], d.buf[:])
+	off += BlockSize
+	binary.LittleEndian.PutUint64(buf[off:], uint64(d.nx))
+	off += 8
+	binary.LittleEndian.PutUint64(buf[off:], d.len)
+	return buf
+}
+
+// RestoreSnapshot reinstates a Snapshot.
+func (d *Digest) RestoreSnapshot(buf []byte) error {
+	if len(buf) < 4*4+BlockSize+16 {
+		return fmt.Errorf("md5: snapshot too short (%d bytes)", len(buf))
+	}
+	off := 0
+	for i := range d.s {
+		d.s[i] = binary.LittleEndian.Uint32(buf[off:])
+		off += 4
+	}
+	copy(d.buf[:], buf[off:off+BlockSize])
+	off += BlockSize
+	nx := binary.LittleEndian.Uint64(buf[off:])
+	off += 8
+	if nx >= BlockSize {
+		return fmt.Errorf("md5: corrupt snapshot (nx=%d)", nx)
+	}
+	d.nx = int(nx)
+	d.len = binary.LittleEndian.Uint64(buf[off:])
+	return nil
+}

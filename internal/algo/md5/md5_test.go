@@ -1,0 +1,126 @@
+package md5
+
+import (
+	stdmd5 "crypto/md5"
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+)
+
+// RFC 1321 test suite.
+func TestRFC1321Vectors(t *testing.T) {
+	cases := map[string]string{
+		"":                           "d41d8cd98f00b204e9800998ecf8427e",
+		"a":                          "0cc175b9c0f1b6a831c399e269772661",
+		"abc":                        "900150983cd24fb0d6963f7d28e17f72",
+		"message digest":             "f96b697d7cb7938d525a2f31aaf161d0",
+		"abcdefghijklmnopqrstuvwxyz": "c3fcd3d76192e4007dfb496cca67e13b",
+	}
+	for in, want := range cases {
+		got := Sum([]byte(in))
+		if hex.EncodeToString(got[:]) != want {
+			t.Errorf("MD5(%q) = %x, want %s", in, got, want)
+		}
+	}
+}
+
+func TestMatchesStdlib(t *testing.T) {
+	f := func(data []byte) bool {
+		return Sum(data) == stdmd5.Sum(data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamingEqualsOneShot(t *testing.T) {
+	data := make([]byte, 1000)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	d := New()
+	for i := 0; i < len(data); i += 7 {
+		end := i + 7
+		if end > len(data) {
+			end = len(data)
+		}
+		d.Write(data[i:end])
+	}
+	if d.Sum() != Sum(data) {
+		t.Fatal("streaming digest differs from one-shot")
+	}
+}
+
+func TestSumIsIdempotent(t *testing.T) {
+	d := New()
+	d.Write([]byte("hello"))
+	a := d.Sum()
+	b := d.Sum()
+	if a != b {
+		t.Fatal("Sum mutated the running state")
+	}
+	d.Write([]byte(" world"))
+	if d.Sum() != Sum([]byte("hello world")) {
+		t.Fatal("state corrupted after Sum")
+	}
+}
+
+func TestReset(t *testing.T) {
+	d := New()
+	d.Write([]byte("garbage"))
+	d.Reset()
+	d.Write([]byte("abc"))
+	if d.Sum() != Sum([]byte("abc")) {
+		t.Fatal("Reset did not restore initial state")
+	}
+}
+
+// Boundary lengths around the 64-byte block and 56-byte padding threshold.
+func TestBlockBoundaries(t *testing.T) {
+	for _, n := range []int{55, 56, 57, 63, 64, 65, 127, 128, 129} {
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = byte(n + i)
+		}
+		if Sum(data) != stdmd5.Sum(data) {
+			t.Errorf("length %d digest mismatch", n)
+		}
+	}
+}
+
+func BenchmarkSum1K(b *testing.B) {
+	data := make([]byte, 1024)
+	b.SetBytes(1024)
+	for i := 0; i < b.N; i++ {
+		Sum(data)
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	d := New()
+	d.Write([]byte("partial message that is longer than one block to exercise buffering....."))
+	snap := d.Snapshot()
+	d.Write([]byte(" and the rest"))
+	want := d.Sum()
+
+	d2 := New()
+	if err := d2.RestoreSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	d2.Write([]byte(" and the rest"))
+	if d2.Sum() != want {
+		t.Fatal("restored digest diverged")
+	}
+}
+
+func TestRestoreSnapshotValidation(t *testing.T) {
+	d := New()
+	if err := d.RestoreSnapshot(make([]byte, 4)); err == nil {
+		t.Fatal("short snapshot accepted")
+	}
+	bad := New().Snapshot()
+	bad[16+BlockSize] = 0xff // nx out of range
+	if err := d.RestoreSnapshot(bad); err == nil {
+		t.Fatal("corrupt nx accepted")
+	}
+}

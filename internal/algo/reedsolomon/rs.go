@@ -1,0 +1,312 @@
+// Package reedsolomon implements a Reed–Solomon encoder and decoder over
+// GF(2^8) as the functional model of the paper's RSD benchmark accelerator.
+//
+// The code is RS(n, k) with n ≤ 255 and t = (n-k)/2 correctable symbol
+// errors, built on the field GF(256) with the primitive polynomial
+// x^8+x^4+x^3+x^2+1 (0x11d) and generator roots α^0..α^(2t-1). Decoding is
+// the classic hardware pipeline: syndrome computation → Berlekamp–Massey →
+// Chien search → Forney's algorithm.
+package reedsolomon
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrTooManyErrors is returned when the received word is uncorrectable.
+var ErrTooManyErrors = errors.New("reedsolomon: too many errors to correct")
+
+const fieldSize = 256
+
+var (
+	expTable [2 * fieldSize]byte
+	logTable [fieldSize]int
+)
+
+func init() {
+	x := 1
+	for i := 0; i < fieldSize-1; i++ {
+		expTable[i] = byte(x)
+		logTable[x] = i
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= 0x11d
+		}
+	}
+	// Duplicate so products of logs index without a mod.
+	for i := fieldSize - 1; i < len(expTable); i++ {
+		expTable[i] = expTable[i-(fieldSize-1)]
+	}
+}
+
+func gfMul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return expTable[logTable[a]+logTable[b]]
+}
+
+func gfDiv(a, b byte) byte {
+	if b == 0 {
+		panic("reedsolomon: division by zero in GF(256)")
+	}
+	if a == 0 {
+		return 0
+	}
+	return expTable[logTable[a]+fieldSize-1-logTable[b]]
+}
+
+func gfPow(a byte, n int) byte {
+	if a == 0 {
+		return 0
+	}
+	l := (logTable[a] * n) % (fieldSize - 1)
+	if l < 0 {
+		l += fieldSize - 1
+	}
+	return expTable[l]
+}
+
+func gfInv(a byte) byte { return gfDiv(1, a) }
+
+// polyEval evaluates a polynomial (coefficients high-order first) at x.
+func polyEval(p []byte, x byte) byte {
+	var y byte
+	for _, c := range p {
+		y = gfMul(y, x) ^ c
+	}
+	return y
+}
+
+// Code is an RS(n, k) encoder/decoder.
+type Code struct {
+	n, k int
+	gen  []byte // generator polynomial, high-order first, monic, degree 2t
+}
+
+// New returns an RS(n, k) code. n must be ≤ 255 and n-k even and positive.
+func New(n, k int) (*Code, error) {
+	if n > 255 || k <= 0 || k >= n {
+		return nil, fmt.Errorf("reedsolomon: invalid parameters n=%d k=%d", n, k)
+	}
+	if (n-k)%2 != 0 {
+		return nil, fmt.Errorf("reedsolomon: n-k = %d must be even", n-k)
+	}
+	// g(x) = ∏_{i=0}^{2t-1} (x - α^i)
+	gen := []byte{1}
+	for i := 0; i < n-k; i++ {
+		root := gfPow(2, i)
+		next := make([]byte, len(gen)+1)
+		for j, c := range gen {
+			next[j] ^= c
+			next[j+1] ^= gfMul(c, root)
+		}
+		gen = next
+	}
+	return &Code{n: n, k: k, gen: gen}, nil
+}
+
+// N returns the codeword length in symbols.
+func (c *Code) N() int { return c.n }
+
+// K returns the message length in symbols.
+func (c *Code) K() int { return c.k }
+
+// T returns the number of correctable symbol errors.
+func (c *Code) T() int { return (c.n - c.k) / 2 }
+
+// Encode systematically encodes msg (length k) into a codeword of length n:
+// the message followed by 2t parity symbols.
+func (c *Code) Encode(msg []byte) ([]byte, error) {
+	if len(msg) != c.k {
+		return nil, fmt.Errorf("reedsolomon: message length %d, want %d", len(msg), c.k)
+	}
+	cw := make([]byte, c.n)
+	copy(cw, msg)
+	// Polynomial long division of msg·x^(2t) by gen; remainder is parity.
+	rem := make([]byte, c.n-c.k)
+	for _, m := range msg {
+		factor := m ^ rem[0]
+		copy(rem, rem[1:])
+		rem[len(rem)-1] = 0
+		if factor != 0 {
+			for j := 1; j < len(c.gen); j++ {
+				rem[j-1] ^= gfMul(c.gen[j], factor)
+			}
+		}
+	}
+	copy(cw[c.k:], rem)
+	return cw, nil
+}
+
+// syndromes returns the 2t syndromes of received; all-zero means no error.
+func (c *Code) syndromes(received []byte) ([]byte, bool) {
+	syn := make([]byte, c.n-c.k)
+	clean := true
+	for i := range syn {
+		syn[i] = polyEval(received, gfPow(2, i))
+		if syn[i] != 0 {
+			clean = false
+		}
+	}
+	return syn, clean
+}
+
+// Decode corrects up to t symbol errors in received (length n) in place and
+// returns the corrected message symbols and the number of errors fixed.
+func (c *Code) Decode(received []byte) (msg []byte, corrected int, err error) {
+	if len(received) != c.n {
+		return nil, 0, fmt.Errorf("reedsolomon: received length %d, want %d", len(received), c.n)
+	}
+	syn, clean := c.syndromes(received)
+	if clean {
+		return received[:c.k], 0, nil
+	}
+
+	// Berlekamp–Massey: find the error locator polynomial sigma
+	// (low-order-first coefficients).
+	sigma := []byte{1}
+	prev := []byte{1}
+	var l, m int = 0, 1
+	var b byte = 1
+	for i := 0; i < len(syn); i++ {
+		var d byte = syn[i]
+		for j := 1; j <= l; j++ {
+			if j < len(sigma) {
+				d ^= gfMul(sigma[j], syn[i-j])
+			}
+		}
+		if d == 0 {
+			m++
+			continue
+		}
+		if 2*l <= i {
+			tmp := make([]byte, len(sigma))
+			copy(tmp, sigma)
+			// sigma = sigma - (d/b)·x^m·prev
+			coef := gfDiv(d, b)
+			sigma = polySub(sigma, polyShift(polyScale(prev, coef), m))
+			prev = tmp
+			l = i + 1 - l
+			b = d
+			m = 1
+		} else {
+			coef := gfDiv(d, b)
+			sigma = polySub(sigma, polyShift(polyScale(prev, coef), m))
+			m++
+		}
+	}
+	if l > c.T() {
+		return nil, 0, ErrTooManyErrors
+	}
+
+	// Chien search: find error positions. Roots of sigma are α^{-pos'}
+	// where pos' indexes from the end of the codeword.
+	var positions []int
+	for pos := 0; pos < c.n; pos++ {
+		// Candidate root X^{-1} = α^{-(n-1-pos)}.
+		xinv := gfPow(2, fieldSize-1-((c.n-1-pos)%(fieldSize-1)))
+		var v byte
+		for j := len(sigma) - 1; j >= 0; j-- {
+			v = gfMul(v, xinv) ^ sigma[j]
+		}
+		if v == 0 {
+			positions = append(positions, pos)
+		}
+	}
+	if len(positions) != l {
+		return nil, 0, ErrTooManyErrors
+	}
+
+	// Forney: error magnitudes via the evaluator omega = syn·sigma mod x^{2t}.
+	omega := polyMulMod(syndromePoly(syn), sigma, c.n-c.k)
+	for _, pos := range positions {
+		xlog := (c.n - 1 - pos) % (fieldSize - 1)
+		x := gfPow(2, xlog)
+		xinv := gfInv(x)
+		// sigma'(x^{-1}) over odd terms.
+		var denom byte
+		for j := 1; j < len(sigma); j += 2 {
+			denom ^= gfMul(sigma[j], gfPow(xinv, j-1))
+		}
+		if denom == 0 {
+			return nil, 0, ErrTooManyErrors
+		}
+		num := gfMul(polyEvalLow(omega, xinv), x)
+		magnitude := gfDiv(num, denom)
+		received[pos] ^= magnitude
+	}
+
+	// Verify correction.
+	if _, ok := c.syndromes(received); !ok {
+		return nil, 0, ErrTooManyErrors
+	}
+	return received[:c.k], len(positions), nil
+}
+
+// Low-order-first polynomial helpers.
+
+func polyScale(p []byte, c byte) []byte {
+	out := make([]byte, len(p))
+	for i, v := range p {
+		out[i] = gfMul(v, c)
+	}
+	return out
+}
+
+func polyShift(p []byte, n int) []byte {
+	out := make([]byte, len(p)+n)
+	copy(out[n:], p)
+	return out
+}
+
+func polySub(a, b []byte) []byte {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	out := make([]byte, n)
+	for i := range out {
+		var x, y byte
+		if i < len(a) {
+			x = a[i]
+		}
+		if i < len(b) {
+			y = b[i]
+		}
+		out[i] = x ^ y
+	}
+	return out
+}
+
+func syndromePoly(syn []byte) []byte {
+	out := make([]byte, len(syn))
+	copy(out, syn)
+	return out
+}
+
+// polyMulMod multiplies low-order-first polynomials mod x^deg.
+func polyMulMod(a, b []byte, deg int) []byte {
+	out := make([]byte, deg)
+	for i, av := range a {
+		if av == 0 || i >= deg {
+			continue
+		}
+		for j, bv := range b {
+			if i+j >= deg {
+				break
+			}
+			out[i+j] ^= gfMul(av, bv)
+		}
+	}
+	return out
+}
+
+// polyEvalLow evaluates a low-order-first polynomial at x.
+func polyEvalLow(p []byte, x byte) byte {
+	var y byte
+	for i := len(p) - 1; i >= 0; i-- {
+		y = gfMul(y, x) ^ p[i]
+	}
+	return y
+}

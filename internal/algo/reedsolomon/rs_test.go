@@ -1,0 +1,222 @@
+package reedsolomon
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"optimus/internal/sim"
+)
+
+func TestGFTables(t *testing.T) {
+	// α^0 = 1, α^8 = 0x1d (from x^8 = x^4+x^3+x^2+1).
+	if expTable[0] != 1 {
+		t.Fatal("exp[0]")
+	}
+	if expTable[8] != 0x1d {
+		t.Fatalf("exp[8] = %#x, want 0x1d", expTable[8])
+	}
+	// Multiplicative group order 255: α^255 = 1.
+	if gfPow(2, 255) != 1 {
+		t.Fatal("α^255 != 1")
+	}
+	// Inverses.
+	for a := 1; a < 256; a++ {
+		if gfMul(byte(a), gfInv(byte(a))) != 1 {
+			t.Fatalf("inv(%d) wrong", a)
+		}
+	}
+}
+
+func TestGFDistributive(t *testing.T) {
+	f := func(a, b, c byte) bool {
+		return gfMul(a, b^c) == gfMul(a, b)^gfMul(a, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(256, 200); err == nil {
+		t.Fatal("n > 255 accepted")
+	}
+	if _, err := New(255, 254); err == nil {
+		t.Fatal("odd n-k accepted")
+	}
+	if _, err := New(10, 10); err == nil {
+		t.Fatal("k >= n accepted")
+	}
+	c, err := New(255, 223)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.T() != 16 {
+		t.Fatalf("T = %d, want 16", c.T())
+	}
+}
+
+func TestEncodeCleanDecode(t *testing.T) {
+	c, _ := New(255, 223)
+	msg := make([]byte, 223)
+	for i := range msg {
+		msg[i] = byte(i * 7)
+	}
+	cw, err := c.Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cw) != 255 {
+		t.Fatalf("codeword length %d", len(cw))
+	}
+	if !bytes.Equal(cw[:223], msg) {
+		t.Fatal("encoding not systematic")
+	}
+	got, n, err := c.Decode(append([]byte(nil), cw...))
+	if err != nil || n != 0 {
+		t.Fatalf("clean decode: n=%d err=%v", n, err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("clean decode corrupted message")
+	}
+}
+
+func TestCodewordIsMultipleOfGenerator(t *testing.T) {
+	// Every valid codeword evaluates to zero at all generator roots.
+	c, _ := New(63, 47)
+	msg := make([]byte, 47)
+	rng := sim.NewRand(5)
+	rng.Fill(msg)
+	cw, _ := c.Encode(msg)
+	for i := 0; i < c.n-c.k; i++ {
+		if polyEval(cw, gfPow(2, i)) != 0 {
+			t.Fatalf("codeword nonzero at root α^%d", i)
+		}
+	}
+}
+
+func TestCorrectsUpToT(t *testing.T) {
+	c, _ := New(255, 223)
+	rng := sim.NewRand(11)
+	for trial := 0; trial < 25; trial++ {
+		msg := make([]byte, 223)
+		rng.Fill(msg)
+		cw, _ := c.Encode(msg)
+		nerr := 1 + rng.Intn(c.T())
+		corrupted := append([]byte(nil), cw...)
+		positions := rng.Perm(255)[:nerr]
+		for _, p := range positions {
+			corrupted[p] ^= byte(1 + rng.Intn(255))
+		}
+		got, n, err := c.Decode(corrupted)
+		if err != nil {
+			t.Fatalf("trial %d (%d errors): %v", trial, nerr, err)
+		}
+		if n != nerr {
+			t.Fatalf("trial %d: corrected %d, injected %d", trial, n, nerr)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("trial %d: message not recovered", trial)
+		}
+	}
+}
+
+func TestExactlyTErrors(t *testing.T) {
+	c, _ := New(255, 223)
+	msg := make([]byte, 223)
+	for i := range msg {
+		msg[i] = byte(255 - i)
+	}
+	cw, _ := c.Encode(msg)
+	rng := sim.NewRand(13)
+	corrupted := append([]byte(nil), cw...)
+	for _, p := range rng.Perm(255)[:c.T()] {
+		corrupted[p] ^= 0xff
+	}
+	got, n, err := c.Decode(corrupted)
+	if err != nil || n != c.T() {
+		t.Fatalf("t errors: n=%d err=%v", n, err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("message not recovered at exactly t errors")
+	}
+}
+
+func TestTooManyErrorsDetected(t *testing.T) {
+	c, _ := New(255, 223)
+	msg := make([]byte, 223)
+	cw, _ := c.Encode(msg)
+	rng := sim.NewRand(17)
+	fails := 0
+	const trials = 20
+	for trial := 0; trial < trials; trial++ {
+		corrupted := append([]byte(nil), cw...)
+		// 2t+4 errors: beyond any correction capability.
+		for _, p := range rng.Perm(255)[:2*c.T()+4] {
+			corrupted[p] ^= byte(1 + rng.Intn(255))
+		}
+		_, _, err := c.Decode(corrupted)
+		if errors.Is(err, ErrTooManyErrors) {
+			fails++
+		}
+	}
+	// RS decoding beyond t is usually detected (miscorrection probability is
+	// tiny); require a strong majority detected.
+	if fails < trials-2 {
+		t.Fatalf("detected only %d/%d uncorrectable cases", fails, trials)
+	}
+}
+
+// Property: decode ∘ corrupt≤t ∘ encode == identity for a short code.
+func TestRoundTripProperty(t *testing.T) {
+	c, _ := New(31, 19) // t = 6
+	rng := sim.NewRand(23)
+	f := func(seed uint64, nerrRaw uint8) bool {
+		msg := make([]byte, 19)
+		r := sim.NewRand(seed)
+		r.Fill(msg)
+		cw, err := c.Encode(msg)
+		if err != nil {
+			return false
+		}
+		nerr := int(nerrRaw) % (c.T() + 1)
+		for _, p := range rng.Perm(31)[:nerr] {
+			cw[p] ^= byte(1 + rng.Intn(255))
+		}
+		got, _, err := c.Decode(cw)
+		return err == nil && bytes.Equal(got, msg)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeWrongLength(t *testing.T) {
+	c, _ := New(255, 223)
+	if _, _, err := c.Decode(make([]byte, 100)); err == nil {
+		t.Fatal("wrong-length decode accepted")
+	}
+	if _, err := c.Encode(make([]byte, 10)); err == nil {
+		t.Fatal("wrong-length encode accepted")
+	}
+}
+
+func BenchmarkDecode16Errors(b *testing.B) {
+	c, _ := New(255, 223)
+	msg := make([]byte, 223)
+	cw, _ := c.Encode(msg)
+	rng := sim.NewRand(29)
+	corrupted := append([]byte(nil), cw...)
+	for _, p := range rng.Perm(255)[:16] {
+		corrupted[p] ^= 0x55
+	}
+	buf := make([]byte, 255)
+	b.SetBytes(255)
+	for i := 0; i < b.N; i++ {
+		copy(buf, corrupted)
+		if _, _, err := c.Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package sha256
+
+import (
+	stdsha "crypto/sha256"
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+)
+
+func TestKnownVectors(t *testing.T) {
+	cases := map[string]string{
+		"":    "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855",
+		"abc": "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad",
+		"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq": "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1",
+	}
+	for in, want := range cases {
+		got := Sum([]byte(in))
+		if hex.EncodeToString(got[:]) != want {
+			t.Errorf("SHA256(%q) = %x, want %s", in, got, want)
+		}
+	}
+}
+
+func TestMatchesStdlib(t *testing.T) {
+	f := func(data []byte) bool {
+		return Sum(data) == stdsha.Sum256(data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockBoundaries(t *testing.T) {
+	for _, n := range []int{55, 56, 57, 63, 64, 65, 127, 128, 129} {
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = byte(3*n + i)
+		}
+		if Sum(data) != stdsha.Sum256(data) {
+			t.Errorf("length %d digest mismatch", n)
+		}
+	}
+}
+
+func TestDoubleSum(t *testing.T) {
+	data := []byte("block header")
+	first := stdsha.Sum256(data)
+	want := stdsha.Sum256(first[:])
+	if DoubleSum(data) != want {
+		t.Fatal("DoubleSum mismatch")
+	}
+}
+
+func TestStreamingAndReset(t *testing.T) {
+	d := New()
+	d.Write([]byte("hel"))
+	d.Write([]byte("lo"))
+	if d.Sum() != Sum([]byte("hello")) {
+		t.Fatal("streaming mismatch")
+	}
+	d.Reset()
+	d.Write([]byte("abc"))
+	if d.Sum() != Sum([]byte("abc")) {
+		t.Fatal("reset failed")
+	}
+}
+
+func BenchmarkSum1K(b *testing.B) {
+	data := make([]byte, 1024)
+	b.SetBytes(1024)
+	for i := 0; i < b.N; i++ {
+		Sum(data)
+	}
+}

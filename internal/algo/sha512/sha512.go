@@ -1,0 +1,186 @@
+// Package sha512 implements SHA-512 as the functional model of the paper's
+// SHA benchmark accelerator; verified against crypto/sha512.
+package sha512
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Size is the digest length in bytes.
+const Size = 64
+
+// BlockSize is the compression-function block size in bytes.
+const BlockSize = 128
+
+var k = [80]uint64{
+	0x428a2f98d728ae22, 0x7137449123ef65cd, 0xb5c0fbcfec4d3b2f, 0xe9b5dba58189dbbc,
+	0x3956c25bf348b538, 0x59f111f1b605d019, 0x923f82a4af194f9b, 0xab1c5ed5da6d8118,
+	0xd807aa98a3030242, 0x12835b0145706fbe, 0x243185be4ee4b28c, 0x550c7dc3d5ffb4e2,
+	0x72be5d74f27b896f, 0x80deb1fe3b1696b1, 0x9bdc06a725c71235, 0xc19bf174cf692694,
+	0xe49b69c19ef14ad2, 0xefbe4786384f25e3, 0x0fc19dc68b8cd5b5, 0x240ca1cc77ac9c65,
+	0x2de92c6f592b0275, 0x4a7484aa6ea6e483, 0x5cb0a9dcbd41fbd4, 0x76f988da831153b5,
+	0x983e5152ee66dfab, 0xa831c66d2db43210, 0xb00327c898fb213f, 0xbf597fc7beef0ee4,
+	0xc6e00bf33da88fc2, 0xd5a79147930aa725, 0x06ca6351e003826f, 0x142929670a0e6e70,
+	0x27b70a8546d22ffc, 0x2e1b21385c26c926, 0x4d2c6dfc5ac42aed, 0x53380d139d95b3df,
+	0x650a73548baf63de, 0x766a0abb3c77b2a8, 0x81c2c92e47edaee6, 0x92722c851482353b,
+	0xa2bfe8a14cf10364, 0xa81a664bbc423001, 0xc24b8b70d0f89791, 0xc76c51a30654be30,
+	0xd192e819d6ef5218, 0xd69906245565a910, 0xf40e35855771202a, 0x106aa07032bbd1b8,
+	0x19a4c116b8d2d0c8, 0x1e376c085141ab53, 0x2748774cdf8eeb99, 0x34b0bcb5e19b48a8,
+	0x391c0cb3c5c95a63, 0x4ed8aa4ae3418acb, 0x5b9cca4f7763e373, 0x682e6ff3d6b2b8a3,
+	0x748f82ee5defb2fc, 0x78a5636f43172f60, 0x84c87814a1f0ab72, 0x8cc702081a6439ec,
+	0x90befffa23631e28, 0xa4506cebde82bde9, 0xbef9a3f7b2c67915, 0xc67178f2e372532b,
+	0xca273eceea26619c, 0xd186b8c721c0c207, 0xeada7dd6cde0eb1e, 0xf57d4f7fee6ed178,
+	0x06f067aa72176fba, 0x0a637dc5a2c898a6, 0x113f9804bef90dae, 0x1b710b35131c471b,
+	0x28db77f523047d84, 0x32caab7b40c72493, 0x3c9ebe0a15c9bebc, 0x431d67c49c100d4c,
+	0x4cc5d4becb3e42b6, 0x597f299cfc657e2a, 0x5fcb6fab3ad6faec, 0x6c44198c4a475817,
+}
+
+// Digest is a streaming SHA-512 state.
+type Digest struct {
+	h   [8]uint64
+	buf [BlockSize]byte
+	nx  int
+	len uint64
+}
+
+// New returns an initialized Digest.
+func New() *Digest {
+	d := &Digest{}
+	d.Reset()
+	return d
+}
+
+// Reset restores the initial hash values.
+func (d *Digest) Reset() {
+	d.h = [8]uint64{
+		0x6a09e667f3bcc908, 0xbb67ae8584caa73b, 0x3c6ef372fe94f82b, 0xa54ff53a5f1d36f1,
+		0x510e527fade682d1, 0x9b05688c2b3e6c1f, 0x1f83d9abfb41bd6b, 0x5be0cd19137e2179,
+	}
+	d.nx = 0
+	d.len = 0
+}
+
+func rotr(x uint64, n uint) uint64 { return x>>n | x<<(64-n) }
+
+func (d *Digest) block(p []byte) {
+	var w [80]uint64
+	for i := 0; i < 16; i++ {
+		w[i] = binary.BigEndian.Uint64(p[8*i:])
+	}
+	for i := 16; i < 80; i++ {
+		s0 := rotr(w[i-15], 1) ^ rotr(w[i-15], 8) ^ w[i-15]>>7
+		s1 := rotr(w[i-2], 19) ^ rotr(w[i-2], 61) ^ w[i-2]>>6
+		w[i] = w[i-16] + s0 + w[i-7] + s1
+	}
+	a, b, c, dd, e, f, g, h := d.h[0], d.h[1], d.h[2], d.h[3], d.h[4], d.h[5], d.h[6], d.h[7]
+	for i := 0; i < 80; i++ {
+		s1 := rotr(e, 14) ^ rotr(e, 18) ^ rotr(e, 41)
+		ch := (e & f) ^ (^e & g)
+		t1 := h + s1 + ch + k[i] + w[i]
+		s0 := rotr(a, 28) ^ rotr(a, 34) ^ rotr(a, 39)
+		maj := (a & b) ^ (a & c) ^ (b & c)
+		t2 := s0 + maj
+		h, g, f, e, dd, c, b, a = g, f, e, dd+t1, c, b, a, t1+t2
+	}
+	d.h[0] += a
+	d.h[1] += b
+	d.h[2] += c
+	d.h[3] += dd
+	d.h[4] += e
+	d.h[5] += f
+	d.h[6] += g
+	d.h[7] += h
+}
+
+// Write absorbs data; it never fails.
+func (d *Digest) Write(p []byte) (int, error) {
+	n := len(p)
+	d.len += uint64(n)
+	if d.nx > 0 {
+		c := copy(d.buf[d.nx:], p)
+		d.nx += c
+		if d.nx == BlockSize {
+			d.block(d.buf[:])
+			d.nx = 0
+		}
+		p = p[c:]
+	}
+	for len(p) >= BlockSize {
+		d.block(p[:BlockSize])
+		p = p[BlockSize:]
+	}
+	if len(p) > 0 {
+		d.nx = copy(d.buf[:], p)
+	}
+	return n, nil
+}
+
+// Sum returns the digest of everything written so far.
+func (d *Digest) Sum() [Size]byte {
+	dd := *d
+	var pad [BlockSize + 16]byte
+	pad[0] = 0x80
+	msgLen := dd.len
+	padLen := 112 - int(msgLen%BlockSize)
+	if padLen <= 0 {
+		padLen += BlockSize
+	}
+	dd.Write(pad[:padLen])
+	// 128-bit big-endian bit length.
+	var lenBytes [16]byte
+	binary.BigEndian.PutUint64(lenBytes[0:], msgLen>>61)
+	binary.BigEndian.PutUint64(lenBytes[8:], msgLen<<3)
+	dd.Write(lenBytes[:])
+	var out [Size]byte
+	for i, v := range dd.h {
+		binary.BigEndian.PutUint64(out[8*i:], v)
+	}
+	return out
+}
+
+// Sum computes SHA-512 of data in one call.
+func Sum(data []byte) [Size]byte {
+	d := New()
+	d.Write(data)
+	return d.Sum()
+}
+
+// Snapshot serializes the running digest state so a hardware SHA-512
+// pipeline can be preempted mid-stream.
+func (d *Digest) Snapshot() []byte {
+	buf := make([]byte, 8*8+BlockSize+8+8)
+	off := 0
+	for _, v := range d.h {
+		binary.BigEndian.PutUint64(buf[off:], v)
+		off += 8
+	}
+	copy(buf[off:], d.buf[:])
+	off += BlockSize
+	binary.BigEndian.PutUint64(buf[off:], uint64(d.nx))
+	off += 8
+	binary.BigEndian.PutUint64(buf[off:], d.len)
+	return buf
+}
+
+// RestoreSnapshot reinstates a Snapshot.
+func (d *Digest) RestoreSnapshot(buf []byte) error {
+	if len(buf) < 8*8+BlockSize+16 {
+		return fmt.Errorf("sha512: snapshot too short (%d bytes)", len(buf))
+	}
+	off := 0
+	for i := range d.h {
+		d.h[i] = binary.BigEndian.Uint64(buf[off:])
+		off += 8
+	}
+	copy(d.buf[:], buf[off:off+BlockSize])
+	off += BlockSize
+	nx := binary.BigEndian.Uint64(buf[off:])
+	off += 8
+	if nx >= BlockSize {
+		return fmt.Errorf("sha512: corrupt snapshot (nx=%d)", nx)
+	}
+	d.nx = int(nx)
+	d.len = binary.BigEndian.Uint64(buf[off:])
+	return nil
+}

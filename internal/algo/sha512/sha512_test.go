@@ -1,0 +1,98 @@
+package sha512
+
+import (
+	stdsha "crypto/sha512"
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+)
+
+func TestKnownVectors(t *testing.T) {
+	cases := map[string]string{
+		"":    "cf83e1357eefb8bdf1542850d66d8007d620e4050b5715dc83f4a921d36ce9ce47d0d13c5d85f2b0ff8318d2877eec2f63b931bd47417a81a538327af927da3e",
+		"abc": "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f",
+	}
+	for in, want := range cases {
+		got := Sum([]byte(in))
+		if hex.EncodeToString(got[:]) != want {
+			t.Errorf("SHA512(%q) = %x, want %s", in, got, want)
+		}
+	}
+}
+
+func TestMatchesStdlib(t *testing.T) {
+	f := func(data []byte) bool {
+		return Sum(data) == stdsha.Sum512(data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockBoundaries(t *testing.T) {
+	// Around the 128-byte block and 112-byte padding threshold.
+	for _, n := range []int{111, 112, 113, 127, 128, 129, 255, 256, 257} {
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = byte(5*n + i)
+		}
+		if Sum(data) != stdsha.Sum512(data) {
+			t.Errorf("length %d digest mismatch", n)
+		}
+	}
+}
+
+func TestStreamingAndReset(t *testing.T) {
+	d := New()
+	d.Write([]byte("foo"))
+	d.Write([]byte("bar"))
+	if d.Sum() != Sum([]byte("foobar")) {
+		t.Fatal("streaming mismatch")
+	}
+	a := d.Sum()
+	if a != d.Sum() {
+		t.Fatal("Sum not idempotent")
+	}
+	d.Reset()
+	d.Write([]byte("abc"))
+	if d.Sum() != Sum([]byte("abc")) {
+		t.Fatal("reset failed")
+	}
+}
+
+func BenchmarkSum1K(b *testing.B) {
+	data := make([]byte, 1024)
+	b.SetBytes(1024)
+	for i := 0; i < b.N; i++ {
+		Sum(data)
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	d := New()
+	d.Write(make([]byte, 200)) // crosses one block with a buffered tail
+	snap := d.Snapshot()
+	d.Write([]byte("suffix"))
+	want := d.Sum()
+
+	d2 := New()
+	if err := d2.RestoreSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	d2.Write([]byte("suffix"))
+	if d2.Sum() != want {
+		t.Fatal("restored digest diverged")
+	}
+}
+
+func TestRestoreSnapshotValidation(t *testing.T) {
+	d := New()
+	if err := d.RestoreSnapshot(make([]byte, 8)); err == nil {
+		t.Fatal("short snapshot accepted")
+	}
+	bad := New().Snapshot()
+	bad[64+BlockSize+7] = 0xff // nx out of range
+	if err := d.RestoreSnapshot(bad); err == nil {
+		t.Fatal("corrupt nx accepted")
+	}
+}

@@ -1,0 +1,134 @@
+// Package smithwaterman implements Smith–Waterman local sequence alignment
+// as the functional model of the paper's SW benchmark accelerator. The
+// hardware analogue computes the dynamic-programming matrix as a systolic
+// anti-diagonal wavefront; here we compute it row by row with linear gap
+// penalties and can recover the optimal local alignment.
+package smithwaterman
+
+import "fmt"
+
+// Scoring holds the (linear-gap) scoring parameters.
+type Scoring struct {
+	Match    int // score for a character match (> 0)
+	Mismatch int // score for a mismatch (typically < 0)
+	Gap      int // score per gap position (typically < 0)
+}
+
+// DefaultScoring is the classic +2/-1/-1 scheme.
+func DefaultScoring() Scoring { return Scoring{Match: 2, Mismatch: -1, Gap: -1} }
+
+// Result describes the best local alignment found.
+type Result struct {
+	Score int
+	// AEnd/BEnd are the (exclusive) end indices of the aligned region.
+	AStart, AEnd int
+	BStart, BEnd int
+	// AlignedA and AlignedB are the gapped alignment strings.
+	AlignedA, AlignedB string
+}
+
+// Score computes only the optimal local alignment score using O(min) memory
+// — the quantity a scoring-only accelerator streams out.
+func Score(a, b []byte, sc Scoring) int {
+	if len(b) == 0 || len(a) == 0 {
+		return 0
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	best := 0
+	for i := 1; i <= len(a); i++ {
+		for j := 1; j <= len(b); j++ {
+			s := sc.Mismatch
+			if a[i-1] == b[j-1] {
+				s = sc.Match
+			}
+			v := prev[j-1] + s
+			if up := prev[j] + sc.Gap; up > v {
+				v = up
+			}
+			if left := cur[j-1] + sc.Gap; left > v {
+				v = left
+			}
+			if v < 0 {
+				v = 0
+			}
+			cur[j] = v
+			if v > best {
+				best = v
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return best
+}
+
+// Align computes the optimal local alignment with full traceback.
+func Align(a, b []byte, sc Scoring) (Result, error) {
+	if len(a) == 0 || len(b) == 0 {
+		return Result{}, fmt.Errorf("smithwaterman: empty sequence")
+	}
+	rows, cols := len(a)+1, len(b)+1
+	h := make([]int, rows*cols)
+	at := func(i, j int) int { return i*cols + j }
+	best, bi, bj := 0, 0, 0
+	for i := 1; i < rows; i++ {
+		for j := 1; j < cols; j++ {
+			s := sc.Mismatch
+			if a[i-1] == b[j-1] {
+				s = sc.Match
+			}
+			v := h[at(i-1, j-1)] + s
+			if up := h[at(i-1, j)] + sc.Gap; up > v {
+				v = up
+			}
+			if left := h[at(i, j-1)] + sc.Gap; left > v {
+				v = left
+			}
+			if v < 0 {
+				v = 0
+			}
+			h[at(i, j)] = v
+			if v > best {
+				best, bi, bj = v, i, j
+			}
+		}
+	}
+	// Traceback from the maximum to the first zero.
+	var ra, rb []byte
+	i, j := bi, bj
+	for i > 0 && j > 0 && h[at(i, j)] > 0 {
+		s := sc.Mismatch
+		if a[i-1] == b[j-1] {
+			s = sc.Match
+		}
+		switch {
+		case h[at(i, j)] == h[at(i-1, j-1)]+s:
+			ra = append(ra, a[i-1])
+			rb = append(rb, b[j-1])
+			i--
+			j--
+		case h[at(i, j)] == h[at(i-1, j)]+sc.Gap:
+			ra = append(ra, a[i-1])
+			rb = append(rb, '-')
+			i--
+		default:
+			ra = append(ra, '-')
+			rb = append(rb, b[j-1])
+			j--
+		}
+	}
+	reverse(ra)
+	reverse(rb)
+	return Result{
+		Score:  best,
+		AStart: i, AEnd: bi,
+		BStart: j, BEnd: bj,
+		AlignedA: string(ra), AlignedB: string(rb),
+	}, nil
+}
+
+func reverse(b []byte) {
+	for i, j := 0, len(b)-1; i < j; i, j = i+1, j-1 {
+		b[i], b[j] = b[j], b[i]
+	}
+}

@@ -1,0 +1,153 @@
+package smithwaterman
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"optimus/internal/sim"
+)
+
+func TestKnownAlignment(t *testing.T) {
+	// Classic example: TGTTACGG vs GGTTGACTA with +3/-3/-2 scoring has an
+	// optimal local alignment GTT-AC / GTTGAC with score 13.
+	sc := Scoring{Match: 3, Mismatch: -3, Gap: -2}
+	res, err := Align([]byte("TGTTACGG"), []byte("GGTTGACTA"), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score != 13 {
+		t.Fatalf("score = %d, want 13", res.Score)
+	}
+	if res.AlignedA != "GTT-AC" || res.AlignedB != "GTTGAC" {
+		t.Fatalf("alignment = %q/%q", res.AlignedA, res.AlignedB)
+	}
+}
+
+func TestIdenticalSequences(t *testing.T) {
+	sc := DefaultScoring()
+	s := []byte("ACGTACGTACGT")
+	if got := Score(s, s, sc); got != len(s)*sc.Match {
+		t.Fatalf("self-score = %d, want %d", got, len(s)*sc.Match)
+	}
+}
+
+func TestDisjointAlphabets(t *testing.T) {
+	if got := Score([]byte("AAAA"), []byte("CCCC"), DefaultScoring()); got != 0 {
+		t.Fatalf("disjoint score = %d, want 0", got)
+	}
+}
+
+func TestEmptySequences(t *testing.T) {
+	if Score(nil, []byte("A"), DefaultScoring()) != 0 {
+		t.Fatal("empty A")
+	}
+	if Score([]byte("A"), nil, DefaultScoring()) != 0 {
+		t.Fatal("empty B")
+	}
+	if _, err := Align(nil, []byte("A"), DefaultScoring()); err == nil {
+		t.Fatal("Align accepted empty sequence")
+	}
+}
+
+func TestScoreMatchesAlign(t *testing.T) {
+	rng := sim.NewRand(1)
+	alphabet := []byte("ACGT")
+	for trial := 0; trial < 50; trial++ {
+		a := make([]byte, 5+rng.Intn(40))
+		b := make([]byte, 5+rng.Intn(40))
+		for i := range a {
+			a[i] = alphabet[rng.Intn(4)]
+		}
+		for i := range b {
+			b[i] = alphabet[rng.Intn(4)]
+		}
+		sc := DefaultScoring()
+		res, err := Align(a, b, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := Score(a, b, sc); got != res.Score {
+			t.Fatalf("Score (%d) != Align score (%d)", got, res.Score)
+		}
+	}
+}
+
+func TestSymmetry(t *testing.T) {
+	// Local alignment score is symmetric under sequence swap.
+	f := func(aRaw, bRaw []byte) bool {
+		if len(aRaw) == 0 || len(bRaw) == 0 {
+			return true
+		}
+		a := clamp(aRaw)
+		b := clamp(bRaw)
+		sc := DefaultScoring()
+		return Score(a, b, sc) == Score(b, a, sc)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubstringScoresFullMatch(t *testing.T) {
+	sc := DefaultScoring()
+	hay := []byte("TTTTACGTACGTTTTT")
+	needle := []byte("ACGTACGT")
+	if got := Score(hay, needle, sc); got != len(needle)*sc.Match {
+		t.Fatalf("substring score = %d, want %d", got, len(needle)*sc.Match)
+	}
+}
+
+func TestAlignmentStringsConsistent(t *testing.T) {
+	res, _ := Align([]byte("ACACACTA"), []byte("AGCACACA"), Scoring{Match: 2, Mismatch: -1, Gap: -1})
+	if len(res.AlignedA) != len(res.AlignedB) {
+		t.Fatal("aligned strings differ in length")
+	}
+	// Strip gaps: must equal the claimed source regions.
+	gotA := strings.ReplaceAll(res.AlignedA, "-", "")
+	gotB := strings.ReplaceAll(res.AlignedB, "-", "")
+	if gotA != "ACACACTA"[res.AStart:res.AEnd] {
+		t.Fatalf("AlignedA %q does not match region [%d,%d)", res.AlignedA, res.AStart, res.AEnd)
+	}
+	if gotB != "AGCACACA"[res.BStart:res.BEnd] {
+		t.Fatalf("AlignedB %q does not match region [%d,%d)", res.AlignedB, res.BStart, res.BEnd)
+	}
+	// Recomputing the score from the alignment strings must match.
+	score := 0
+	sc := Scoring{Match: 2, Mismatch: -1, Gap: -1}
+	for i := range res.AlignedA {
+		ca, cb := res.AlignedA[i], res.AlignedB[i]
+		switch {
+		case ca == '-' || cb == '-':
+			score += sc.Gap
+		case ca == cb:
+			score += sc.Match
+		default:
+			score += sc.Mismatch
+		}
+	}
+	if score != res.Score {
+		t.Fatalf("recomputed score %d != reported %d", score, res.Score)
+	}
+}
+
+func clamp(raw []byte) []byte {
+	alphabet := []byte("ACGT")
+	out := make([]byte, len(raw))
+	for i, v := range raw {
+		out[i] = alphabet[int(v)%4]
+	}
+	return out
+}
+
+func BenchmarkScore256(b *testing.B) {
+	rng := sim.NewRand(2)
+	s1 := make([]byte, 256)
+	s2 := make([]byte, 256)
+	rng.Fill(s1)
+	rng.Fill(s2)
+	sc := DefaultScoring()
+	for i := 0; i < b.N; i++ {
+		Score(s1, s2, sc)
+	}
+}

@@ -1,0 +1,130 @@
+// Package ccip models the Core Cache Interface (CCI-P), the request/response
+// memory interface that the HARP shell exposes to FPGA logic. CCI-P
+// encapsulates one UPI link and two PCIe 3.0 links behind a single
+// cache-line-granular read/write protocol: an accelerator sends a request
+// packet and later receives a response packet, keeping multiple requests in
+// flight to saturate bandwidth (§5, "FPGA Interface").
+package ccip
+
+import (
+	"fmt"
+
+	"optimus/internal/sim"
+)
+
+// LineSize is the CCI-P transfer granularity in bytes.
+const LineSize = 64
+
+// Kind distinguishes request types.
+type Kind uint8
+
+// Request kinds.
+const (
+	RdLine Kind = iota
+	WrLine
+)
+
+func (k Kind) String() string {
+	switch k {
+	case RdLine:
+		return "RdLine"
+	case WrLine:
+		return "WrLine"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Channel selects the physical link used for a request. VCAuto lets the
+// shell's channel selector decide (optimized for throughput, not latency —
+// the cause of LinkedList's unstable performance under automatic selection,
+// §6.1).
+type Channel uint8
+
+// Channels.
+const (
+	VCAuto Channel = iota
+	VCUPI
+	VCPCIe0
+	VCPCIe1
+)
+
+func (c Channel) String() string {
+	switch c {
+	case VCAuto:
+		return "auto"
+	case VCUPI:
+		return "UPI"
+	case VCPCIe0:
+		return "PCIe0"
+	case VCPCIe1:
+		return "PCIe1"
+	default:
+		return fmt.Sprintf("Channel(%d)", uint8(c))
+	}
+}
+
+// Tag identifies the issuing physical accelerator and transaction. The
+// auditors stamp AccelID on outgoing requests and verify it on responses
+// (§4.1, "Auditors"); a response whose AccelID does not match the auditor's
+// accelerator is discarded.
+type Tag struct {
+	AccelID int
+	Txn     uint64
+}
+
+// Request is a DMA request packet. Addr is a virtual address: a guest
+// virtual address when leaving the accelerator, rewritten to an IO virtual
+// address by its auditor (page table slicing), and translated to a host
+// physical address by the IOMMU inside the shell.
+type Request struct {
+	Kind  Kind
+	Addr  uint64
+	Lines int    // burst length in cache lines (>= 1)
+	Data  []byte // write payload (Lines*LineSize bytes); nil for reads
+	VC    Channel
+	Tag   Tag
+	// Issued is stamped by the issuing engine for latency accounting.
+	Issued sim.Time
+	// Done receives the response. It must be non-nil.
+	Done func(Response)
+}
+
+// Response is a DMA response packet.
+type Response struct {
+	Kind Kind
+	Addr uint64
+	Tag  Tag
+	Data []byte // read payload
+	Err  error  // translation/protection fault, if any
+	// Latency is the request's total round-trip time.
+	Latency sim.Time
+	// VC is the channel the request actually used.
+	VC Channel
+}
+
+// Port is anything that accepts CCI-P requests: the shell itself
+// (pass-through), an auditor, or a multiplexer tree node.
+type Port interface {
+	Issue(req Request)
+}
+
+// Bytes returns the size of the request's data transfer.
+func (r Request) Bytes() uint64 { return uint64(r.Lines) * LineSize }
+
+// Validate checks structural invariants of a request.
+func (r Request) Validate() error {
+	if r.Lines <= 0 {
+		return fmt.Errorf("ccip: request with %d lines", r.Lines)
+	}
+	if r.Addr%LineSize != 0 {
+		return fmt.Errorf("ccip: request address %#x not line-aligned", r.Addr)
+	}
+	if r.Kind == WrLine && len(r.Data) != int(r.Bytes()) {
+		return fmt.Errorf("ccip: write with %d data bytes, want %d", len(r.Data), r.Bytes())
+	}
+	if r.Done == nil {
+		return fmt.Errorf("ccip: request without Done callback")
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+package exp
+
+import (
+	"fmt"
+
+	"optimus/internal/sim"
+)
+
+// Fig7 reproduces Figure 7: aggregate throughput of the real-world
+// applications as the number of concurrent acceleration jobs grows,
+// normalized to a single job. GAU, GRS, SBL, and SSSP saturate the
+// interconnect beyond four jobs; the others scale roughly linearly.
+func Fig7(scale Scale) (*Table, error) {
+	jobCounts := []int{1, 2, 4, 8}
+	size := uint64(2 << 20)
+	window := 2 * sim.Millisecond
+	if scale == ScaleFull {
+		size = 8 << 20
+		window = 8 * sim.Millisecond
+	}
+	apps := []string{"MD5", "SHA", "AES", "GRN", "FIR", "SW", "RSD", "GAU", "GRS", "SBL", "SSSP", "BTC"}
+	t := &Table{
+		ID:    "fig7",
+		Title: "Aggregate throughput of real-world applications, normalized to 1 job",
+		Header: append([]string{"App"}, func() []string {
+			var h []string
+			for _, n := range jobCounts {
+				h = append(h, fmt.Sprintf("%d job(s)", n))
+			}
+			return h
+		}()...),
+		Notes: []string{
+			"Paper: GAU, GRS, SBL, SSSP stop scaling beyond 4 jobs (interconnect saturated); the rest scale near-linearly to 8.",
+		},
+	}
+	for _, app := range apps {
+		var base float64
+		row := []string{app}
+		for _, n := range jobCounts {
+			agg, err := fig7Point(app, n, size, window)
+			if err != nil {
+				return nil, fmt.Errorf("%s x%d: %w", app, n, err)
+			}
+			if n == 1 {
+				base = agg
+			}
+			row = append(row, fmtRatio(agg/base))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// fig7Point measures aggregate work/second of n concurrent instances.
+func fig7Point(app string, n int, size uint64, window sim.Time) (float64, error) {
+	cfg := optimusEight(app)
+	h, tenants, err := spatialPlatformSlots(cfg, n)
+	if err != nil {
+		return 0, err
+	}
+	jobs := make([]*job, n)
+	for i, tn := range tenants {
+		j, err := provisionJob(tn, app, size, uint64(i)+1)
+		if err != nil {
+			return 0, err
+		}
+		jobs[i] = j
+	}
+	return measureAggregate(h, jobs, window)
+}

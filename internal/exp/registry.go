@@ -1,0 +1,108 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"optimus/internal/ccip"
+	"optimus/internal/mem"
+)
+
+// Runner produces one or more artifact tables.
+type Runner func(Scale) ([]*Table, error)
+
+func one(t *Table, err error) ([]*Table, error) {
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{t}, nil
+}
+
+// Experiments maps experiment IDs to runners, one per table/figure of the
+// paper plus the extensions (see DESIGN.md §3 for the index).
+var Experiments = map[string]Runner{
+	"fig1": func(s Scale) ([]*Table, error) { return one(Fig1(s)) },
+	"table1": func(Scale) ([]*Table, error) {
+		return []*Table{Table1()}, nil
+	},
+	"table2": func(Scale) ([]*Table, error) {
+		t, err := Table2()
+		return one(t, err)
+	},
+	"fig4": func(s Scale) ([]*Table, error) {
+		a, err := Fig4a(s)
+		if err != nil {
+			return nil, err
+		}
+		b, err := Fig4b(s)
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{a, b}, nil
+	},
+	"fig5": func(s Scale) ([]*Table, error) {
+		var out []*Table
+		for _, ps := range []uint64{mem.PageSize2M, mem.PageSize4K} {
+			for _, ch := range []ccip.Channel{ccip.VCUPI, ccip.VCPCIe0} {
+				t, err := Fig5(ps, ch, s)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, t)
+			}
+		}
+		return out, nil
+	},
+	"fig6": func(s Scale) ([]*Table, error) {
+		var out []*Table
+		for _, ps := range []uint64{mem.PageSize2M, mem.PageSize4K} {
+			for _, wr := range []bool{false, true} {
+				t, err := Fig6(ps, wr, s)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, t)
+			}
+		}
+		return out, nil
+	},
+	"fig7":   func(s Scale) ([]*Table, error) { return one(Fig7(s)) },
+	"fig8":   func(s Scale) ([]*Table, error) { return one(Fig8(s)) },
+	"table3": func(s Scale) ([]*Table, error) { return one(Table3(s)) },
+	"table4": func(s Scale) ([]*Table, error) { return one(Table4(s)) },
+	"sched":  func(s Scale) ([]*Table, error) { return one(SchedFairness(s)) },
+	"timing": func(Scale) ([]*Table, error) {
+		t, err := TimingAblation()
+		return one(t, err)
+	},
+	"guard":    func(s Scale) ([]*Table, error) { return one(GuardAblation(s)) },
+	"iommu":    func(s Scale) ([]*Table, error) { return one(IOMMUAblation(s)) },
+	"muxarity": func(s Scale) ([]*Table, error) { return one(MuxArityAblation(s)) },
+}
+
+// IDs returns the experiment identifiers, sorted.
+func IDs() []string {
+	out := make([]string, 0, len(Experiments))
+	for id := range Experiments {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment and renders its tables to w.
+func Run(id string, scale Scale, w io.Writer) error {
+	r, ok := Experiments[id]
+	if !ok {
+		return fmt.Errorf("exp: unknown experiment %q (have %v)", id, IDs())
+	}
+	tables, err := r(scale)
+	if err != nil {
+		return err
+	}
+	for _, t := range tables {
+		t.Render(w)
+	}
+	return nil
+}

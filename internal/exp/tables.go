@@ -1,0 +1,107 @@
+package exp
+
+import (
+	"fmt"
+
+	"optimus/internal/fpga"
+)
+
+// Table1 reproduces Table 1: the benchmark catalog (description, design
+// size, synthesized frequency).
+func Table1() *Table {
+	t := &Table{
+		ID:     "table1",
+		Title:  "Benchmarks used to evaluate OPTIMUS",
+		Header: []string{"App", "Description", "LoC", "Freq (MHz)"},
+		Notes: []string{
+			"LoC is the paper's Verilog line count for the original design (calibration data).",
+		},
+	}
+	for _, name := range fpga.ProfileNames() {
+		p, _ := fpga.Profile(name)
+		t.AddRow(p.Name, p.Description, fmt.Sprint(p.LoC), fmt.Sprint(p.FreqMHz))
+	}
+	return t
+}
+
+// Table2 reproduces Table 2: FPGA resource utilization by component, for a
+// single-instance pass-through configuration versus eight instances under
+// OPTIMUS.
+func Table2() (*Table, error) {
+	t := &Table{
+		ID:     "table2",
+		Title:  "FPGA resource utilization by component (% of device)",
+		Header: []string{"Component", "ALM OPTIMUS", "ALM PT", "BRAM OPTIMUS", "BRAM PT"},
+		Notes: []string{
+			"OPTIMUS column: 8 accelerator instances + hardware monitor; PT column: 1 instance, no monitor.",
+			"Utilization values are calibrated to the paper's synthesis reports (see DESIGN.md); the synthesis model interpolates other configurations.",
+		},
+	}
+	t.AddRow("Shell", fmtPct(fpga.ShellALMPct), fmtPct(fpga.ShellALMPct), fmtPct(fpga.ShellBRAMPct), fmtPct(fpga.ShellBRAMPct))
+	t.AddRow("Hardware Monitor", fmtPct(fpga.MonitorALMPct8), "0.0", fmtPct(fpga.MonitorBRAMPct8), "0.0")
+	for _, name := range fpga.ProfileNames() {
+		apps8 := make([]string, 8)
+		for i := range apps8 {
+			apps8[i] = name
+		}
+		rep8, err := fpga.Synthesize(fpga.Arria10(), fpga.SynthConfig{
+			Apps: apps8, WithMonitor: true, Mux: fpga.MuxTopology{Arity: 2}})
+		if err != nil {
+			return nil, err
+		}
+		rep1, err := fpga.Synthesize(fpga.Arria10(), fpga.SynthConfig{Apps: []string{name}})
+		if err != nil {
+			return nil, err
+		}
+		var a8, b8, a1, b1 float64
+		for _, c := range rep8.Components {
+			if c.Name == name {
+				a8, b8 = c.ALMPct, c.BRAMPct
+			}
+		}
+		for _, c := range rep1.Components {
+			if c.Name == name {
+				a1, b1 = c.ALMPct, c.BRAMPct
+			}
+		}
+		t.AddRow(name, fmtPct(a8), fmtPct(a1), fmtPct(b8), fmtPct(b1))
+	}
+	return t, nil
+}
+
+// TimingAblation is an extension experiment: synthesis feasibility of
+// alternative multiplexer arrangements (§5, §7.2) — flat vs tree, and
+// beyond eight accelerators.
+func TimingAblation() (*Table, error) {
+	t := &Table{
+		ID:     "timing",
+		Title:  "Multiplexer arrangement timing feasibility at 400 MHz (synthesis model)",
+		Header: []string{"Accels", "Topology", "Mux levels", "Timing met", "Note"},
+	}
+	cases := []struct {
+		n    int
+		topo fpga.MuxTopology
+		name string
+	}{
+		{4, fpga.MuxTopology{Flat: true}, "flat"},
+		{8, fpga.MuxTopology{Flat: true}, "flat"},
+		{4, fpga.MuxTopology{Arity: 2}, "binary tree"},
+		{8, fpga.MuxTopology{Arity: 2}, "binary tree"},
+		{8, fpga.MuxTopology{Arity: 4}, "quad tree"},
+		{9, fpga.MuxTopology{Arity: 2}, "binary tree"},
+	}
+	for _, c := range cases {
+		apps := make([]string, c.n)
+		for i := range apps {
+			apps[i] = "MB"
+		}
+		rep, err := fpga.Synthesize(fpga.Arria10(), fpga.SynthConfig{
+			Apps: apps, WithMonitor: true, Mux: c.topo, TargetMHz: 400})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprint(c.n), c.name, fmt.Sprint(rep.MuxLevels),
+			fmt.Sprint(rep.TimingMet), rep.TimingNote)
+	}
+	return t, nil
+}

@@ -1,0 +1,306 @@
+// Package fpga models the reconfigurable device: its resource inventory
+// (Adaptive Logic Modules and Block RAM), the synthesis process that places
+// a shell, the OPTIMUS hardware monitor, and N accelerator instances onto
+// it, and the timing feasibility rules the paper reports (a flat multiplexer
+// cannot close timing at 400 MHz; a three-level binary tree supports at most
+// eight physical accelerators).
+//
+// We cannot run Quartus, so per-benchmark utilization is calibration data
+// taken from the paper's Tables 1 and 2 (see DESIGN.md); the synthesis
+// *model* — component composition, replication efficiency, routing overhead,
+// and timing checks — is implemented and exercised for arbitrary
+// configurations.
+package fpga
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Device describes an FPGA part.
+type Device struct {
+	Name       string
+	ALMs       int // adaptive logic modules
+	BRAMBlocks int // M20K memory blocks
+	// MaxFabricMHz is the highest clock the fabric supports.
+	MaxFabricMHz int
+}
+
+// Arria10 returns the Intel Arria 10 GX 1150 found on HARP.
+func Arria10() Device {
+	return Device{Name: "Arria 10 GX 1150", ALMs: 427200, BRAMBlocks: 2713, MaxFabricMHz: 400}
+}
+
+// AppProfile is the synthesis characterization of one accelerator design.
+// ALMPctPT/BRAMPctPT are the single-instance (pass-through) utilization
+// percentages; ALMPct8/BRAMPct8 the eight-instance utilization under
+// OPTIMUS — both from Table 2. LoC and FreqMHz are from Table 1.
+type AppProfile struct {
+	Name        string
+	Description string
+	LoC         int
+	FreqMHz     int
+	ALMPctPT    float64
+	BRAMPctPT   float64
+	ALMPct8     float64
+	BRAMPct8    float64
+	// Preemptable marks designs implementing the OPTIMUS preemption
+	// interface (only MemBench and LinkedList among the benchmarks).
+	Preemptable bool
+}
+
+// ReplicationEfficiency returns the measured ratio of 8-instance ALM cost to
+// 8× the single-instance cost: >1 means routing pressure made replication
+// superlinear, <1 means the synthesizer found cross-instance optimizations.
+func (p AppProfile) ReplicationEfficiency() float64 {
+	if p.ALMPctPT <= 0 {
+		return 1
+	}
+	return p.ALMPct8 / (8 * p.ALMPctPT)
+}
+
+// Shell and hardware-monitor characterization (Table 2).
+const (
+	ShellALMPct  = 23.44
+	ShellBRAMPct = 6.57
+	// Monitor cost at the full 8-accelerator configuration.
+	MonitorALMPct8  = 6.16
+	MonitorBRAMPct8 = 0.48
+)
+
+// Benchmark profiles, keyed by the paper's abbreviations (Table 1 + 2).
+var profiles = map[string]AppProfile{
+	"AES":  {Name: "AES", Description: "AES128 Encryption Algorithm", LoC: 1965, FreqMHz: 200, ALMPctPT: 3.62, BRAMPctPT: 2.82, ALMPct8: 27.80, BRAMPct8: 23.01},
+	"MD5":  {Name: "MD5", Description: "MD5 Hashing Algorithm", LoC: 1266, FreqMHz: 100, ALMPctPT: 4.35, BRAMPctPT: 2.82, ALMPct8: 34.27, BRAMPct8: 23.01},
+	"SHA":  {Name: "SHA", Description: "SHA512 Hashing Algorithm", LoC: 2218, FreqMHz: 200, ALMPctPT: 2.16, BRAMPctPT: 2.82, ALMPct8: 18.16, BRAMPct8: 22.46},
+	"FIR":  {Name: "FIR", Description: "Finite Impulse Response Filter", LoC: 1090, FreqMHz: 200, ALMPctPT: 1.92, BRAMPctPT: 2.82, ALMPct8: 15.77, BRAMPct8: 22.46},
+	"GRN":  {Name: "GRN", Description: "Gaussian Random Number Generator", LoC: 1238, FreqMHz: 200, ALMPctPT: 1.76, BRAMPctPT: 1.02, ALMPct8: 12.53, BRAMPct8: 7.98},
+	"RSD":  {Name: "RSD", Description: "Reed Solomon Decoder", LoC: 5324, FreqMHz: 200, ALMPctPT: 2.21, BRAMPctPT: 2.87, ALMPct8: 17.93, BRAMPct8: 22.87},
+	"SW":   {Name: "SW", Description: "Smith Waterman Algorithm", LoC: 1265, FreqMHz: 100, ALMPctPT: 1.42, BRAMPctPT: 1.47, ALMPct8: 10.34, BRAMPct8: 11.67},
+	"GAU":  {Name: "GAU", Description: "Gaussian Image Filter", LoC: 2406, FreqMHz: 200, ALMPctPT: 3.41, BRAMPctPT: 2.60, ALMPct8: 25.28, BRAMPct8: 21.24},
+	"GRS":  {Name: "GRS", Description: "Grayscale Image Filter", LoC: 2266, FreqMHz: 200, ALMPctPT: 1.32, BRAMPctPT: 2.28, ALMPct8: 9.92, BRAMPct8: 18.15},
+	"SBL":  {Name: "SBL", Description: "Sobel Image Filter", LoC: 2451, FreqMHz: 200, ALMPctPT: 2.39, BRAMPctPT: 2.55, ALMPct8: 18.49, BRAMPct8: 20.30},
+	"SSSP": {Name: "SSSP", Description: "Single Source Shortest Path", LoC: 3140, FreqMHz: 200, ALMPctPT: 1.96, BRAMPctPT: 2.82, ALMPct8: 15.73, BRAMPct8: 22.47},
+	"BTC":  {Name: "BTC", Description: "Bitcoin Miner", LoC: 1009, FreqMHz: 100, ALMPctPT: 1.32, BRAMPctPT: 0.48, ALMPct8: 8.99, BRAMPct8: 4.16},
+	"MB":   {Name: "MB", Description: "Random Memory Accesses", LoC: 1020, FreqMHz: 400, ALMPctPT: 0.83, BRAMPctPT: 0.00, ALMPct8: 4.84, BRAMPct8: 0.00, Preemptable: true},
+	"LL":   {Name: "LL", Description: "Linked List Walker", LoC: 695, FreqMHz: 400, ALMPctPT: 0.15, BRAMPctPT: 0.00, ALMPct8: -0.24, BRAMPct8: 0.00, Preemptable: true},
+}
+
+// Profile returns the characterization for a benchmark abbreviation.
+func Profile(name string) (AppProfile, error) {
+	p, ok := profiles[name]
+	if !ok {
+		return AppProfile{}, fmt.Errorf("fpga: unknown accelerator profile %q", name)
+	}
+	return p, nil
+}
+
+// ProfileNames returns all benchmark abbreviations in Table 1 order.
+func ProfileNames() []string {
+	names := make([]string, 0, len(profiles))
+	for n := range profiles {
+		names = append(names, n)
+	}
+	order := map[string]int{"AES": 0, "MD5": 1, "SHA": 2, "FIR": 3, "GRN": 4, "RSD": 5,
+		"SW": 6, "GAU": 7, "GRS": 8, "SBL": 9, "SSSP": 10, "BTC": 11, "MB": 12, "LL": 13}
+	sort.Slice(names, func(i, j int) bool { return order[names[i]] < order[names[j]] })
+	return names
+}
+
+// MuxTopology describes the multiplexer arrangement between the shell and
+// the physical accelerators.
+type MuxTopology struct {
+	// Arity is the fan-in of each multiplexer node (2 = binary tree).
+	Arity int
+	// Flat collapses the tree into a single multiplexer with one input per
+	// accelerator (the AmorphOS arrangement for ≤8 accelerators).
+	Flat bool
+}
+
+// Levels returns the tree depth needed for n accelerators.
+func (t MuxTopology) Levels(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	if t.Flat {
+		return 1
+	}
+	arity := t.Arity
+	if arity < 2 {
+		arity = 2
+	}
+	levels := 0
+	for span := 1; span < n; span *= arity {
+		levels++
+	}
+	return levels
+}
+
+// SynthConfig is a request to place accelerators on the device.
+type SynthConfig struct {
+	// Apps lists the accelerator profile names to instantiate, one entry
+	// per physical accelerator (homogeneous configs repeat a name).
+	Apps []string
+	// WithMonitor includes the OPTIMUS hardware monitor (VCU, mux tree,
+	// auditors). Pass-through configurations omit it.
+	WithMonitor bool
+	// Mux selects the multiplexer topology (ignored without monitor).
+	Mux MuxTopology
+	// TargetMHz is the required multiplexer-tree clock (default 400).
+	TargetMHz int
+}
+
+// ComponentUtil is the utilization of one synthesized component.
+type ComponentUtil struct {
+	Name    string
+	ALMPct  float64
+	BRAMPct float64
+}
+
+// Report is the outcome of synthesis.
+type Report struct {
+	Device     Device
+	Components []ComponentUtil
+	TotalALM   float64 // percent
+	TotalBRAM  float64 // percent
+	TimingMet  bool
+	TimingNote string
+	MuxLevels  int
+	AccelFreqs map[string]int
+}
+
+// monitor component cost model, calibrated so the 8-accelerator binary-tree
+// configuration totals MonitorALMPct8 / MonitorBRAMPct8.
+const (
+	vcuALM      = 0.80
+	vcuBRAM     = 0.20
+	auditorALM  = 0.35 // per accelerator
+	auditorBRAM = 0.035
+	muxNodeALM  = (MonitorALMPct8 - vcuALM - 8*auditorALM) / 7 // 7 nodes in a binary tree of 8
+	muxNodeBRAM = 0.0
+)
+
+// monitorCost returns the hardware monitor utilization for n accelerators
+// under the given topology.
+func monitorCost(n int, topo MuxTopology) (alm, bram float64) {
+	nodes := muxNodes(n, topo)
+	alm = vcuALM + float64(n)*auditorALM + float64(nodes)*muxNodeALM
+	bram = vcuBRAM + float64(n)*auditorBRAM + float64(nodes)*muxNodeBRAM
+	// Residual BRAM calibration: offset so n=8 matches the paper exactly.
+	bram += MonitorBRAMPct8 - (vcuBRAM + 8*auditorBRAM)
+	if bram < 0 {
+		bram = 0
+	}
+	return alm, bram
+}
+
+// muxNodes counts multiplexer instances for n accelerators.
+func muxNodes(n int, topo MuxTopology) int {
+	if n <= 1 {
+		return 0
+	}
+	if topo.Flat {
+		return 1
+	}
+	arity := topo.Arity
+	if arity < 2 {
+		arity = 2
+	}
+	nodes := 0
+	for n > 1 {
+		groups := (n + arity - 1) / arity
+		nodes += groups
+		n = groups
+	}
+	return nodes
+}
+
+// replicationFactor interpolates an app's replication efficiency between 1
+// instance (1.0) and 8 instances (measured), exponentially in log2(n) —
+// routing pressure compounds with each doubling.
+func replicationFactor(p AppProfile, n int) float64 {
+	if n <= 1 {
+		return 1
+	}
+	eff8 := p.ReplicationEfficiency()
+	if p.ALMPctPT <= 0 {
+		return 1
+	}
+	return math.Pow(eff8, math.Log2(float64(n))/3)
+}
+
+// Synthesize places the configuration onto the device and reports
+// utilization and timing feasibility.
+func Synthesize(dev Device, cfg SynthConfig) (Report, error) {
+	if len(cfg.Apps) == 0 {
+		return Report{}, fmt.Errorf("fpga: no accelerators to synthesize")
+	}
+	target := cfg.TargetMHz
+	if target == 0 {
+		target = 400
+	}
+	r := Report{Device: dev, AccelFreqs: make(map[string]int), TimingMet: true}
+	r.Components = append(r.Components, ComponentUtil{"Shell", ShellALMPct, ShellBRAMPct})
+	n := len(cfg.Apps)
+
+	if cfg.WithMonitor {
+		alm, bram := monitorCost(n, cfg.Mux)
+		r.Components = append(r.Components, ComponentUtil{"Hardware Monitor", alm, bram})
+		r.MuxLevels = cfg.Mux.Levels(n)
+	}
+
+	// Group instances per app for the replication model.
+	counts := map[string]int{}
+	for _, a := range cfg.Apps {
+		if _, err := Profile(a); err != nil {
+			return Report{}, err
+		}
+		counts[a]++
+	}
+	var appNames []string
+	for a := range counts {
+		appNames = append(appNames, a)
+	}
+	sort.Strings(appNames)
+	for _, a := range appNames {
+		p, _ := Profile(a)
+		c := counts[a]
+		var almPct, bramPct float64
+		if cfg.WithMonitor && c == 8 && len(counts) == 1 {
+			// Exact measured point.
+			almPct, bramPct = p.ALMPct8, p.BRAMPct8
+		} else {
+			f := replicationFactor(p, c)
+			almPct = p.ALMPctPT * float64(c) * f
+			bramPct = p.BRAMPctPT * float64(c) * f
+		}
+		r.Components = append(r.Components, ComponentUtil{p.Name, almPct, bramPct})
+		r.AccelFreqs[p.Name] = p.FreqMHz
+	}
+
+	for _, c := range r.Components {
+		r.TotalALM += c.ALMPct
+		r.TotalBRAM += c.BRAMPct
+	}
+
+	// Timing rules (§5 "Multiplexer Tree Hierarchy", §7.2):
+	//  - a flat multiplexer cannot close timing at 400 MHz for any fan-in >1;
+	//  - more than eight physical accelerators cannot be placed at 400 MHz;
+	//  - utilization beyond the device capacity fails outright.
+	switch {
+	case r.TotalALM > 100 || r.TotalBRAM > 100:
+		r.TimingMet = false
+		r.TimingNote = fmt.Sprintf("device capacity exceeded (ALM %.1f%%, BRAM %.1f%%)", r.TotalALM, r.TotalBRAM)
+	case cfg.WithMonitor && cfg.Mux.Flat && n > 1 && target >= 400:
+		r.TimingMet = false
+		r.TimingNote = "flat multiplexer cannot be placed at 400 MHz; use a multiplexer tree"
+	case cfg.WithMonitor && n > 8 && target >= 400:
+		r.TimingMet = false
+		r.TimingNote = fmt.Sprintf("%d accelerators exceed the 8 synthesizable at 400 MHz", n)
+	case target > dev.MaxFabricMHz:
+		r.TimingMet = false
+		r.TimingNote = fmt.Sprintf("target %d MHz exceeds fabric maximum %d MHz", target, dev.MaxFabricMHz)
+	}
+	return r, nil
+}

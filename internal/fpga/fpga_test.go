@@ -1,0 +1,242 @@
+package fpga
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestProfilesComplete(t *testing.T) {
+	names := ProfileNames()
+	if len(names) != 14 {
+		t.Fatalf("have %d profiles, want 14", len(names))
+	}
+	if names[0] != "AES" || names[13] != "LL" {
+		t.Fatalf("profile order wrong: %v", names)
+	}
+	for _, n := range names {
+		p, err := Profile(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.LoC <= 0 || p.FreqMHz <= 0 {
+			t.Fatalf("%s: incomplete profile %+v", n, p)
+		}
+	}
+}
+
+func TestProfileUnknown(t *testing.T) {
+	if _, err := Profile("NOPE"); err == nil {
+		t.Fatal("unknown profile should error")
+	}
+}
+
+func TestPreemptableBenchmarks(t *testing.T) {
+	// Only MB and LL conform to the preemption interface (§6.1).
+	for _, n := range ProfileNames() {
+		p, _ := Profile(n)
+		want := n == "MB" || n == "LL"
+		if p.Preemptable != want {
+			t.Errorf("%s: Preemptable = %v, want %v", n, p.Preemptable, want)
+		}
+	}
+}
+
+func TestTable2ExactPoints(t *testing.T) {
+	// The 8×homogeneous OPTIMUS configuration must reproduce Table 2.
+	for _, name := range []string{"AES", "MD5", "MB", "LL"} {
+		p, _ := Profile(name)
+		apps := make([]string, 8)
+		for i := range apps {
+			apps[i] = name
+		}
+		rep, err := Synthesize(Arria10(), SynthConfig{Apps: apps, WithMonitor: true, Mux: MuxTopology{Arity: 2}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var appALM float64
+		for _, c := range rep.Components {
+			if c.Name == name {
+				appALM = c.ALMPct
+			}
+		}
+		if math.Abs(appALM-p.ALMPct8) > 1e-9 {
+			t.Errorf("%s 8x ALM = %v, want %v", name, appALM, p.ALMPct8)
+		}
+	}
+}
+
+func TestMonitorCostMatchesTable2(t *testing.T) {
+	apps := make([]string, 8)
+	for i := range apps {
+		apps[i] = "AES"
+	}
+	rep, _ := Synthesize(Arria10(), SynthConfig{Apps: apps, WithMonitor: true, Mux: MuxTopology{Arity: 2}})
+	var mon ComponentUtil
+	for _, c := range rep.Components {
+		if c.Name == "Hardware Monitor" {
+			mon = c
+		}
+	}
+	if math.Abs(mon.ALMPct-MonitorALMPct8) > 0.01 {
+		t.Fatalf("monitor ALM = %v, want %v", mon.ALMPct, MonitorALMPct8)
+	}
+	if math.Abs(mon.BRAMPct-MonitorBRAMPct8) > 0.01 {
+		t.Fatalf("monitor BRAM = %v, want %v", mon.BRAMPct, MonitorBRAMPct8)
+	}
+	if mon.ALMPct >= 7.0 {
+		t.Fatal("paper claims the monitor uses <7% of resources")
+	}
+}
+
+func TestPassThroughHasNoMonitor(t *testing.T) {
+	rep, _ := Synthesize(Arria10(), SynthConfig{Apps: []string{"AES"}})
+	for _, c := range rep.Components {
+		if c.Name == "Hardware Monitor" {
+			t.Fatal("pass-through synthesis included the monitor")
+		}
+	}
+}
+
+func TestTimingFlatMuxFails(t *testing.T) {
+	apps := []string{"MB", "MB", "MB", "MB"}
+	rep, _ := Synthesize(Arria10(), SynthConfig{
+		Apps: apps, WithMonitor: true, Mux: MuxTopology{Flat: true}, TargetMHz: 400})
+	if rep.TimingMet {
+		t.Fatal("flat mux at 400 MHz should fail timing")
+	}
+	if !strings.Contains(rep.TimingNote, "flat multiplexer") {
+		t.Fatalf("note = %q", rep.TimingNote)
+	}
+	// At a lower target the flat mux is acceptable (AmorphOS's regime).
+	rep, _ = Synthesize(Arria10(), SynthConfig{
+		Apps: apps, WithMonitor: true, Mux: MuxTopology{Flat: true}, TargetMHz: 200})
+	if !rep.TimingMet {
+		t.Fatalf("flat mux at 200 MHz should pass: %s", rep.TimingNote)
+	}
+}
+
+func TestTimingNineAccelsFail(t *testing.T) {
+	apps := make([]string, 9)
+	for i := range apps {
+		apps[i] = "LL"
+	}
+	rep, _ := Synthesize(Arria10(), SynthConfig{Apps: apps, WithMonitor: true, Mux: MuxTopology{Arity: 2}})
+	if rep.TimingMet {
+		t.Fatal("9 accelerators at 400 MHz should fail timing")
+	}
+}
+
+func TestTimingBinaryTreeEightPasses(t *testing.T) {
+	apps := make([]string, 8)
+	for i := range apps {
+		apps[i] = "SSSP"
+	}
+	rep, _ := Synthesize(Arria10(), SynthConfig{Apps: apps, WithMonitor: true, Mux: MuxTopology{Arity: 2}})
+	if !rep.TimingMet {
+		t.Fatalf("8 accels on a binary tree should pass timing: %s", rep.TimingNote)
+	}
+	if rep.MuxLevels != 3 {
+		t.Fatalf("mux levels = %d, want 3", rep.MuxLevels)
+	}
+}
+
+func TestCapacityExceeded(t *testing.T) {
+	// 8×MD5 uses 34% of ALMs; a hypothetical 24 instances would exceed BRAM
+	// long before ALMs (23% BRAM per 8). Use 32 at low clock to dodge the
+	// 8-accel rule and hit the capacity rule.
+	apps := make([]string, 32)
+	for i := range apps {
+		apps[i] = "MD5"
+	}
+	rep, _ := Synthesize(Arria10(), SynthConfig{
+		Apps: apps, WithMonitor: true, Mux: MuxTopology{Arity: 2}, TargetMHz: 100})
+	if rep.TimingMet {
+		t.Fatalf("32×MD5 should exceed capacity (ALM %.1f%% BRAM %.1f%%)", rep.TotalALM, rep.TotalBRAM)
+	}
+}
+
+func TestMuxTopologyLevels(t *testing.T) {
+	bin := MuxTopology{Arity: 2}
+	cases := map[int]int{1: 0, 2: 1, 4: 2, 8: 3, 5: 3}
+	for n, want := range cases {
+		if got := bin.Levels(n); got != want {
+			t.Errorf("binary Levels(%d) = %d, want %d", n, got, want)
+		}
+	}
+	flat := MuxTopology{Flat: true}
+	if flat.Levels(8) != 1 {
+		t.Fatal("flat topology should have 1 level")
+	}
+	quad := MuxTopology{Arity: 4}
+	if quad.Levels(8) != 2 {
+		t.Fatalf("quad Levels(8) = %d, want 2", quad.Levels(8))
+	}
+}
+
+func TestMuxNodeCount(t *testing.T) {
+	if n := muxNodes(8, MuxTopology{Arity: 2}); n != 7 {
+		t.Fatalf("binary tree of 8 has %d nodes, want 7", n)
+	}
+	if n := muxNodes(8, MuxTopology{Flat: true}); n != 1 {
+		t.Fatalf("flat mux nodes = %d, want 1", n)
+	}
+	if n := muxNodes(1, MuxTopology{Arity: 2}); n != 0 {
+		t.Fatalf("single accel needs %d nodes, want 0", n)
+	}
+}
+
+func TestReplicationInterpolation(t *testing.T) {
+	p, _ := Profile("MB") // strongly sublinear (6x at 8 instances)
+	f1 := replicationFactor(p, 1)
+	f4 := replicationFactor(p, 4)
+	f8 := replicationFactor(p, 8)
+	if f1 != 1 {
+		t.Fatalf("f(1) = %v", f1)
+	}
+	if !(f8 < f4 && f4 < f1) {
+		t.Fatalf("sublinear app should have decreasing factor: %v %v %v", f1, f4, f8)
+	}
+	if math.Abs(f8-p.ReplicationEfficiency()) > 1e-9 {
+		t.Fatalf("f(8) = %v, want measured %v", f8, p.ReplicationEfficiency())
+	}
+}
+
+func TestHeterogeneousSynthesis(t *testing.T) {
+	rep, err := Synthesize(Arria10(), SynthConfig{
+		Apps: []string{"MB", "AES"}, WithMonitor: true, Mux: MuxTopology{Arity: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var haveMB, haveAES bool
+	for _, c := range rep.Components {
+		if c.Name == "MB" {
+			haveMB = true
+		}
+		if c.Name == "AES" {
+			haveAES = true
+		}
+	}
+	if !haveMB || !haveAES {
+		t.Fatal("heterogeneous config missing components")
+	}
+	if !rep.TimingMet {
+		t.Fatal(rep.TimingNote)
+	}
+}
+
+func TestSynthesizeErrors(t *testing.T) {
+	if _, err := Synthesize(Arria10(), SynthConfig{}); err == nil {
+		t.Fatal("empty config should error")
+	}
+	if _, err := Synthesize(Arria10(), SynthConfig{Apps: []string{"BOGUS"}}); err == nil {
+		t.Fatal("unknown app should error")
+	}
+}
+
+func TestArria10Inventory(t *testing.T) {
+	d := Arria10()
+	if d.ALMs != 427200 || d.BRAMBlocks != 2713 || d.MaxFabricMHz != 400 {
+		t.Fatalf("unexpected device: %+v", d)
+	}
+}

@@ -1,0 +1,87 @@
+package guest
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Arena is the guest library's DMA-region allocator: a first-fit free-list
+// allocator (in the spirit of the dlmalloc port the paper's library uses)
+// over the reserved guest-virtual slice. All allocations are cache-line
+// aligned so they can be DMA targets directly.
+type Arena struct {
+	base, size uint64
+	free       []span // sorted by address, coalesced
+	allocated  map[uint64]uint64
+}
+
+type span struct{ addr, size uint64 }
+
+const arenaAlign = 64
+
+// NewArena manages [base, base+size).
+func NewArena(base, size uint64) *Arena {
+	return &Arena{
+		base: base, size: size,
+		free:      []span{{addr: base, size: size}},
+		allocated: make(map[uint64]uint64),
+	}
+}
+
+// Alloc returns the address of n bytes (rounded up to the line size).
+func (a *Arena) Alloc(n uint64) (uint64, error) {
+	if n == 0 {
+		return 0, fmt.Errorf("guest: zero-length allocation")
+	}
+	n = (n + arenaAlign - 1) &^ (arenaAlign - 1)
+	for i := range a.free {
+		if a.free[i].size >= n {
+			addr := a.free[i].addr
+			a.free[i].addr += n
+			a.free[i].size -= n
+			if a.free[i].size == 0 {
+				a.free = append(a.free[:i], a.free[i+1:]...)
+			}
+			a.allocated[addr] = n
+			return addr, nil
+		}
+	}
+	return 0, fmt.Errorf("guest: arena exhausted (%d bytes requested)", n)
+}
+
+// Free returns an allocation to the arena, coalescing adjacent spans.
+func (a *Arena) Free(addr uint64) {
+	n, ok := a.allocated[addr]
+	if !ok {
+		panic(fmt.Sprintf("guest: free of unallocated address %#x", addr))
+	}
+	delete(a.allocated, addr)
+	i := sort.Search(len(a.free), func(i int) bool { return a.free[i].addr > addr })
+	a.free = append(a.free, span{})
+	copy(a.free[i+1:], a.free[i:])
+	a.free[i] = span{addr: addr, size: n}
+	// Coalesce with successor, then predecessor.
+	if i+1 < len(a.free) && a.free[i].addr+a.free[i].size == a.free[i+1].addr {
+		a.free[i].size += a.free[i+1].size
+		a.free = append(a.free[:i+1], a.free[i+2:]...)
+	}
+	if i > 0 && a.free[i-1].addr+a.free[i-1].size == a.free[i].addr {
+		a.free[i-1].size += a.free[i].size
+		a.free = append(a.free[:i], a.free[i+1:]...)
+	}
+}
+
+// InUse returns the number of live allocations.
+func (a *Arena) InUse() int { return len(a.allocated) }
+
+// LargestFree returns the largest contiguous free span (fragmentation
+// diagnostics).
+func (a *Arena) LargestFree() uint64 {
+	var max uint64
+	for _, s := range a.free {
+		if s.size > max {
+			max = s.size
+		}
+	}
+	return max
+}

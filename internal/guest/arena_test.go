@@ -1,0 +1,131 @@
+package guest
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestArenaAllocAligned(t *testing.T) {
+	a := NewArena(0x1000, 1<<20)
+	for i := 0; i < 10; i++ {
+		addr, err := a.Alloc(100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if addr%arenaAlign != 0 {
+			t.Fatalf("allocation %#x not line-aligned", addr)
+		}
+	}
+}
+
+func TestArenaNoOverlap(t *testing.T) {
+	a := NewArena(0, 1<<20)
+	type span struct{ addr, size uint64 }
+	var spans []span
+	sizes := []uint64{64, 100, 4096, 1, 65, 8192}
+	for _, n := range sizes {
+		addr, err := a.Alloc(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rounded := (n + 63) &^ 63
+		for _, s := range spans {
+			if addr < s.addr+s.size && s.addr < addr+rounded {
+				t.Fatalf("overlap: %#x+%d with %#x+%d", addr, rounded, s.addr, s.size)
+			}
+		}
+		spans = append(spans, span{addr, rounded})
+	}
+}
+
+func TestArenaExhaustion(t *testing.T) {
+	a := NewArena(0, 256)
+	if _, err := a.Alloc(512); err == nil {
+		t.Fatal("oversized allocation accepted")
+	}
+	a.Alloc(256)
+	if _, err := a.Alloc(64); err == nil {
+		t.Fatal("allocation from full arena accepted")
+	}
+}
+
+func TestArenaFreeCoalesces(t *testing.T) {
+	a := NewArena(0, 1<<20)
+	p1, _ := a.Alloc(1 << 18)
+	p2, _ := a.Alloc(1 << 18)
+	p3, _ := a.Alloc(1 << 18)
+	p4, _ := a.Alloc(1 << 18) // arena now full
+	a.Free(p2)
+	a.Free(p4)
+	a.Free(p3) // bridges p2..p4: should coalesce into 3<<18
+	if got := a.LargestFree(); got != 3<<18 {
+		t.Fatalf("LargestFree = %d, want %d", got, 3<<18)
+	}
+	a.Free(p1)
+	if got := a.LargestFree(); got != 1<<20 {
+		t.Fatalf("after freeing all: LargestFree = %d", got)
+	}
+	big, err := a.Alloc(1 << 20)
+	if err != nil || big != 0 {
+		t.Fatalf("full-arena realloc failed: %v", err)
+	}
+}
+
+func TestArenaDoubleFreePanics(t *testing.T) {
+	a := NewArena(0, 1<<16)
+	p, _ := a.Alloc(64)
+	a.Free(p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free should panic")
+		}
+	}()
+	a.Free(p)
+}
+
+func TestArenaZeroAlloc(t *testing.T) {
+	a := NewArena(0, 1<<16)
+	if _, err := a.Alloc(0); err == nil {
+		t.Fatal("zero allocation accepted")
+	}
+}
+
+// Property: any interleaving of allocs and frees never hands out
+// overlapping live spans, and freeing everything restores full capacity.
+func TestArenaProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		a := NewArena(0, 1<<20)
+		type span struct{ addr, size uint64 }
+		live := map[uint64]span{}
+		for _, op := range ops {
+			if op%3 == 0 && len(live) > 0 {
+				// Free an arbitrary live allocation.
+				for addr := range live {
+					a.Free(addr)
+					delete(live, addr)
+					break
+				}
+				continue
+			}
+			n := uint64(op%2048) + 1
+			addr, err := a.Alloc(n)
+			if err != nil {
+				continue // exhaustion is fine
+			}
+			rounded := (n + 63) &^ 63
+			for _, s := range live {
+				if addr < s.addr+s.size && s.addr < addr+rounded {
+					return false
+				}
+			}
+			live[addr] = span{addr, rounded}
+		}
+		for addr := range live {
+			a.Free(addr)
+		}
+		return a.LargestFree() == 1<<20 && a.InUse() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,282 @@
+// Package hostcentric models the host-centric FPGA programming model the
+// paper compares against (§2.1): accelerators cannot issue DMAs, so the CPU
+// configures a DMA engine to stage every piece of data into on-FPGA BRAM
+// before the accelerator can compute on it.
+//
+// Two driver strategies are modelled, matching Figure 1:
+//
+//   - ModeConfig ("Host-Centric+Config"): the host configures the DMA
+//     engine separately and sequentially for each data segment.
+//   - ModeCopy ("Host-Centric+Copy"): the host first gathers all segments
+//     into one contiguous staging buffer with CPU copies, then invokes the
+//     engine once per block.
+//
+// Unlike the shared-memory path (which is simulated at cache-line DMA
+// granularity), the host-centric path is modelled at segment granularity:
+// each doorbell ring, engine transfer, and CPU gather is one timed event
+// whose duration comes from the calibrated constants below. The penalty
+// structure — a CPU round trip per DMA, serialization of staging and
+// compute — is exactly the mechanism the paper attributes the gap to.
+package hostcentric
+
+import (
+	"fmt"
+	"sort"
+
+	"optimus/internal/algo/graph"
+	"optimus/internal/sim"
+)
+
+// Mode selects the host-centric driver strategy.
+type Mode int
+
+// Modes.
+const (
+	ModeConfig Mode = iota
+	ModeCopy
+)
+
+func (m Mode) String() string {
+	if m == ModeCopy {
+		return "Host-Centric+Copy"
+	}
+	return "Host-Centric+Config"
+}
+
+// Config holds the host-centric platform model parameters.
+type Config struct {
+	// StagingBytes is the on-FPGA BRAM double buffer available for staged
+	// data; work is broken into blocks that fit it.
+	StagingBytes uint64
+	// EngineGBps is the DMA engine's bulk bandwidth.
+	EngineGBps float64
+	// EngineLatency is the fixed per-transfer latency (doorbell to
+	// completion interrupt, excluding the bandwidth term).
+	EngineLatency sim.Time
+	// MMIOsPerConfig is the number of register writes to program one
+	// transfer (source, destination, length, flags, doorbell...).
+	MMIOsPerConfig int
+	// MMIOCost is one MMIO write (native ≈ 300 ns; trapped ≈ 2 µs when
+	// virtualized — the §2.1 observation that control-plane operations get
+	// more expensive under trap-and-emulate).
+	MMIOCost sim.Time
+	// CPUCopyGBps is the host's gather/scatter memcpy bandwidth (ModeCopy).
+	CPUCopyGBps float64
+	// CPUPerLine is the per-discontiguous-segment overhead of the gather
+	// loop (pointer arithmetic, cache misses).
+	CPUPerLine sim.Time
+	// AccelFreqMHz is the accelerator clock; it relaxes one edge per cycle.
+	AccelFreqMHz int
+}
+
+// DefaultConfig returns calibrated parameters (see DESIGN.md §4).
+func DefaultConfig(virtualized bool) Config {
+	c := Config{
+		StagingBytes:   512 << 10,
+		EngineGBps:     12.0,
+		EngineLatency:  900 * sim.Nanosecond,
+		MMIOsPerConfig: 6,
+		MMIOCost:       300 * sim.Nanosecond,
+		CPUCopyGBps:    6.0,
+		CPUPerLine:     20 * sim.Nanosecond,
+		AccelFreqMHz:   200,
+	}
+	if virtualized {
+		c.MMIOCost = 2 * sim.Microsecond
+	}
+	return c
+}
+
+// Engine is the CPU-configured DMA engine: one transfer at a time,
+// serialized behind its doorbell.
+type Engine struct {
+	k   *sim.Kernel
+	cfg Config
+
+	Transfers uint64
+	Bytes     uint64
+	MMIOs     uint64
+}
+
+// NewEngine returns an engine on the kernel.
+func NewEngine(k *sim.Kernel, cfg Config) *Engine {
+	return &Engine{k: k, cfg: cfg}
+}
+
+// Transfer programs and runs one DMA of n bytes, invoking done at the
+// completion interrupt. The caller (the driver loop) is blocked for the
+// whole duration — the host-centric model has no accelerator-side overlap.
+func (e *Engine) Transfer(n uint64, done func()) {
+	cfgTime := sim.Time(e.cfg.MMIOsPerConfig) * e.cfg.MMIOCost
+	xfer := sim.Time(float64(n) / (e.cfg.EngineGBps * 1e9) * float64(sim.Second))
+	e.Transfers++
+	e.Bytes += n
+	e.MMIOs += uint64(e.cfg.MMIOsPerConfig)
+	e.k.After(cfgTime+e.cfg.EngineLatency+xfer, done)
+}
+
+// SSSPResult reports one host-centric SSSP execution.
+type SSSPResult struct {
+	Elapsed   sim.Time
+	Rounds    int
+	Dist      []int64
+	Transfers uint64
+	MMIOs     uint64
+}
+
+// RunSSSP executes single-source shortest path under the host-centric model
+// and returns the simulated execution time and (functionally exact)
+// distances. The caller supplies a fresh kernel.
+func RunSSSP(k *sim.Kernel, g *graph.CSR, source int, mode Mode, cfg Config) (SSSPResult, error) {
+	if err := g.Validate(); err != nil {
+		return SSSPResult{}, err
+	}
+	if source < 0 || source >= g.NumVertices {
+		return SSSPResult{}, fmt.Errorf("hostcentric: bad source %d", source)
+	}
+	eng := NewEngine(k, cfg)
+	clock := sim.NewClock(cfg.AccelFreqMHz)
+
+	dist := make([]int64, g.NumVertices)
+	for i := range dist {
+		dist[i] = graph.Inf
+	}
+	dist[source] = 0
+
+	// Block geometry: a block's col+weight arrays plus its scattered
+	// distance lines must fit the staging buffer.
+	edgesPerBlock := int(cfg.StagingBytes / 16)
+	if edgesPerBlock < 1 {
+		edgesPerBlock = 1
+	}
+
+	res := SSSPResult{}
+	start := k.Now()
+	round := 0
+	var runRound func()
+
+	runRound = func() {
+		round++
+		changed := false
+		// Walk blocks sequentially; each block is staged then computed.
+		type block struct{ e0, e1 int }
+		var blocks []block
+		for e0 := 0; e0 < g.NumEdges(); e0 += edgesPerBlock {
+			e1 := e0 + edgesPerBlock
+			if e1 > g.NumEdges() {
+				e1 = g.NumEdges()
+			}
+			blocks = append(blocks, block{e0, e1})
+		}
+		bi := 0
+		var doBlock func()
+		doBlock = func() {
+			if bi == len(blocks) {
+				// Round complete: write the updated distance array back
+				// (one bulk transfer; both modes).
+				eng.Transfer(uint64(g.NumVertices*8), func() {
+					if changed && round < g.NumVertices {
+						runRound()
+						return
+					}
+					res.Elapsed = k.Now() - start
+					res.Rounds = round
+					res.Dist = dist
+					res.Transfers = eng.Transfers
+					res.MMIOs = eng.MMIOs
+				})
+				return
+			}
+			b := blocks[bi]
+			bi++
+			nedges := b.e1 - b.e0
+			edgeBytes := uint64(nedges) * 8 // col + weight
+			// Scattered distance segments: the distinct 64-byte lines of
+			// dist[] this block touches (sources and targets). This is the
+			// pointer-chasing working set, measured from the real graph.
+			lines := map[int]bool{}
+			for e := b.e0; e < b.e1; e++ {
+				lines[int(g.Col[e])/8] = true
+			}
+			// Source vertices covered by this edge range are sequential;
+			// their distance lines are contiguous.
+			v0 := sort.Search(g.NumVertices, func(v int) bool { return int(g.RowPtr[v+1]) > b.e0 })
+			v1 := sort.Search(g.NumVertices, func(v int) bool { return int(g.RowPtr[v]) >= b.e1 })
+			for l := v0 / 8; l <= (v1-1)/8 && v0 < v1; l++ {
+				lines[l] = true
+			}
+			nScatter := len(lines)
+			distBytes := uint64(nScatter) * 64
+
+			// The accelerator relaxes the staged edges at one per cycle.
+			compute := func() {
+				k.After(clock.Cycles(int64(nedges)), doBlock)
+			}
+
+			switch mode {
+			case ModeConfig:
+				// One engine configuration per segment, sequential:
+				// rowptr chunk, col chunk, weight chunk, then each
+				// scattered distance region separately. Contiguous runs of
+				// needed lines coalesce into one segment.
+				segments := 3 + coalesceRuns(lines)
+				seg := 0
+				var next func()
+				next = func() {
+					if seg == segments {
+						compute()
+						return
+					}
+					seg++
+					per := (edgeBytes + distBytes) / uint64(segments)
+					if per == 0 {
+						per = 64
+					}
+					eng.Transfer(per, next)
+				}
+				next()
+			case ModeCopy:
+				// CPU gathers everything into one contiguous buffer first.
+				gather := sim.Time(float64(edgeBytes+distBytes)/(cfg.CPUCopyGBps*1e9)*float64(sim.Second)) +
+					sim.Time(nScatter)*cfg.CPUPerLine
+				k.After(gather, func() {
+					eng.Transfer(edgeBytes+distBytes, compute)
+				})
+			}
+		}
+		// Functional relaxation for the round happens up front (the timing
+		// model above is what the DES measures).
+		for v := 0; v < g.NumVertices; v++ {
+			if dist[v] == graph.Inf {
+				continue
+			}
+			cols, ws := g.Neighbors(v)
+			for i, c := range cols {
+				if nd := dist[v] + int64(ws[i]); nd < dist[c] {
+					dist[c] = nd
+					changed = true
+				}
+			}
+		}
+		doBlock()
+	}
+
+	runRound()
+	k.Run()
+	if res.Dist == nil {
+		return res, fmt.Errorf("hostcentric: run did not complete")
+	}
+	return res, nil
+}
+
+// coalesceRuns counts maximal runs of consecutive line indices — each run
+// is one contiguous DMA segment.
+func coalesceRuns(lines map[int]bool) int {
+	runs := 0
+	for l := range lines {
+		if !lines[l-1] {
+			runs++
+		}
+	}
+	return runs
+}

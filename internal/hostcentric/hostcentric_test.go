@@ -1,0 +1,116 @@
+package hostcentric
+
+import (
+	"testing"
+
+	"optimus/internal/algo/graph"
+	"optimus/internal/sim"
+)
+
+func TestSSSPFunctionallyCorrect(t *testing.T) {
+	g := graph.Uniform(1000, 6000, 64, 4)
+	for _, mode := range []Mode{ModeConfig, ModeCopy} {
+		k := sim.NewKernel()
+		res, err := RunSSSP(k, g, 0, mode, DefaultConfig(false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := graph.Dijkstra(g, 0)
+		for v := range want {
+			if res.Dist[v] != want[v] {
+				t.Fatalf("%v: dist[%d] = %d, want %d", mode, v, res.Dist[v], want[v])
+			}
+		}
+		if res.Elapsed <= 0 || res.Rounds == 0 || res.Transfers == 0 {
+			t.Fatalf("%v: implausible result %+v", mode, res)
+		}
+	}
+}
+
+func TestVirtualizationPenalty(t *testing.T) {
+	// Trap-and-emulate makes control-plane operations more expensive, so
+	// the virtualized host-centric run must be slower, and the Config
+	// variant (more doorbells) must suffer more than Copy.
+	g := graph.Uniform(2000, 20000, 64, 5)
+	run := func(mode Mode, virt bool) sim.Time {
+		k := sim.NewKernel()
+		res, err := RunSSSP(k, g, 0, mode, DefaultConfig(virt))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Elapsed
+	}
+	cfgNative := run(ModeConfig, false)
+	cfgVirt := run(ModeConfig, true)
+	cpNative := run(ModeCopy, false)
+	cpVirt := run(ModeCopy, true)
+	if cfgVirt <= cfgNative || cpVirt <= cpNative {
+		t.Fatalf("virtualization should cost time: config %v→%v copy %v→%v",
+			cfgNative, cfgVirt, cpNative, cpVirt)
+	}
+	cfgPenalty := float64(cfgVirt) / float64(cfgNative)
+	cpPenalty := float64(cpVirt) / float64(cpNative)
+	if cfgPenalty <= cpPenalty {
+		t.Fatalf("Config (%0.3fx) should pay more for virtualization than Copy (%0.3fx)",
+			cfgPenalty, cpPenalty)
+	}
+}
+
+func TestElapsedScalesWithEdges(t *testing.T) {
+	times := map[int]sim.Time{}
+	for _, e := range []int{5000, 20000, 80000} {
+		g := graph.Uniform(2000, e, 64, 6)
+		k := sim.NewKernel()
+		res, err := RunSSSP(k, g, 0, ModeConfig, DefaultConfig(false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[e] = res.Elapsed
+	}
+	if !(times[5000] < times[20000] && times[20000] < times[80000]) {
+		t.Fatalf("time not monotone in edges: %v", times)
+	}
+}
+
+func TestEngineAccounting(t *testing.T) {
+	k := sim.NewKernel()
+	eng := NewEngine(k, DefaultConfig(false))
+	done := 0
+	eng.Transfer(1<<20, func() { done++ })
+	eng.Transfer(1<<20, func() { done++ })
+	k.Run()
+	if done != 2 || eng.Transfers != 2 || eng.Bytes != 2<<20 {
+		t.Fatalf("engine accounting: done=%d %+v", done, eng)
+	}
+	if eng.MMIOs != 12 {
+		t.Fatalf("MMIOs = %d, want 12", eng.MMIOs)
+	}
+}
+
+func TestRunSSSPValidation(t *testing.T) {
+	g := graph.Chain(10)
+	k := sim.NewKernel()
+	if _, err := RunSSSP(k, g, -1, ModeConfig, DefaultConfig(false)); err == nil {
+		t.Fatal("bad source accepted")
+	}
+	g.RowPtr[5] = 999
+	if _, err := RunSSSP(k, g, 0, ModeConfig, DefaultConfig(false)); err == nil {
+		t.Fatal("corrupt graph accepted")
+	}
+}
+
+func TestCoalesceRuns(t *testing.T) {
+	lines := map[int]bool{1: true, 2: true, 3: true, 7: true, 9: true, 10: true}
+	if got := coalesceRuns(lines); got != 3 {
+		t.Fatalf("runs = %d, want 3", got)
+	}
+	if coalesceRuns(map[int]bool{}) != 0 {
+		t.Fatal("empty should be 0 runs")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeConfig.String() != "Host-Centric+Config" || ModeCopy.String() != "Host-Centric+Copy" {
+		t.Fatal("mode strings")
+	}
+}

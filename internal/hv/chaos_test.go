@@ -1,0 +1,140 @@
+package hv_test
+
+import (
+	"fmt"
+	"testing"
+
+	"optimus/internal/accel"
+	"optimus/internal/guest"
+	"optimus/internal/hv"
+	"optimus/internal/sim"
+)
+
+// TestChaosSchedulerInvariants drives a two-slot platform with a
+// deterministic random stream of tenant operations — start, reset,
+// migrate, policy flips, weight changes, time advancement — and checks
+// scheduler invariants after every step: at most one vaccel scheduled per
+// slot, scheduled vaccels actually attached to that slot, and no forced
+// resets (every accelerator here cooperates with preemption).
+func TestChaosSchedulerInvariants(t *testing.T) {
+	h, err := hv.New(hv.Config{
+		Accels:    []string{"MB", "MB"},
+		TimeSlice: 300 * sim.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type tn struct {
+		dev  *guest.Device
+		va   *hv.VAccel
+		open bool
+	}
+	var tenants []*tn
+	rng := sim.NewRand(0xc0ffee)
+
+	newTn := func(slot int) *tn {
+		vm, err := h.NewVM(fmt.Sprintf("vm%d", len(tenants)), 10<<30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		proc := vm.NewProcess()
+		va, err := h.NewVAccel(proc, slot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev, err := guest.Open(proc, va)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf, err := dev.AllocDMA(4 << 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev.SetupStateBuffer()
+		dev.RegWrite(accel.MBArgBase, buf.Addr)
+		dev.RegWrite(accel.MBArgSize, buf.Size)
+		dev.RegWrite(accel.MBArgBursts, 0)
+		dev.RegWrite(accel.MBArgSeed, rng.Uint64())
+		return &tn{dev: dev, va: va, open: true}
+	}
+	for i := 0; i < 6; i++ {
+		tenants = append(tenants, newTn(i%2))
+	}
+
+	check := func(step int) {
+		scheduled := map[int]int{}
+		for _, x := range tenants {
+			if x.open && x.va.Scheduled() {
+				scheduled[x.va.Phys().Slot]++
+			}
+		}
+		for slot, n := range scheduled {
+			if n > 1 {
+				t.Fatalf("step %d: %d vaccels scheduled on slot %d", step, n, slot)
+			}
+		}
+		if h.Stats().ForcedResets != 0 {
+			t.Fatalf("step %d: unexpected forced reset", step)
+		}
+	}
+
+	for step := 0; step < 400; step++ {
+		x := tenants[rng.Intn(len(tenants))]
+		switch rng.Intn(6) {
+		case 0: // start (if possible)
+			if x.open {
+				x.dev.Start() // may fail if already active; that's fine
+			}
+		case 1: // guest reset
+			if x.open {
+				x.dev.Reset()
+			}
+		case 2: // migrate to the other slot
+			if x.open {
+				h.Migrate(x.va, 1-x.va.Phys().Slot) // mid-switch errors are fine
+			}
+		case 3: // scheduling parameter churn
+			x.va.SetWeight(1 + rng.Intn(4))
+			x.va.SetPriority(rng.Intn(4))
+			h.Scheduler(rng.Intn(2)).SetPolicy(hv.Policy(rng.Intn(3)))
+		case 4: // let time pass
+			h.K.RunFor(sim.Time(rng.Intn(1000)+1) * sim.Microsecond)
+		case 5: // close and replace a tenant occasionally
+			if x.open && rng.Intn(4) == 0 {
+				if rng.Intn(2) == 0 {
+					x.dev.Close() // polite: reset then disconnect
+				} else {
+					x.va.Close() // abrupt: disconnect mid-whatever
+				}
+				x.open = false
+				tenants = append(tenants, newTn(rng.Intn(2)))
+			}
+		}
+		check(step)
+	}
+	// Drain: stop everything and let the platform go idle.
+	for _, x := range tenants {
+		if x.open {
+			x.dev.Reset()
+		}
+	}
+	h.K.RunFor(10 * sim.Millisecond)
+	for _, x := range tenants {
+		if x.open && x.va.Scheduled() {
+			t.Fatal("reset vaccel still scheduled after drain")
+		}
+	}
+	// Liveness: both slots must still schedule and run fresh work — a
+	// wedged scheduler (e.g. a stuck switching flag) would fail here.
+	for slot := 0; slot < 2; slot++ {
+		fresh := newTn(slot)
+		if err := fresh.dev.Start(); err != nil {
+			t.Fatalf("slot %d: %v", slot, err)
+		}
+		h.K.RunFor(2 * sim.Millisecond)
+		if fresh.va.WorkDone() == 0 {
+			t.Fatalf("slot %d wedged: fresh tenant made no progress", slot)
+		}
+		fresh.dev.Reset()
+	}
+}

@@ -1,0 +1,273 @@
+// Package hv implements the OPTIMUS hypervisor (§4): a mediated
+// pass-through design in which control-plane operations (MMIO) are trapped
+// and emulated while the DMA data plane bypasses the hypervisor entirely.
+// It assembles the simulated machine (CPU-side memory, CCI-P shell,
+// hardware monitor, physical accelerators), manages VMs and their guest
+// address spaces, isolates each virtual accelerator's DMAs with page table
+// slicing, maintains the shadow IO page table, and temporally multiplexes
+// physical accelerators with preemptive round-robin, weighted, and
+// priority schedulers.
+package hv
+
+import (
+	"fmt"
+
+	"optimus/internal/accel"
+	"optimus/internal/ccip"
+	"optimus/internal/fpga"
+	"optimus/internal/hwmon"
+	"optimus/internal/mem"
+	"optimus/internal/sim"
+)
+
+// Mode selects the virtualization architecture.
+type Mode int
+
+// Modes.
+const (
+	// ModeOptimus runs the full hypervisor: hardware monitor, page table
+	// slicing, temporal multiplexing.
+	ModeOptimus Mode = iota
+	// ModePassThrough directly assigns the device: no monitor in the DMA
+	// path, a vIOMMU mapping GVA==IOVA, one VM per accelerator. This is
+	// the paper's baseline (§6.1).
+	ModePassThrough
+)
+
+// Trap-and-emulate cost model (§2.1: control-plane operations become more
+// expensive under virtualization).
+const (
+	// MMIOTrapCost is the latency of a trapped guest MMIO access.
+	MMIOTrapCost = 2 * sim.Microsecond
+	// MMIODirectCost is a native (unvirtualized) MMIO access.
+	MMIODirectCost = 300 * sim.Nanosecond
+	// HypercallCost is one shadow-paging hypercall round trip.
+	HypercallCost = 3 * sim.Microsecond
+)
+
+// Config assembles a platform.
+type Config struct {
+	// Accels names the physical accelerators synthesized on the FPGA
+	// (Table 1 abbreviations), one per slot, up to 8.
+	Accels []string
+	// Mode selects OPTIMUS or the pass-through baseline.
+	Mode Mode
+	// MemBytes is host DRAM (default 188 GB, the paper's testbed).
+	MemBytes uint64
+	// PageSize is the platform page size: 2 MB (default) or 4 KB (§6.5).
+	PageSize uint64
+	// SliceSize is each virtual accelerator's IOVA slice (default 64 GB).
+	SliceSize uint64
+	// SliceGuard is the inter-slice gap for IOTLB conflict mitigation
+	// (default 128 MB; set negative... use DisableGuard to turn off).
+	SliceGuard uint64
+	// DisableGuard turns off IOTLB conflict mitigation (ablation).
+	DisableGuard bool
+	// TimeSlice is the temporal-multiplexing quantum (default 10 ms).
+	TimeSlice sim.Time
+	// PreemptTimeout bounds how long the hypervisor waits for an
+	// accelerator to cede control before forcibly resetting it (§4.2).
+	PreemptTimeout sim.Time
+	// Shell overrides the interconnect configuration.
+	Shell *ccip.Config
+	// Monitor overrides hardware monitor parameters (NumAccels is derived
+	// from Accels).
+	Monitor hwmon.Config
+	// Seed drives all platform randomness.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MemBytes == 0 {
+		c.MemBytes = 188 << 30
+	}
+	if c.PageSize == 0 {
+		c.PageSize = mem.PageSize2M
+	}
+	if c.SliceSize == 0 {
+		c.SliceSize = 64 << 30
+	}
+	if c.SliceGuard == 0 {
+		c.SliceGuard = 128 << 20
+		if c.PageSize == mem.PageSize4K {
+			// 128 MB is a multiple of 512 pages at every page size the
+			// IOTLB indexes with 9 bits, so by itself it would not stagger
+			// 4 KB-page set indices at all. Add 64 pages so consecutive
+			// slices land 64 sets apart (the same effect the plain 128 MB
+			// gap has for 2 MB pages).
+			c.SliceGuard += 64 * mem.PageSize4K
+		}
+	}
+	if c.DisableGuard {
+		c.SliceGuard = 0
+	}
+	if c.TimeSlice == 0 {
+		c.TimeSlice = 10 * sim.Millisecond
+	}
+	if c.PreemptTimeout == 0 {
+		c.PreemptTimeout = 5 * sim.Millisecond
+	}
+	return c
+}
+
+// PhysAccel is one physical accelerator slot.
+type PhysAccel struct {
+	Slot  int
+	Name  string
+	Accel *accel.Accel
+	sched *scheduler
+}
+
+// Hypervisor owns the simulated machine and its virtualization state.
+type Hypervisor struct {
+	cfg Config
+
+	K       *sim.Kernel
+	Mem     *mem.PhysMem
+	Shell   *ccip.Shell
+	Monitor *hwmon.Monitor // nil in pass-through mode
+	Phys    []*PhysAccel
+
+	frames *mem.FrameAllocator
+
+	vms       []*VM
+	nextVMID  int
+	slicePool []int
+	nextSlice int
+
+	stats Stats
+}
+
+// Stats counts hypervisor events.
+type Stats struct {
+	MMIOTraps       uint64
+	Hypercalls      uint64
+	ContextSwitches uint64
+	ForcedResets    uint64
+	PagesPinned     uint64
+}
+
+// New assembles a platform per cfg.
+func New(cfg Config) (*Hypervisor, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Accels) == 0 || len(cfg.Accels) > 8 {
+		return nil, fmt.Errorf("hv: %d accelerators (want 1–8)", len(cfg.Accels))
+	}
+	k := sim.NewKernel()
+	pm := mem.NewPhysMem(cfg.MemBytes)
+	shellCfg := ccip.DefaultConfig()
+	if cfg.Shell != nil {
+		shellCfg = *cfg.Shell
+	}
+	shellCfg.PageSize = cfg.PageSize
+	shellCfg.Seed = cfg.Seed
+	shell := ccip.NewShell(k, pm, shellCfg)
+
+	h := &Hypervisor{
+		cfg:    cfg,
+		K:      k,
+		Mem:    pm,
+		Shell:  shell,
+		frames: mem.NewFrameAllocator(0, cfg.MemBytes),
+	}
+
+	var ports []ccip.Port
+	if cfg.Mode == ModeOptimus {
+		mcfg := cfg.Monitor
+		mcfg.NumAccels = len(cfg.Accels)
+		if mcfg.Topology.Arity == 0 && !mcfg.Topology.Flat {
+			mcfg.Topology = fpga.MuxTopology{Arity: 2}
+		}
+		mon, err := hwmon.New(k, shell, mcfg)
+		if err != nil {
+			return nil, err
+		}
+		h.Monitor = mon
+		for i := range cfg.Accels {
+			ports = append(ports, mon.AccelPort(i))
+		}
+	} else {
+		for range cfg.Accels {
+			ports = append(ports, shell)
+		}
+	}
+
+	for i, name := range cfg.Accels {
+		a, err := accel.NewByName(name)
+		if err != nil {
+			return nil, err
+		}
+		a.Attach(k, ports[i])
+		if h.Monitor != nil {
+			if err := h.Monitor.RegisterAccel(i, a, a.Reset); err != nil {
+				return nil, err
+			}
+		}
+		pa := &PhysAccel{Slot: i, Name: name, Accel: a}
+		pa.sched = newScheduler(h, pa)
+		a.OnStatusChange(pa.sched.onStatus)
+		h.Phys = append(h.Phys, pa)
+	}
+	return h, nil
+}
+
+// Config returns the (defaulted) configuration.
+func (h *Hypervisor) Config() Config { return h.cfg }
+
+// Stats returns a copy of the hypervisor counters.
+func (h *Hypervisor) Stats() Stats { return h.stats }
+
+// Phy returns the physical accelerator in slot i.
+func (h *Hypervisor) Phy(i int) *PhysAccel { return h.Phys[i] }
+
+// ReplaceAccel installs a custom accelerator in slot i — the path for
+// designs written against the accel.Logic interface outside the built-in
+// catalog. The accelerator is attached to the slot's DMA port, registered
+// with the hardware monitor, and wired to the slot's scheduler. Call
+// before any virtual accelerator on the slot starts a job.
+func (h *Hypervisor) ReplaceAccel(i int, a *accel.Accel) error {
+	if i < 0 || i >= len(h.Phys) {
+		return fmt.Errorf("hv: no slot %d", i)
+	}
+	pa := h.Phys[i]
+	if h.Monitor != nil {
+		a.Attach(h.K, h.Monitor.AccelPort(i))
+		if err := h.Monitor.RegisterAccel(i, a, a.Reset); err != nil {
+			return err
+		}
+	} else {
+		a.Attach(h.K, h.Shell)
+	}
+	a.OnStatusChange(pa.sched.onStatus)
+	pa.Accel = a
+	pa.Name = a.Name()
+	return nil
+}
+
+// allocSlice hands out a unique IOVA slice index.
+func (h *Hypervisor) allocSlice() int {
+	if n := len(h.slicePool); n > 0 {
+		s := h.slicePool[n-1]
+		h.slicePool = h.slicePool[:n-1]
+		return s
+	}
+	s := h.nextSlice
+	h.nextSlice++
+	return s
+}
+
+func (h *Hypervisor) freeSlice(s int) { h.slicePool = append(h.slicePool, s) }
+
+// SliceIOVABase returns the IO-virtual base address of slice index s: 64 GB
+// slices separated by the 128 MB guard that keeps different accelerators'
+// hot pages out of each other's IOTLB sets (§5, "IOTLB Conflict
+// Mitigation").
+func (h *Hypervisor) SliceIOVABase(s int) uint64 {
+	return uint64(s) * (h.cfg.SliceSize + h.cfg.SliceGuard)
+}
+
+// Scheduler returns physical slot i's temporal-multiplexing scheduler
+// handle (policy configuration, occupancy accounting).
+func (h *Hypervisor) Scheduler(i int) *Scheduler {
+	return &Scheduler{s: h.Phys[i].sched}
+}

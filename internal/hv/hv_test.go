@@ -1,0 +1,539 @@
+package hv_test
+
+import (
+	"bytes"
+	stdaes "crypto/aes"
+	"testing"
+
+	"optimus/internal/accel"
+	"optimus/internal/guest"
+	"optimus/internal/hv"
+	"optimus/internal/sim"
+)
+
+// tenant bundles one VM + process + device for a slot.
+type tenant struct {
+	vm   *hv.VM
+	proc *hv.Process
+	dev  *guest.Device
+}
+
+func newTenant(t *testing.T, h *hv.Hypervisor, slot int) *tenant {
+	t.Helper()
+	vm, err := h.NewVM("vm", 10<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc := vm.NewProcess()
+	va, err := h.NewVAccel(proc, slot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := guest.Open(proc, va)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &tenant{vm: vm, proc: proc, dev: dev}
+}
+
+func TestFullStackAES(t *testing.T) {
+	h, err := hv.New(hv.Config{Accels: []string{"AES"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn := newTenant(t, h, 0)
+	d := tn.dev
+
+	key := []byte("A full-stack key")
+	keyBuf, err := d.AllocDMA(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Write(keyBuf, 0, key)
+	plain := make([]byte, 8192)
+	for i := range plain {
+		plain[i] = byte(i * 11)
+	}
+	src, _ := d.AllocDMA(uint64(len(plain)))
+	dst, _ := d.AllocDMA(uint64(len(plain)))
+	d.Write(src, 0, plain)
+
+	d.RegWrite(accel.XFArgSrc, src.Addr)
+	d.RegWrite(accel.XFArgDst, dst.Addr)
+	d.RegWrite(accel.XFArgLen, uint64(len(plain)))
+	d.RegWrite(accel.XFArgParam, keyBuf.Addr)
+	if err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	got := make([]byte, len(plain))
+	d.Read(dst, 0, got)
+	ref, _ := stdaes.NewCipher(key)
+	want := make([]byte, len(plain))
+	for i := 0; i < len(plain); i += 16 {
+		ref.Encrypt(want[i:i+16], plain[i:i+16])
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("full-stack AES output mismatch")
+	}
+	if h.Stats().Hypercalls == 0 || h.Stats().MMIOTraps == 0 {
+		t.Fatal("expected hypercalls and MMIO traps")
+	}
+}
+
+func TestSpatialIsolationTwoTenants(t *testing.T) {
+	// Two VMs on two physical accelerators write to the "same" guest
+	// virtual addresses; slicing must keep their memory disjoint.
+	h, err := hv.New(hv.Config{Accels: []string{"GRN", "GRN"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := newTenant(t, h, 0)
+	b := newTenant(t, h, 1)
+	bufA, _ := a.dev.AllocDMA(1 << 20)
+	bufB, _ := b.dev.AllocDMA(1 << 20)
+	if bufA.Addr != bufB.Addr {
+		t.Fatalf("expected identical GVAs (got %#x vs %#x) — the whole point of slicing", bufA.Addr, bufB.Addr)
+	}
+	for i, tn := range []*tenant{a, b} {
+		tn.dev.RegWrite(accel.GRNArgDst, bufA.Addr)
+		tn.dev.RegWrite(accel.GRNArgBytes, 1<<20)
+		tn.dev.RegWrite(accel.GRNArgSeed, uint64(100+i)) // different streams
+		tn.dev.RegWrite(accel.GRNArgStddev, 1<<12)
+		if err := tn.dev.Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.K.Run()
+	outA := make([]byte, 1<<20)
+	outB := make([]byte, 1<<20)
+	a.dev.Read(bufA, 0, outA)
+	b.dev.Read(bufB, 0, outB)
+	if bytes.Equal(outA, outB) {
+		t.Fatal("two tenants produced identical buffers: isolation broken")
+	}
+	// Both actually produced data.
+	if bytes.Equal(outA, make([]byte, 1<<20)) || bytes.Equal(outB, make([]byte, 1<<20)) {
+		t.Fatal("a tenant's buffer is empty")
+	}
+	if h.Monitor.Stats().RangeViolations != 0 {
+		t.Fatal("unexpected range violations")
+	}
+}
+
+func TestTemporalMultiplexingMB(t *testing.T) {
+	// Four infinite MemBench jobs share one physical accelerator under
+	// round-robin; all must make progress and occupancy must be fair.
+	h, err := hv.New(hv.Config{
+		Accels:    []string{"MB"},
+		TimeSlice: 500 * sim.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 4
+	tenants := make([]*tenant, n)
+	for i := range tenants {
+		tn := newTenant(t, h, 0)
+		tenants[i] = tn
+		buf, err := tn.dev.AllocDMA(8 << 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tn.dev.SetupStateBuffer(); err != nil {
+			t.Fatal(err)
+		}
+		tn.dev.RegWrite(accel.MBArgBase, buf.Addr)
+		tn.dev.RegWrite(accel.MBArgSize, buf.Size)
+		tn.dev.RegWrite(accel.MBArgBursts, 0) // run until preempted
+		tn.dev.RegWrite(accel.MBArgSeed, uint64(i))
+		if err := tn.dev.Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.K.RunFor(20 * sim.Millisecond)
+
+	var works [n]uint64
+	var runtimes [n]sim.Time
+	for i, tn := range tenants {
+		works[i] = tn.dev.VAccel().WorkDone()
+		runtimes[i] = tn.dev.VAccel().Runtime()
+		if works[i] == 0 {
+			t.Fatalf("tenant %d made no progress", i)
+		}
+		st, _ := tn.dev.Status()
+		if st != accel.StatusRunning {
+			t.Fatalf("tenant %d status = %s, want running", i, accel.StatusName(st))
+		}
+	}
+	// Occupancy fairness within 15% of each other.
+	var min, max sim.Time
+	min = 1 << 62
+	for _, r := range runtimes {
+		if r < min {
+			min = r
+		}
+		if r > max {
+			max = r
+		}
+	}
+	if min == 0 || float64(max)/float64(min) > 1.3 {
+		t.Fatalf("unfair occupancy: %v", runtimes)
+	}
+	if h.Scheduler(0).Switches() < 10 {
+		t.Fatalf("only %d context switches in 20ms of 0.5ms slices", h.Scheduler(0).Switches())
+	}
+}
+
+func TestTemporalCorrectnessLL(t *testing.T) {
+	// Two LinkedList jobs multiplexed on one accelerator must both produce
+	// correct checksums despite repeated preemption.
+	h, err := hv.New(hv.Config{
+		Accels:    []string{"LL"},
+		TimeSlice: 200 * sim.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type job struct {
+		tn   *tenant
+		sum  uint64
+		done bool
+	}
+	jobs := make([]*job, 2)
+	for i := range jobs {
+		tn := newTenant(t, h, 0)
+		buf, _ := tn.dev.AllocDMA(4 << 20)
+		tn.dev.SetupStateBuffer()
+		// Build a list in guest memory.
+		const nodes = 2000
+		rng := sim.NewRand(uint64(i) + 77)
+		order := rng.Perm(nodes)
+		addrs := make([]uint64, nodes)
+		for j, slot := range order {
+			addrs[j] = buf.Addr + uint64(slot)*64
+		}
+		var sum uint64
+		for j := 0; j < nodes; j++ {
+			node := make([]byte, 64)
+			var next uint64
+			if j+1 < nodes {
+				next = addrs[j+1]
+			}
+			payload := rng.Uint64()
+			sum += payload
+			for b := 0; b < 8; b++ {
+				node[b] = byte(next >> (8 * b))
+				node[8+b] = byte(payload >> (8 * b))
+			}
+			tn.proc.Write(addrs[j], node)
+		}
+		tn.dev.RegWrite(accel.LLArgHead, addrs[0])
+		j := &job{tn: tn, sum: sum}
+		jobs[i] = j
+		tn.dev.OnDone(func() { j.done = true })
+		if err := tn.dev.Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.K.RunFor(100 * sim.Millisecond)
+	for i, j := range jobs {
+		if !j.done {
+			t.Fatalf("job %d did not finish (work=%d)", i, j.tn.dev.VAccel().WorkDone())
+		}
+		got, _ := j.tn.dev.RegRead(accel.LLArgChecksum)
+		if got != j.sum {
+			t.Fatalf("job %d checksum %#x, want %#x (state corrupted across switches)", i, got, j.sum)
+		}
+	}
+	if h.Scheduler(0).Preemptions() == 0 {
+		t.Fatal("jobs never overlapped — test did not exercise preemption")
+	}
+}
+
+func TestForcedResetOnPreemptTimeout(t *testing.T) {
+	h, err := hv.New(hv.Config{
+		Accels:         []string{"MB"},
+		TimeSlice:      100 * sim.Microsecond,
+		PreemptTimeout: sim.Nanosecond, // nothing drains this fast
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := newTenant(t, h, 0)
+	b := newTenant(t, h, 0)
+	for i, tn := range []*tenant{a, b} {
+		buf, _ := tn.dev.AllocDMA(8 << 20)
+		tn.dev.SetupStateBuffer()
+		tn.dev.RegWrite(accel.MBArgBase, buf.Addr)
+		tn.dev.RegWrite(accel.MBArgSize, buf.Size)
+		tn.dev.RegWrite(accel.MBArgBursts, 0)
+		tn.dev.RegWrite(accel.MBArgSeed, uint64(i))
+		tn.dev.Start()
+	}
+	h.K.RunFor(5 * sim.Millisecond)
+	if h.Stats().ForcedResets == 0 {
+		t.Fatal("expected forced resets with a 1ns preemption timeout")
+	}
+	// The second tenant still runs (the slot was recovered).
+	if b.dev.VAccel().WorkDone() == 0 && a.dev.VAccel().WorkDone() == 0 {
+		t.Fatal("slot not recovered after forced reset")
+	}
+}
+
+func TestWeightedScheduler(t *testing.T) {
+	h, err := hv.New(hv.Config{
+		Accels:    []string{"MB"},
+		TimeSlice: 200 * sim.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Scheduler(0).SetPolicy(hv.PolicyWRR)
+	a := newTenant(t, h, 0)
+	b := newTenant(t, h, 0)
+	for i, tn := range []*tenant{a, b} {
+		buf, _ := tn.dev.AllocDMA(8 << 20)
+		tn.dev.SetupStateBuffer()
+		tn.dev.RegWrite(accel.MBArgBase, buf.Addr)
+		tn.dev.RegWrite(accel.MBArgSize, buf.Size)
+		tn.dev.RegWrite(accel.MBArgBursts, 0)
+		tn.dev.RegWrite(accel.MBArgSeed, uint64(i))
+	}
+	a.dev.VAccel().SetWeight(3)
+	b.dev.VAccel().SetWeight(1)
+	a.dev.Start()
+	b.dev.Start()
+	h.K.RunFor(20 * sim.Millisecond)
+	ra := float64(a.dev.VAccel().Runtime())
+	rb := float64(b.dev.VAccel().Runtime())
+	ratio := ra / rb
+	if ratio < 2.5 || ratio > 3.5 {
+		t.Fatalf("weighted 3:1 occupancy ratio = %.2f", ratio)
+	}
+}
+
+func TestPriorityScheduler(t *testing.T) {
+	h, err := hv.New(hv.Config{
+		Accels:    []string{"MB"},
+		TimeSlice: 200 * sim.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Scheduler(0).SetPolicy(hv.PolicyPriority)
+	lo := newTenant(t, h, 0)
+	hi := newTenant(t, h, 0)
+	for i, tn := range []*tenant{lo, hi} {
+		buf, _ := tn.dev.AllocDMA(8 << 20)
+		tn.dev.SetupStateBuffer()
+		tn.dev.RegWrite(accel.MBArgBase, buf.Addr)
+		tn.dev.RegWrite(accel.MBArgSize, buf.Size)
+		tn.dev.RegWrite(accel.MBArgBursts, 0)
+		tn.dev.RegWrite(accel.MBArgSeed, uint64(i))
+	}
+	lo.dev.VAccel().SetPriority(1)
+	hi.dev.VAccel().SetPriority(9)
+	lo.dev.Start()
+	hi.dev.Start()
+	h.K.RunFor(10 * sim.Millisecond)
+	rl := lo.dev.VAccel().Runtime()
+	rh := hi.dev.VAccel().Runtime()
+	// High priority should monopolize (low got at most the pre-start slice).
+	if rh < 20*rl {
+		t.Fatalf("priority not enforced: hi=%v lo=%v", rh, rl)
+	}
+}
+
+func TestPassThroughMode(t *testing.T) {
+	h, err := hv.New(hv.Config{Accels: []string{"LL"}, Mode: hv.ModePassThrough})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Monitor != nil {
+		t.Fatal("pass-through mode should have no hardware monitor")
+	}
+	tn := newTenant(t, h, 0)
+	// Second assignment to the same slot must fail.
+	if _, err := h.NewVAccel(tn.proc, 0); err == nil {
+		t.Fatal("pass-through double assignment accepted")
+	}
+	buf, _ := tn.dev.AllocDMA(1 << 20)
+	// Tiny list.
+	for j := 0; j < 10; j++ {
+		node := make([]byte, 64)
+		var next uint64
+		if j+1 < 10 {
+			next = buf.Addr + uint64(j+1)*64
+		}
+		for b := 0; b < 8; b++ {
+			node[b] = byte(next >> (8 * b))
+		}
+		tn.proc.Write(buf.Addr+uint64(j)*64, node)
+	}
+	tn.dev.RegWrite(accel.LLArgHead, buf.Addr)
+	if err := tn.dev.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tn.dev.VAccel().WorkDone(); got != 10 {
+		t.Fatalf("visited %d nodes, want 10", got)
+	}
+}
+
+func TestHypercallValidation(t *testing.T) {
+	h, _ := hv.New(hv.Config{Accels: []string{"LL"}})
+	vm, _ := h.NewVM("vm", 1<<30)
+	proc := vm.NewProcess()
+	va, _ := h.NewVAccel(proc, 0)
+	// GVA outside the DMA region.
+	if err := va.MapPage(0x1000, 0); err == nil {
+		t.Fatal("hypercall for out-of-region GVA accepted")
+	}
+	// GVA not mapped in the guest at all (lying about GPA).
+	if err := va.MapPage(proc.DMABase, 0); err == nil {
+		t.Fatal("hypercall with unbacked GVA accepted")
+	}
+	// Misaligned.
+	if err := va.MapPage(proc.DMABase+3, 0); err == nil {
+		t.Fatal("misaligned hypercall accepted")
+	}
+}
+
+func TestVAccelCloseReleasesSlice(t *testing.T) {
+	h, _ := hv.New(hv.Config{Accels: []string{"LL"}})
+	vm, _ := h.NewVM("vm", 1<<30)
+	proc := vm.NewProcess()
+	va, _ := h.NewVAccel(proc, 0)
+	s0 := va.Slice()
+	dev, _ := guest.Open(proc, va)
+	if _, err := dev.AllocDMA(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	va.Close()
+	va2, _ := h.NewVAccel(proc, 0)
+	if va2.Slice() != s0 {
+		t.Fatalf("slice not recycled: got %d, want %d", va2.Slice(), s0)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := hv.New(hv.Config{}); err == nil {
+		t.Fatal("empty accel list accepted")
+	}
+	nine := make([]string, 9)
+	for i := range nine {
+		nine[i] = "LL"
+	}
+	if _, err := hv.New(hv.Config{Accels: nine}); err == nil {
+		t.Fatal("9 accelerators accepted")
+	}
+	if _, err := hv.New(hv.Config{Accels: []string{"BOGUS"}}); err == nil {
+		t.Fatal("unknown accelerator accepted")
+	}
+}
+
+func TestSliceGuardGeometry(t *testing.T) {
+	h, _ := hv.New(hv.Config{Accels: []string{"LL"}})
+	gap := h.SliceIOVABase(1) - h.SliceIOVABase(0)
+	if gap != (64<<30)+(128<<20) {
+		t.Fatalf("slice stride = %#x, want 64G+128M", gap)
+	}
+	h2, _ := hv.New(hv.Config{Accels: []string{"LL"}, DisableGuard: true})
+	if h2.SliceIOVABase(1)-h2.SliceIOVABase(0) != 64<<30 {
+		t.Fatal("guard not disabled")
+	}
+}
+
+func TestMigrationIdleVAccel(t *testing.T) {
+	h, err := hv.New(hv.Config{Accels: []string{"LL", "LL"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn := newTenant(t, h, 0)
+	if err := h.Migrate(tn.dev.VAccel(), 1); err != nil {
+		t.Fatal(err)
+	}
+	if tn.dev.VAccel().Phys().Slot != 1 {
+		t.Fatal("vaccel did not move")
+	}
+	// Run a job on the new slot.
+	buf, _ := tn.dev.AllocDMA(1 << 20)
+	for j := 0; j < 10; j++ {
+		node := make([]byte, 64)
+		var next uint64
+		if j+1 < 10 {
+			next = buf.Addr + uint64(j+1)*64
+		}
+		for b := 0; b < 8; b++ {
+			node[b] = byte(next >> (8 * b))
+		}
+		tn.proc.Write(buf.Addr+uint64(j)*64, node)
+	}
+	tn.dev.RegWrite(accel.LLArgHead, buf.Addr)
+	if err := tn.dev.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if tn.dev.VAccel().WorkDone() != 10 {
+		t.Fatal("job did not run on destination slot")
+	}
+}
+
+func TestMigrationRunningJob(t *testing.T) {
+	// A running MemBench migrates mid-job and continues on the new slot
+	// with its progress intact.
+	h, err := hv.New(hv.Config{Accels: []string{"MB", "MB"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn := newTenant(t, h, 0)
+	buf, _ := tn.dev.AllocDMA(8 << 20)
+	tn.dev.SetupStateBuffer()
+	tn.dev.RegWrite(accel.MBArgBase, buf.Addr)
+	tn.dev.RegWrite(accel.MBArgSize, buf.Size)
+	tn.dev.RegWrite(accel.MBArgBursts, 0)
+	tn.dev.RegWrite(accel.MBArgSeed, 1)
+	tn.dev.Start()
+	h.K.RunFor(2 * sim.Millisecond)
+	workBefore := tn.dev.VAccel().WorkDone()
+	if workBefore == 0 {
+		t.Fatal("no progress before migration")
+	}
+	if err := h.Migrate(tn.dev.VAccel(), 1); err != nil {
+		t.Fatal(err)
+	}
+	h.K.RunFor(2 * sim.Millisecond)
+	if tn.dev.VAccel().Phys().Slot != 1 {
+		t.Fatal("vaccel not on destination slot")
+	}
+	st, _ := tn.dev.Status()
+	if st != accel.StatusRunning {
+		t.Fatalf("status after migration = %s (%v)", accel.StatusName(st), tn.dev.VAccel().Failed())
+	}
+	workAfter := tn.dev.VAccel().WorkDone()
+	if workAfter <= workBefore {
+		t.Fatalf("no progress after migration: %d -> %d", workBefore, workAfter)
+	}
+	// The source slot is free for new work.
+	tn2 := newTenant(t, h, 0)
+	buf2, _ := tn2.dev.AllocDMA(4 << 20)
+	tn2.dev.RegWrite(accel.MBArgBase, buf2.Addr)
+	tn2.dev.RegWrite(accel.MBArgSize, buf2.Size)
+	tn2.dev.RegWrite(accel.MBArgBursts, 100)
+	if err := tn2.dev.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMigrationValidation(t *testing.T) {
+	h, _ := hv.New(hv.Config{Accels: []string{"MB", "LL"}})
+	tn := newTenant(t, h, 0)
+	if err := h.Migrate(tn.dev.VAccel(), 1); err == nil {
+		t.Fatal("cross-type migration accepted")
+	}
+	if err := h.Migrate(tn.dev.VAccel(), 5); err == nil {
+		t.Fatal("bad slot accepted")
+	}
+	if err := h.Migrate(tn.dev.VAccel(), 0); err != nil {
+		t.Fatal("self-migration should be a no-op")
+	}
+}

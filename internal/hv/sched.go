@@ -1,0 +1,454 @@
+package hv
+
+import (
+	"fmt"
+
+	"optimus/internal/accel"
+	"optimus/internal/sim"
+)
+
+// Policy selects the temporal-multiplexing algorithm (§5, §6.8).
+type Policy int
+
+// Policies.
+const (
+	// PolicyRR is unweighted round-robin: equal time slices (default).
+	PolicyRR Policy = iota
+	// PolicyWRR scales each virtual accelerator's slice by its weight.
+	PolicyWRR
+	// PolicyPriority always runs the highest-priority active job;
+	// equal priorities round-robin.
+	PolicyPriority
+)
+
+// ContextSwitchCost is the fixed hypervisor-side cost of one virtual
+// accelerator context switch (vfio-mdev bookkeeping, register
+// synchronization) beyond the accelerator's own drain/save/restore DMAs.
+// Calibrated so LinkedList's preemption overhead lands near the paper's
+// ≈0.5% of a 10 ms slice (§6.6).
+const ContextSwitchCost = 40 * sim.Microsecond
+
+// scheduler temporally multiplexes one physical accelerator among its
+// virtual accelerators.
+type scheduler struct {
+	hv *Hypervisor
+	pa *PhysAccel
+
+	policy  Policy
+	vaccels []*VAccel
+	rrNext  int
+
+	current   *VAccel
+	switching bool
+	epoch     uint64 // invalidates stale slice timers and timeouts
+
+	scheduledAt sim.Time
+	switches    uint64
+	preemptions uint64
+
+	// migrateHook, when set, consumes the next completed preemption: the
+	// saved context moves to another slot instead of rescheduling here.
+	migrateHook func()
+}
+
+func newScheduler(h *Hypervisor, pa *PhysAccel) *scheduler {
+	return &scheduler{hv: h, pa: pa}
+}
+
+func (s *scheduler) attach(va *VAccel) { s.vaccels = append(s.vaccels, va) }
+
+func (s *scheduler) detach(va *VAccel) {
+	for i, v := range s.vaccels {
+		if v == va {
+			s.vaccels = append(s.vaccels[:i], s.vaccels[i+1:]...)
+			break
+		}
+	}
+	if s.current != va {
+		return
+	}
+	// Tear down whatever state the vaccel held, including an in-flight
+	// preemption handshake: bumping the epoch cancels its timers, clearing
+	// switching un-wedges the slot, and the reset fences stale responses.
+	va.runTime += s.hv.K.Now() - s.scheduledAt
+	va.scheduled = false
+	s.current = nil
+	s.epoch++
+	s.migrateHook = nil
+	s.switching = false
+	if s.hv.Monitor != nil {
+		s.hv.Monitor.Reset(s.pa.Slot)
+	} else {
+		s.pa.Accel.Reset()
+	}
+	s.kick()
+}
+
+// active reports whether va has work for the physical accelerator.
+func active(va *VAccel) bool { return va.jobActive && va.failure == nil }
+
+// kick tries to schedule when the slot is free.
+func (s *scheduler) kick() {
+	if s.current != nil || s.switching {
+		return
+	}
+	s.scheduleNext()
+}
+
+// onStatus is wired to the physical accelerator's status hook. Handling is
+// deferred one event so MMIO-triggered transitions never reenter the
+// scheduler mid-operation.
+func (s *scheduler) onStatus(st uint64) {
+	switch st {
+	case accel.StatusSaved:
+		if s.switching {
+			s.hv.K.After(0, func() { s.finishPreempt() })
+		}
+	case accel.StatusDone, accel.StatusError:
+		if s.current != nil && !s.switching {
+			s.hv.K.After(0, func() { s.completeCurrent() })
+		}
+	}
+}
+
+// sliceFor returns the quantum the policy grants va.
+func (s *scheduler) sliceFor(va *VAccel) sim.Time {
+	q := s.hv.cfg.TimeSlice
+	if s.policy == PolicyWRR {
+		q *= sim.Time(va.weight)
+	}
+	return q
+}
+
+// armTimer schedules the end-of-slice event for the current vaccel.
+func (s *scheduler) armTimer() {
+	epoch := s.epoch
+	va := s.current
+	s.hv.K.After(s.sliceFor(va), func() { s.sliceExpired(epoch) })
+}
+
+func (s *scheduler) sliceExpired(epoch uint64) {
+	if epoch != s.epoch || s.current == nil || s.switching {
+		return
+	}
+	// Anyone else waiting? If not, let the job run through: no switch, no
+	// overhead (Fig. 8's one-job baseline).
+	if !s.hasOtherActive(s.current) {
+		s.armTimer()
+		return
+	}
+	s.beginPreempt()
+}
+
+// beginPreempt starts the preemption handshake with the physical
+// accelerator (§4.2): point it at the guest's state buffer, issue PREEMPT,
+// and bound the wait with the forced-reset timeout.
+func (s *scheduler) beginPreempt() {
+	s.switching = true
+	s.preemptions++
+	va := s.current
+	epoch := s.epoch
+	s.hv.K.After(2*MMIODirectCost, func() {
+		if epoch != s.epoch {
+			return
+		}
+		va.physMMIOWrite(accel.RegStateAddr, va.stateAddr)
+		va.physMMIOWrite(accel.RegCtrl, accel.CmdPreempt)
+		switch s.pa.Accel.Status() {
+		case accel.StatusDone, accel.StatusError:
+			// The job finished in the window before PREEMPT landed; there
+			// is nothing to save — handle it as a completion.
+			s.migrateHook = nil
+			s.hv.K.After(0, func() {
+				if epoch != s.epoch {
+					return
+				}
+				s.switching = false
+				s.completeCurrent()
+			})
+		default:
+			// Saved may already have been reported synchronously (empty
+			// pipeline); onStatus has queued finishPreempt in that case.
+			s.hv.K.After(s.hv.cfg.PreemptTimeout, func() { s.preemptTimeout(epoch) })
+		}
+	})
+}
+
+// preemptTimeout forcibly resets an accelerator that failed to cede
+// control within the configured window (§4.2).
+func (s *scheduler) preemptTimeout(epoch uint64) {
+	if epoch != s.epoch || !s.switching {
+		return
+	}
+	if s.pa.Accel.Status() == accel.StatusSaved {
+		return // finishPreempt already queued
+	}
+	va := s.current
+	if va == nil {
+		return // the vaccel was detached mid-handshake
+	}
+	s.hv.stats.ForcedResets++
+	s.migrateHook = nil
+	va.failure = fmt.Errorf("hv: accelerator %s failed to cede control; forcibly reset", s.pa.Name)
+	va.jobActive = false
+	va.vstatus = accel.StatusError
+	s.descheduleCurrent(false)
+	notifyDone(va)
+	s.hv.K.After(ContextSwitchCost, func() {
+		s.switching = false
+		s.kick()
+	})
+}
+
+// finishPreempt runs once the accelerator reports its state saved.
+func (s *scheduler) finishPreempt() {
+	if !s.switching || s.current == nil {
+		return
+	}
+	if s.pa.Accel.Status() != accel.StatusSaved {
+		return // stale event (e.g. forced reset already handled it)
+	}
+	va := s.current
+	va.hasSavedState = true
+	va.pendingStart = false
+	s.descheduleCurrent(true)
+	s.hv.stats.ContextSwitches++
+	s.switches++
+	hook := s.migrateHook
+	s.migrateHook = nil
+	s.hv.K.After(ContextSwitchCost, func() {
+		s.switching = false
+		if hook != nil {
+			hook()
+		}
+		s.scheduleNext()
+	})
+}
+
+// descheduleCurrent synchronizes the software register cache from the
+// hardware and resets the physical accelerator for isolation (§4.1).
+func (s *scheduler) descheduleCurrent(snapshot bool) {
+	va := s.current
+	if snapshot {
+		for i := 0; i < accel.NumArgRegs; i++ {
+			va.args[i] = s.pa.Accel.Arg(i)
+		}
+		va.workDone = s.pa.Accel.WorkDone()
+	}
+	va.runTime += s.hv.K.Now() - s.scheduledAt
+	va.scheduled = false
+	s.current = nil
+	s.epoch++
+	if s.hv.Monitor != nil {
+		s.hv.Monitor.Reset(s.pa.Slot)
+	} else {
+		s.pa.Accel.Reset()
+	}
+}
+
+// completeCurrent handles a job finishing (or failing) on the hardware.
+func (s *scheduler) completeCurrent() {
+	va := s.current
+	if va == nil || s.switching {
+		return
+	}
+	st := s.pa.Accel.Status()
+	if st != accel.StatusDone && st != accel.StatusError {
+		return // stale notification
+	}
+	if st == accel.StatusError {
+		va.failure = fmt.Errorf("hv: job failed: %v", s.pa.Accel.LastErr())
+	}
+	va.jobActive = false
+	va.pendingStart = false
+	va.hasSavedState = false
+	va.vstatus = st
+	s.descheduleCurrent(true)
+	notifyDone(va)
+	s.switching = true
+	s.hv.K.After(ContextSwitchCost, func() {
+		s.switching = false
+		s.scheduleNext()
+	})
+}
+
+func notifyDone(va *VAccel) {
+	ws := va.doneWaiters
+	va.doneWaiters = nil
+	for _, fn := range ws {
+		fn()
+	}
+}
+
+// hasOtherActive reports whether any vaccel besides skip has work, without
+// disturbing the round-robin cursor.
+func (s *scheduler) hasOtherActive(skip *VAccel) bool {
+	for _, va := range s.vaccels {
+		if va != skip && active(va) {
+			return true
+		}
+	}
+	return false
+}
+
+// pickNext chooses the next active vaccel per policy, excluding skip.
+func (s *scheduler) pickNext(skip *VAccel) *VAccel {
+	n := len(s.vaccels)
+	if n == 0 {
+		return nil
+	}
+	switch s.policy {
+	case PolicyPriority:
+		var best *VAccel
+		bestIdx := -1
+		for i := 0; i < n; i++ {
+			idx := (s.rrNext + i) % n
+			va := s.vaccels[idx]
+			if va == skip || !active(va) {
+				continue
+			}
+			if best == nil || va.priority > best.priority {
+				best = va
+				bestIdx = idx
+			}
+		}
+		if best != nil {
+			s.rrNext = (bestIdx + 1) % n
+		}
+		return best
+	default:
+		for i := 0; i < n; i++ {
+			idx := (s.rrNext + i) % n
+			va := s.vaccels[idx]
+			if va == skip || !active(va) {
+				continue
+			}
+			s.rrNext = (idx + 1) % n
+			return va
+		}
+		return nil
+	}
+}
+
+// scheduleNext programs and launches the next active vaccel, if any.
+func (s *scheduler) scheduleNext() {
+	if s.current != nil || s.switching {
+		return
+	}
+	va := s.pickNext(nil)
+	if va == nil {
+		// Allow re-running the vaccel that just ran (single tenant).
+		return
+	}
+	s.program(va)
+}
+
+// program installs va's context on the physical accelerator: the slicing
+// window in the VCU offset table, the cached application registers, the
+// state buffer pointer, then START or RESUME.
+func (s *scheduler) program(va *VAccel) {
+	s.current = va
+	va.scheduled = true
+	s.scheduledAt = s.hv.K.Now()
+	s.epoch++
+	if s.hv.Monitor != nil {
+		s.hv.Monitor.SetWindow(s.pa.Slot, va.dmaBase, s.hv.SliceIOVABase(va.slice), s.hv.cfg.SliceSize)
+	}
+	for i := 0; i < accel.NumArgRegs; i++ {
+		if va.args[i] != 0 {
+			va.physMMIOWrite(accel.RegArgBase+uint64(8*i), va.args[i])
+		}
+	}
+	va.physMMIOWrite(accel.RegStateAddr, va.stateAddr)
+	if va.hasSavedState {
+		va.physMMIOWrite(accel.RegCtrl, accel.CmdResume)
+	} else if va.pendingStart {
+		va.physMMIOWrite(accel.RegCtrl, accel.CmdStart)
+	}
+	s.armTimer()
+}
+
+// Migrate moves a virtual accelerator to another physical slot of the same
+// accelerator type — the capability §7.1 notes OPTIMUS's preemption
+// interface theoretically enables (e.g. to drain an FPGA before
+// reconfiguration). If the vaccel is running, it is preempted and its saved
+// state resumes on the destination; a queued or idle vaccel simply moves.
+// The IOVA slice travels with the vaccel, so its IOPT mappings stay valid.
+func (h *Hypervisor) Migrate(va *VAccel, toSlot int) error {
+	if toSlot < 0 || toSlot >= len(h.Phys) {
+		return fmt.Errorf("hv: no slot %d", toSlot)
+	}
+	dst := h.Phys[toSlot]
+	src := va.phys
+	if dst == src {
+		return nil
+	}
+	if dst.Name != src.Name {
+		return fmt.Errorf("hv: cannot migrate %s job to %s accelerator", src.Name, dst.Name)
+	}
+	if h.cfg.Mode == ModePassThrough {
+		return fmt.Errorf("hv: migration requires OPTIMUS mode")
+	}
+	move := func() {
+		src.sched.detach(va)
+		va.phys = dst
+		dst.sched.attach(va)
+		dst.sched.kick()
+	}
+	if src.sched.current != va {
+		move() // queued or idle: no hardware state to save
+		return nil
+	}
+	// Running: preempt through the normal handshake, then move the saved
+	// context instead of rescheduling it here.
+	s := src.sched
+	if s.switching {
+		return fmt.Errorf("hv: slot %d is mid-context-switch; retry", src.Slot)
+	}
+	s.switching = true
+	s.preemptions++
+	epoch := s.epoch
+	s.migrateHook = move
+	h.K.After(2*MMIODirectCost, func() {
+		if epoch != s.epoch {
+			return
+		}
+		va.physMMIOWrite(accel.RegStateAddr, va.stateAddr)
+		va.physMMIOWrite(accel.RegCtrl, accel.CmdPreempt)
+		switch src.Accel.Status() {
+		case accel.StatusDone, accel.StatusError:
+			// The job ended before PREEMPT landed: complete it here, then
+			// move the (now idle) virtual accelerator.
+			s.migrateHook = nil
+			h.K.After(0, func() {
+				if epoch != s.epoch {
+					return
+				}
+				s.switching = false
+				s.completeCurrent()
+				move()
+			})
+		default:
+			h.K.After(h.cfg.PreemptTimeout, func() { s.preemptTimeout(epoch) })
+		}
+	})
+	return nil
+}
+
+// Scheduler is the public handle for a physical slot's scheduler.
+type Scheduler struct{ s *scheduler }
+
+// SetPolicy selects the scheduling policy.
+func (sc *Scheduler) SetPolicy(p Policy) { sc.s.policy = p }
+
+// Policy returns the active policy.
+func (sc *Scheduler) Policy() Policy { return sc.s.policy }
+
+// Switches returns the number of completed preemption context switches.
+func (sc *Scheduler) Switches() uint64 { return sc.s.switches }
+
+// Preemptions returns the number of preemption handshakes initiated.
+func (sc *Scheduler) Preemptions() uint64 { return sc.s.preemptions }
+
+// Queued returns the number of attached virtual accelerators.
+func (sc *Scheduler) Queued() int { return len(sc.s.vaccels) }

@@ -1,0 +1,202 @@
+package hv_test
+
+import (
+	"testing"
+
+	"optimus/internal/accel"
+	"optimus/internal/hv"
+	"optimus/internal/sim"
+)
+
+func TestBAR0UnknownRegisters(t *testing.T) {
+	h, _ := hv.New(hv.Config{Accels: []string{"LL"}})
+	tn := newTenant(t, h, 0)
+	va := tn.dev.VAccel()
+	if _, err := va.BAR0Read(0x999); err == nil {
+		t.Fatal("unknown BAR0 read accepted")
+	}
+	if err := va.BAR0Write(0x999, 1); err == nil {
+		t.Fatal("unknown BAR0 write accepted")
+	}
+	// Misaligned application register.
+	if err := va.BAR0Write(accel.RegArgBase+4, 1); err == nil {
+		t.Fatal("misaligned register write accepted")
+	}
+}
+
+func TestGuestCannotPreempt(t *testing.T) {
+	// Control registers are privileged (§4.2): guests may only START.
+	h, _ := hv.New(hv.Config{Accels: []string{"LL"}})
+	tn := newTenant(t, h, 0)
+	va := tn.dev.VAccel()
+	if err := va.BAR0Write(accel.RegCtrl, accel.CmdPreempt); err == nil {
+		t.Fatal("guest PREEMPT accepted")
+	}
+	if err := va.BAR0Write(accel.RegCtrl, accel.CmdResume); err == nil {
+		t.Fatal("guest RESUME accepted")
+	}
+}
+
+func TestVirtualStatusHidesHardware(t *testing.T) {
+	// A descheduled-but-active job must report "running" even though the
+	// physical accelerator is executing someone else (§4.2: the hypervisor
+	// hides the hardware status).
+	h, _ := hv.New(hv.Config{Accels: []string{"MB"}, TimeSlice: 500 * sim.Microsecond})
+	a := newTenant(t, h, 0)
+	b := newTenant(t, h, 0)
+	for i, tn := range []*tenant{a, b} {
+		buf, _ := tn.dev.AllocDMA(4 << 20)
+		tn.dev.SetupStateBuffer()
+		tn.dev.RegWrite(accel.MBArgBase, buf.Addr)
+		tn.dev.RegWrite(accel.MBArgSize, buf.Size)
+		tn.dev.RegWrite(accel.MBArgBursts, 0)
+		tn.dev.RegWrite(accel.MBArgSeed, uint64(i))
+		tn.dev.Start()
+	}
+	h.K.RunFor(3 * sim.Millisecond)
+	schedCount := 0
+	for _, tn := range []*tenant{a, b} {
+		st, err := tn.dev.Status()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st != accel.StatusRunning {
+			t.Fatalf("status = %s, want running regardless of scheduling", accel.StatusName(st))
+		}
+		if tn.dev.VAccel().Scheduled() {
+			schedCount++
+		}
+	}
+	if schedCount != 1 {
+		t.Fatalf("%d vaccels scheduled on 1 slot", schedCount)
+	}
+}
+
+func TestArgRegistersCachedWhileDescheduled(t *testing.T) {
+	h, _ := hv.New(hv.Config{Accels: []string{"MB"}, TimeSlice: sim.Millisecond})
+	a := newTenant(t, h, 0)
+	b := newTenant(t, h, 0)
+	// a runs; b is queued. b's register writes must be cached and visible
+	// to reads while descheduled.
+	bufA, _ := a.dev.AllocDMA(4 << 20)
+	a.dev.SetupStateBuffer()
+	a.dev.RegWrite(accel.MBArgBase, bufA.Addr)
+	a.dev.RegWrite(accel.MBArgSize, bufA.Size)
+	a.dev.RegWrite(accel.MBArgBursts, 0)
+	a.dev.Start()
+	if !a.dev.VAccel().Scheduled() {
+		t.Fatal("a should hold the slot")
+	}
+	b.dev.RegWrite(accel.MBArgSeed, 0xabcd)
+	if got, _ := b.dev.RegRead(accel.MBArgSeed); got != 0xabcd {
+		t.Fatalf("cached register = %#x", got)
+	}
+	// The physical accelerator must NOT have seen b's write.
+	if got := h.Phy(0).Accel.Arg(accel.MBArgSeed); got == 0xabcd {
+		t.Fatal("descheduled write leaked to hardware")
+	}
+}
+
+func TestBAR2SliceReadback(t *testing.T) {
+	h, _ := hv.New(hv.Config{Accels: []string{"LL", "LL"}})
+	a := newTenant(t, h, 0)
+	b := newTenant(t, h, 1)
+	sa, _ := a.dev.VAccel().BAR2Read(hv.BAR2RegSlice)
+	sb, _ := b.dev.VAccel().BAR2Read(hv.BAR2RegSlice)
+	if sa == sb {
+		t.Fatal("two vaccels share a slice base")
+	}
+	if _, err := a.dev.VAccel().BAR2Read(0x999); err == nil {
+		t.Fatal("unknown BAR2 register accepted")
+	}
+	if err := a.dev.VAccel().BAR2Write(0x999, 1); err == nil {
+		t.Fatal("unknown BAR2 write accepted")
+	}
+}
+
+func TestProcessReadWriteAcrossPages(t *testing.T) {
+	h, _ := hv.New(hv.Config{Accels: []string{"LL"}})
+	vm, _ := h.NewVM("vm", 1<<30)
+	proc := vm.NewProcess()
+	ps := vm.PageSize()
+	// Straddle a page boundary.
+	addr := proc.DMABase + ps - 100
+	data := make([]byte, 300)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if err := proc.Write(addr, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 300)
+	if err := proc.Read(addr, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("byte %d: %d != %d", i, got[i], data[i])
+		}
+	}
+	// Word helpers.
+	if err := proc.WriteU64(addr, 0x1122334455667788); err != nil {
+		t.Fatal(err)
+	}
+	v, err := proc.ReadU64(addr)
+	if err != nil || v != 0x1122334455667788 {
+		t.Fatalf("ReadU64 = %#x err=%v", v, err)
+	}
+}
+
+func TestVMOutOfMemory(t *testing.T) {
+	h, _ := hv.New(hv.Config{Accels: []string{"LL"}})
+	vm, err := h.NewVM("tiny", 4<<20) // two 2M pages
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc := vm.NewProcess()
+	if err := proc.EnsureMapped(proc.DMABase, 4<<20); err != nil {
+		t.Fatal(err)
+	}
+	if err := proc.EnsureMapped(proc.DMABase+16<<20, 2<<20); err == nil {
+		t.Fatal("over-allocation accepted")
+	}
+	// Invalid VM sizes.
+	if _, err := h.NewVM("zero", 0); err == nil {
+		t.Fatal("zero-memory VM accepted")
+	}
+	if _, err := h.NewVM("huge", 1<<50); err == nil {
+		t.Fatal("VM larger than host accepted")
+	}
+}
+
+func TestEnsureMappedIdempotent(t *testing.T) {
+	h, _ := hv.New(hv.Config{Accels: []string{"LL"}})
+	vm, _ := h.NewVM("vm", 64<<20)
+	proc := vm.NewProcess()
+	if err := proc.EnsureMapped(proc.DMABase, 8<<20); err != nil {
+		t.Fatal(err)
+	}
+	gpa1, _ := proc.Translate(proc.DMABase)
+	if err := proc.EnsureMapped(proc.DMABase, 8<<20); err != nil {
+		t.Fatal(err)
+	}
+	gpa2, _ := proc.Translate(proc.DMABase)
+	if gpa1 != gpa2 {
+		t.Fatal("re-mapping moved the page")
+	}
+}
+
+func TestDoubleStartRejected(t *testing.T) {
+	h, _ := hv.New(hv.Config{Accels: []string{"MB"}})
+	tn := newTenant(t, h, 0)
+	buf, _ := tn.dev.AllocDMA(4 << 20)
+	tn.dev.RegWrite(accel.MBArgBase, buf.Addr)
+	tn.dev.RegWrite(accel.MBArgSize, buf.Size)
+	tn.dev.RegWrite(accel.MBArgBursts, 0)
+	if err := tn.dev.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tn.dev.Start(); err == nil {
+		t.Fatal("second start on active job accepted")
+	}
+}

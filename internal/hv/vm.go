@@ -1,0 +1,196 @@
+package hv
+
+import (
+	"fmt"
+
+	"optimus/internal/pagetable"
+)
+
+// VM is one guest virtual machine: a guest-physical address space backed by
+// host frames through an extended page table.
+type VM struct {
+	hv   *Hypervisor
+	ID   int
+	Name string
+
+	memBytes uint64
+	ept      *pagetable.Table // GPA → HPA
+	gpaNext  uint64
+
+	procs []*Process
+}
+
+// NewVM creates a guest with the given memory size (the paper allocates
+// 10 GB per guest).
+func (h *Hypervisor) NewVM(name string, memBytes uint64) (*VM, error) {
+	if memBytes == 0 || memBytes > h.cfg.MemBytes {
+		return nil, fmt.Errorf("hv: vm memory %d out of range", memBytes)
+	}
+	levels := 4
+	if h.cfg.PageSize >= 2<<20 {
+		levels = 3
+	}
+	vm := &VM{
+		hv:       h,
+		ID:       h.nextVMID,
+		Name:     name,
+		memBytes: memBytes,
+		ept:      pagetable.New(h.cfg.PageSize, levels),
+	}
+	h.nextVMID++
+	h.vms = append(h.vms, vm)
+	return vm, nil
+}
+
+// PageSize returns the guest page size.
+func (vm *VM) PageSize() uint64 { return vm.hv.cfg.PageSize }
+
+// allocGPA hands out a fresh guest-physical page backed by a host frame.
+func (vm *VM) allocGPA() (uint64, error) {
+	ps := vm.hv.cfg.PageSize
+	if vm.gpaNext+ps > vm.memBytes {
+		return 0, fmt.Errorf("hv: vm %q out of guest memory (%d bytes)", vm.Name, vm.memBytes)
+	}
+	gpa := vm.gpaNext
+	vm.gpaNext += ps
+	hpa, err := vm.hv.frames.Alloc(ps)
+	if err != nil {
+		return 0, err
+	}
+	if err := vm.ept.Map(gpa, hpa, pagetable.PermRW); err != nil {
+		return 0, err
+	}
+	return gpa, nil
+}
+
+// TranslateGPA resolves a guest-physical address to host-physical.
+func (vm *VM) TranslateGPA(gpa uint64) (uint64, error) {
+	return vm.ept.Translate(gpa, pagetable.PermRead)
+}
+
+// Process is a guest process owning a guest-virtual address space. The DMA
+// region the process shares with its accelerator lives at DMABase.
+type Process struct {
+	vm *VM
+	pt *pagetable.Table // GVA → GPA
+
+	// DMABase is where the guest library mmap()s its MAP_NORESERVE slice
+	// reservation (§5, "Page Table Slicing").
+	DMABase uint64
+}
+
+// DefaultDMABase is the guest-virtual base of the reserved DMA region.
+const DefaultDMABase = 0x40_0000_0000
+
+// NewProcess creates a guest process.
+func (vm *VM) NewProcess() *Process {
+	levels := 4
+	if vm.hv.cfg.PageSize >= 2<<20 {
+		levels = 3
+	}
+	return &Process{
+		vm:      vm,
+		pt:      pagetable.New(vm.hv.cfg.PageSize, levels),
+		DMABase: DefaultDMABase,
+	}
+}
+
+// VM returns the owning virtual machine.
+func (p *Process) VM() *VM { return p.vm }
+
+// EnsureMapped demand-allocates guest pages covering [gva, gva+size) —
+// the guest OS page-faulting in anonymous memory.
+func (p *Process) EnsureMapped(gva, size uint64) error {
+	ps := p.vm.PageSize()
+	for base := gva &^ (ps - 1); base < gva+size; base += ps {
+		if _, ok := p.pt.Lookup(base); ok {
+			continue
+		}
+		gpa, err := p.vm.allocGPA()
+		if err != nil {
+			return err
+		}
+		if err := p.pt.Map(base, gpa, pagetable.PermRW); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Translate resolves GVA → GPA (the guest MMU's job).
+func (p *Process) Translate(gva uint64) (uint64, error) {
+	return p.pt.Translate(gva, pagetable.PermRead)
+}
+
+// TranslateToHPA resolves GVA → GPA → HPA.
+func (p *Process) TranslateToHPA(gva uint64) (uint64, error) {
+	gpa, err := p.pt.Translate(gva, pagetable.PermRead)
+	if err != nil {
+		return 0, err
+	}
+	return p.vm.ept.Translate(gpa, pagetable.PermRead)
+}
+
+// Write copies data into the process's address space (mapping pages on
+// demand), crossing page boundaries as needed.
+func (p *Process) Write(gva uint64, data []byte) error {
+	if err := p.EnsureMapped(gva, uint64(len(data))); err != nil {
+		return err
+	}
+	ps := p.vm.PageSize()
+	for len(data) > 0 {
+		hpa, err := p.TranslateToHPA(gva)
+		if err != nil {
+			return err
+		}
+		n := ps - gva%ps
+		if n > uint64(len(data)) {
+			n = uint64(len(data))
+		}
+		p.vm.hv.Mem.Write(hpa, data[:n])
+		data = data[n:]
+		gva += n
+	}
+	return nil
+}
+
+// Read copies from the process's address space into b.
+func (p *Process) Read(gva uint64, b []byte) error {
+	ps := p.vm.PageSize()
+	for len(b) > 0 {
+		hpa, err := p.TranslateToHPA(gva)
+		if err != nil {
+			return err
+		}
+		n := ps - gva%ps
+		if n > uint64(len(b)) {
+			n = uint64(len(b))
+		}
+		p.vm.hv.Mem.Read(hpa, b[:n])
+		b = b[n:]
+		gva += n
+	}
+	return nil
+}
+
+// WriteU64 writes one little-endian word at gva.
+func (p *Process) WriteU64(gva uint64, v uint64) error {
+	var b [8]byte
+	for i := range b {
+		b[i] = byte(v >> (8 * i))
+	}
+	return p.Write(gva, b[:])
+}
+
+// ReadU64 reads one little-endian word at gva.
+func (p *Process) ReadU64(gva uint64) (uint64, error) {
+	var b [8]byte
+	if err := p.Read(gva, b[:]); err != nil {
+		return 0, err
+	}
+	var v uint64
+	for i := range b {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v, nil
+}

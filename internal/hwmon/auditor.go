@@ -1,0 +1,163 @@
+package hwmon
+
+import (
+	"errors"
+	"fmt"
+
+	"optimus/internal/ccip"
+	"optimus/internal/sim"
+)
+
+// ErrRangeViolation is reported when an accelerator's DMA falls outside its
+// programmed slicing window. The hardware silently discards the packet; the
+// simulation additionally completes the request with this error so callers
+// can observe the containment.
+var ErrRangeViolation = errors.New("hwmon: DMA outside accelerator window discarded by auditor")
+
+// Auditor guards one physical accelerator (§4.1): it checks MMIO ranges,
+// tags outgoing DMA packets with the accelerator ID, verifies the tag on
+// responses (discarding foreign packets), and implements page table
+// slicing's linear GVA→IOVA rewrite in a single cycle.
+type Auditor struct {
+	m  *Monitor
+	id int
+
+	handler MMIOHandler
+	reset   func()
+
+	// Slicing window, programmed through the VCU offset table.
+	gvaBase    uint64
+	iovaBase   uint64
+	windowSize uint64
+
+	// generation fences responses issued before a reset.
+	generation uint64
+
+	// Injection pacing: InjectionCycles tree cycles per request line.
+	nextInjectFree sim.Time
+
+	txn          uint64
+	bytesRead    uint64
+	bytesWritten uint64
+	respDropped  uint64
+}
+
+func newAuditor(m *Monitor, id int) *Auditor {
+	return &Auditor{m: m, id: id}
+}
+
+// ID returns the physical accelerator slot this auditor guards.
+func (a *Auditor) ID() int { return a.id }
+
+// Window returns the currently programmed slicing window.
+func (a *Auditor) Window() (gvaBase, iovaBase, size uint64) {
+	return a.gvaBase, a.iovaBase, a.windowSize
+}
+
+// Generation returns the reset generation (bumps on each reset).
+func (a *Auditor) Generation() uint64 { return a.generation }
+
+// BytesRead returns the data bytes returned to this accelerator.
+func (a *Auditor) BytesRead() uint64 { return a.bytesRead }
+
+// BytesWritten returns the data bytes this accelerator has written.
+func (a *Auditor) BytesWritten() uint64 { return a.bytesWritten }
+
+// ResponsesDropped counts responses discarded by the tag check/reset fence.
+func (a *Auditor) ResponsesDropped() uint64 { return a.respDropped }
+
+// Translate applies the slicing rewrite to a GVA, reporting whether it is
+// inside the window. Exposed for property tests and diagnostics.
+func (a *Auditor) Translate(gva uint64, bytes uint64) (iova uint64, ok bool) {
+	if gva < a.gvaBase || gva+bytes > a.gvaBase+a.windowSize || gva+bytes < gva {
+		return 0, false
+	}
+	return gva - a.gvaBase + a.iovaBase, true
+}
+
+// Issue implements ccip.Port for the accelerator: requests carry guest
+// virtual addresses and are rewritten, tagged, paced, and injected into the
+// multiplexer tree.
+func (a *Auditor) Issue(req ccip.Request) {
+	if err := req.Validate(); err != nil {
+		panic(err)
+	}
+	m := a.m
+	m.stats.DMARequests++
+
+	iova, ok := a.Translate(req.Addr, req.Bytes())
+	if !ok {
+		m.stats.RangeViolations++
+		done := req.Done
+		kind, addr, tag := req.Kind, req.Addr, req.Tag
+		gvaBase, size := a.gvaBase, a.windowSize
+		m.k.After(0, func() {
+			done(ccip.Response{Kind: kind, Addr: addr, Tag: tag,
+				Err: fmt.Errorf("%w: gva=%#x window=[%#x,+%#x)", ErrRangeViolation, addr, gvaBase, size)})
+		})
+		return
+	}
+
+	gen := a.generation
+	tag := ccip.Tag{AccelID: a.id, Txn: a.txn}
+	a.txn++
+
+	inner := req
+	inner.Addr = iova
+	inner.Tag = tag
+	origDone := req.Done
+	gva := req.Addr
+	issued := req.Issued
+	dataBytes := req.Bytes()
+	respLines := req.Lines
+	if req.Kind == ccip.WrLine {
+		respLines = 1 // write acknowledgements carry no data
+	}
+	inner.Done = func(resp ccip.Response) {
+		m.deliverDownstream(respLines, func() {
+			// Lazy routing: the auditor only forwards packets whose tag
+			// names its accelerator and whose generation predates no reset.
+			if resp.Tag.AccelID != a.id || gen != a.generation {
+				a.respDropped++
+				m.stats.DMADropped++
+				return
+			}
+			if resp.Err == nil {
+				switch resp.Kind {
+				case ccip.RdLine:
+					a.bytesRead += uint64(len(resp.Data))
+				case ccip.WrLine:
+					a.bytesWritten += dataBytes
+				}
+			}
+			resp.Addr = gva
+			resp.Latency = m.k.Now() - issued
+			origDone(resp)
+		})
+	}
+
+	// Injection pacing at the tree boundary.
+	start := m.k.Now()
+	if a.nextInjectFree > start {
+		start = a.nextInjectFree
+	}
+	service := m.clock.Cycles(int64(req.Lines * m.cfg.InjectionCycles))
+	a.nextInjectFree = start + service
+	entry := m.entries[a.id]
+	m.k.At(start+service, func() { entry(inner) })
+}
+
+// InjectForeignResponse delivers a spoofed response to this auditor's
+// downstream path — a test hook proving that packets whose tag names a
+// different accelerator are discarded rather than forwarded.
+func (a *Auditor) InjectForeignResponse(resp ccip.Response, onForward func(ccip.Response)) {
+	gen := a.generation
+	a.m.deliverDownstream(1, func() {
+		if resp.Tag.AccelID != a.id || gen != a.generation {
+			a.respDropped++
+			a.m.stats.DMADropped++
+			return
+		}
+		onForward(resp)
+	})
+}

@@ -1,0 +1,172 @@
+// Package hwmon implements the OPTIMUS hardware monitor that is synthesized
+// onto the FPGA alongside the accelerators (§4.1): the virtualization
+// control unit (VCU) with its offset and reset tables, the multiplexer tree
+// that shares the shell among physical accelerators, and one auditor per
+// accelerator that filters MMIO packets, tags and verifies DMA packets, and
+// performs the single-cycle GVA↔IOVA translation of page table slicing.
+package hwmon
+
+import (
+	"errors"
+	"fmt"
+)
+
+// MMIO layout (§5, "MMIO Slicing"): the first portion of the MMIO space is
+// reserved for the HARP shell, the next 4 KB for the VCU's accelerator
+// management interface, then one 4 KB page per physical accelerator.
+const (
+	ShellMMIOSize = 0x1000
+	VCUBase       = ShellMMIOSize
+	VCUSize       = 0x1000
+	AccelMMIOSize = 0x1000
+	AccelMMIOBase = VCUBase + VCUSize
+)
+
+// AccelMMIO returns the base of accelerator i's MMIO page.
+func AccelMMIO(i int) uint64 { return AccelMMIOBase + uint64(i)*AccelMMIOSize }
+
+// VCU register map, as offsets within the VCU page. Each physical
+// accelerator owns a 32-byte management block.
+const (
+	VCURegMagic     = 0x00 // RO: identifies an OPTIMUS-compatible bitstream
+	VCURegNumAccels = 0x08 // RO: number of physical accelerators
+	VCURegTreeInfo  = 0x10 // RO: mux tree levels (low 8 bits) and arity (next 8)
+
+	VCUAccelBlockBase = 0x100
+	VCUAccelBlockSize = 0x20
+	VCUOffGVABase     = 0x00 // RW: accel's guest-virtual window base
+	VCUOffIOVABase    = 0x08 // RW: accel's IO-virtual slice base
+	VCUOffWindowSize  = 0x10 // RW: window size in bytes
+	VCUOffReset       = 0x18 // WO: write 1 to pulse the accel's reset line
+)
+
+// MagicValue identifies an OPTIMUS bitstream ("OPTI" in ASCII).
+const MagicValue = 0x4F505449
+
+// ErrMMIODiscarded is returned when an MMIO packet addresses no accelerator
+// or falls outside its 4 KB page — the auditor drops it (§4.1).
+var ErrMMIODiscarded = errors.New("hwmon: MMIO packet discarded by auditor")
+
+// MMIOHandler is the register-file interface an accelerator exposes on its
+// 4 KB MMIO page.
+type MMIOHandler interface {
+	MMIORead(off uint64) uint64
+	MMIOWrite(off uint64, val uint64)
+}
+
+// mmioRoute decodes a monitor-space MMIO address.
+type mmioRoute struct {
+	vcu   bool
+	accel int
+	off   uint64
+}
+
+func (m *Monitor) route(addr uint64) (mmioRoute, error) {
+	switch {
+	case addr < ShellMMIOSize:
+		return mmioRoute{}, fmt.Errorf("hwmon: address %#x is in the shell-reserved MMIO region", addr)
+	case addr < VCUBase+VCUSize:
+		return mmioRoute{vcu: true, off: addr - VCUBase}, nil
+	default:
+		idx := int((addr - AccelMMIOBase) / AccelMMIOSize)
+		if idx < 0 || idx >= len(m.auditors) {
+			return mmioRoute{}, fmt.Errorf("%w: address %#x beyond accelerator %d", ErrMMIODiscarded, addr, len(m.auditors)-1)
+		}
+		return mmioRoute{accel: idx, off: (addr - AccelMMIOBase) % AccelMMIOSize}, nil
+	}
+}
+
+// MMIORead performs a 64-bit MMIO read at a monitor-space address. Reads of
+// the VCU management interface are intercepted; everything else is routed
+// through the multiplexer tree to the owning accelerator's auditor.
+func (m *Monitor) MMIORead(addr uint64) (uint64, error) {
+	r, err := m.route(addr)
+	if err != nil {
+		m.stats.MMIODiscarded++
+		return 0, err
+	}
+	if r.vcu {
+		return m.vcuRead(r.off)
+	}
+	a := m.auditors[r.accel]
+	if a.handler == nil {
+		m.stats.MMIODiscarded++
+		return 0, fmt.Errorf("%w: accelerator %d has no registered handler", ErrMMIODiscarded, r.accel)
+	}
+	m.stats.MMIOReads++
+	return a.handler.MMIORead(r.off), nil
+}
+
+// MMIOWrite performs a 64-bit MMIO write at a monitor-space address.
+func (m *Monitor) MMIOWrite(addr uint64, val uint64) error {
+	r, err := m.route(addr)
+	if err != nil {
+		m.stats.MMIODiscarded++
+		return err
+	}
+	if r.vcu {
+		return m.vcuWrite(r.off, val)
+	}
+	a := m.auditors[r.accel]
+	if a.handler == nil {
+		m.stats.MMIODiscarded++
+		return fmt.Errorf("%w: accelerator %d has no registered handler", ErrMMIODiscarded, r.accel)
+	}
+	m.stats.MMIOWrites++
+	a.handler.MMIOWrite(r.off, val)
+	return nil
+}
+
+func (m *Monitor) vcuRead(off uint64) (uint64, error) {
+	switch off {
+	case VCURegMagic:
+		return MagicValue, nil
+	case VCURegNumAccels:
+		return uint64(len(m.auditors)), nil
+	case VCURegTreeInfo:
+		return uint64(m.treeLevels) | uint64(m.cfg.Topology.Arity)<<8, nil
+	}
+	if off >= VCUAccelBlockBase {
+		idx := int((off - VCUAccelBlockBase) / VCUAccelBlockSize)
+		reg := (off - VCUAccelBlockBase) % VCUAccelBlockSize
+		if idx < len(m.auditors) {
+			a := m.auditors[idx]
+			switch reg {
+			case VCUOffGVABase:
+				return a.gvaBase, nil
+			case VCUOffIOVABase:
+				return a.iovaBase, nil
+			case VCUOffWindowSize:
+				return a.windowSize, nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("hwmon: unknown VCU register %#x", off)
+}
+
+func (m *Monitor) vcuWrite(off uint64, val uint64) error {
+	if off < VCUAccelBlockBase {
+		return fmt.Errorf("hwmon: VCU register %#x is read-only", off)
+	}
+	idx := int((off - VCUAccelBlockBase) / VCUAccelBlockSize)
+	reg := (off - VCUAccelBlockBase) % VCUAccelBlockSize
+	if idx >= len(m.auditors) {
+		return fmt.Errorf("hwmon: VCU block for nonexistent accelerator %d", idx)
+	}
+	a := m.auditors[idx]
+	switch reg {
+	case VCUOffGVABase:
+		a.gvaBase = val
+	case VCUOffIOVABase:
+		a.iovaBase = val
+	case VCUOffWindowSize:
+		a.windowSize = val
+	case VCUOffReset:
+		if val&1 != 0 {
+			m.resetAccel(idx)
+		}
+	default:
+		return fmt.Errorf("hwmon: unknown VCU accel register %#x", reg)
+	}
+	return nil
+}

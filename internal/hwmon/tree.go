@@ -1,0 +1,116 @@
+package hwmon
+
+import "optimus/internal/ccip"
+
+// muxNode is one multiplexer in the tree. Upstream (accelerator → shell)
+// requests from its children are arbitrated round-robin and serialized at
+// one cache line per tree cycle; a traversal additionally costs the node's
+// pipeline latency (~33 ns per level, §6.3). The tree does not inspect
+// addresses — routing decisions are made lazily by the auditors (§4.1).
+type muxNode struct {
+	m      *Monitor
+	out    func(ccip.Request)
+	queues [][]ccip.Request
+	busy   bool
+	rr     int
+	// root nodes additionally observe the shell's credit-based flow
+	// control: without credits the root stalls, queues back up, and the
+	// per-node round-robin arbiters — not the link FIFOs — divide the
+	// bandwidth among accelerators.
+	root bool
+}
+
+func newMuxNode(m *Monitor, children int, out func(ccip.Request)) *muxNode {
+	return &muxNode{m: m, out: out, queues: make([][]ccip.Request, children)}
+}
+
+func (n *muxNode) accept(child int, req ccip.Request) {
+	n.queues[child] = append(n.queues[child], req)
+	n.kick()
+}
+
+func (n *muxNode) kick() {
+	if n.busy {
+		return
+	}
+	pick := -1
+	for i := 0; i < len(n.queues); i++ {
+		c := (n.rr + i) % len(n.queues)
+		if len(n.queues[c]) > 0 {
+			pick = c
+			break
+		}
+	}
+	if pick < 0 {
+		return
+	}
+	req := n.queues[pick][0]
+	if n.root {
+		if !n.m.credits.tryAcquire(req.Lines) {
+			n.m.credits.waiter = n.kick
+			return
+		}
+		lines := req.Lines
+		orig := req.Done
+		req.Done = func(r ccip.Response) {
+			n.m.credits.release(lines)
+			orig(r)
+		}
+	}
+	n.queues[pick] = n.queues[pick][1:]
+	n.rr = (pick + 1) % len(n.queues)
+	n.busy = true
+	service := n.m.clock.Cycles(int64(req.Lines))
+	latency := n.m.cfg.LevelLatency
+	n.m.k.After(service, func() {
+		n.busy = false
+		n.m.k.After(latency, func() { n.out(req) })
+		n.kick()
+	})
+}
+
+// buildTree wires the upstream multiplexer tree for n accelerators and
+// fills m.entries with each accelerator's leaf-injection function. With a
+// single accelerator no multiplexer is instantiated.
+func buildTree(m *Monitor, n int) *muxNode {
+	toShell := func(req ccip.Request) { m.shell.Issue(req) }
+	if n == 1 {
+		m.entries = []func(ccip.Request){toShell}
+		return nil
+	}
+	var root *muxNode
+	m.entries = attachSubtree(m, n, func(node *muxNode) { root = node; node.root = true }, toShell)
+	return root
+}
+
+// attachSubtree connects count accelerators beneath an output function,
+// creating multiplexer nodes as required by the topology, and returns the
+// leaf entry functions in accelerator order.
+func attachSubtree(m *Monitor, count int, noteRoot func(*muxNode), out func(ccip.Request)) []func(ccip.Request) {
+	if count <= 1 {
+		return []func(ccip.Request){out}
+	}
+	groups := m.cfg.Topology.Arity
+	if m.cfg.Topology.Flat || groups < 2 {
+		groups = count
+	}
+	if groups > count {
+		groups = count
+	}
+	node := newMuxNode(m, groups, out)
+	if noteRoot != nil {
+		noteRoot(node)
+	}
+	var entries []func(ccip.Request)
+	base, rem := count/groups, count%groups
+	for g := 0; g < groups; g++ {
+		c := base
+		if g < rem {
+			c++
+		}
+		g := g
+		sub := attachSubtree(m, c, nil, func(req ccip.Request) { node.accept(g, req) })
+		entries = append(entries, sub...)
+	}
+	return entries
+}

@@ -1,0 +1,240 @@
+// Package mem models host physical memory for the simulated shared-memory
+// FPGA platform: a sparse byte-addressable physical address space, a frame
+// allocator for 4 KB and 2 MB pages, and page pinning (DMA-accessible pages
+// must be pinned because the IOMMU cannot take page faults — §5 of the
+// paper).
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Page sizes supported by the platform.
+const (
+	PageSize4K = 4 << 10
+	PageSize2M = 2 << 20
+	LineSize   = 64 // CCI-P cache line
+)
+
+// frameSize is the internal backing granularity of the sparse store.
+const frameSize = PageSize4K
+
+// PhysMem is a sparse simulated physical memory. Frames are materialized on
+// first write; reads of untouched memory return zeros. This lets experiments
+// declare multi-gigabyte working sets (which matter only for IOTLB indexing)
+// without the host allocating them.
+type PhysMem struct {
+	size   uint64
+	frames map[uint64][]byte
+	// discardWrites drops write data instead of materializing frames.
+	// Bandwidth experiments (MemBench over multi-GB working sets) enable
+	// it: timing is unaffected, only content fidelity is sacrificed.
+	discardWrites bool
+}
+
+// NewPhysMem returns a physical memory of the given size in bytes.
+func NewPhysMem(size uint64) *PhysMem {
+	return &PhysMem{size: size, frames: make(map[uint64][]byte)}
+}
+
+// Size returns the physical memory size in bytes.
+func (m *PhysMem) Size() uint64 { return m.size }
+
+// ResidentBytes returns the number of bytes actually backed by storage.
+func (m *PhysMem) ResidentBytes() uint64 { return uint64(len(m.frames)) * frameSize }
+
+func (m *PhysMem) check(pa uint64, n int) {
+	if pa+uint64(n) > m.size || pa+uint64(n) < pa {
+		panic(fmt.Sprintf("mem: access [%#x,%#x) beyond physical memory size %#x", pa, pa+uint64(n), m.size))
+	}
+}
+
+// Read copies len(b) bytes starting at physical address pa into b.
+func (m *PhysMem) Read(pa uint64, b []byte) {
+	m.check(pa, len(b))
+	for len(b) > 0 {
+		base := pa &^ (frameSize - 1)
+		off := pa - base
+		n := frameSize - off
+		if n > uint64(len(b)) {
+			n = uint64(len(b))
+		}
+		if f, ok := m.frames[base]; ok {
+			copy(b[:n], f[off:off+n])
+		} else {
+			for i := uint64(0); i < n; i++ {
+				b[i] = 0
+			}
+		}
+		b = b[n:]
+		pa += n
+	}
+}
+
+// SetDiscardWrites toggles write-discard mode (see the field comment).
+// Existing frames still accept writes; only new frame materialization is
+// suppressed.
+func (m *PhysMem) SetDiscardWrites(v bool) { m.discardWrites = v }
+
+// Write copies b into physical memory starting at pa.
+func (m *PhysMem) Write(pa uint64, b []byte) {
+	m.check(pa, len(b))
+	for len(b) > 0 {
+		base := pa &^ (frameSize - 1)
+		off := pa - base
+		n := frameSize - off
+		if n > uint64(len(b)) {
+			n = uint64(len(b))
+		}
+		f, ok := m.frames[base]
+		if !ok {
+			if m.discardWrites {
+				b = b[n:]
+				pa += n
+				continue
+			}
+			f = make([]byte, frameSize)
+			m.frames[base] = f
+		}
+		copy(f[off:off+n], b[:n])
+		b = b[n:]
+		pa += n
+	}
+}
+
+// ReadU64 reads a little-endian uint64 at pa.
+func (m *PhysMem) ReadU64(pa uint64) uint64 {
+	var b [8]byte
+	m.Read(pa, b[:])
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+// WriteU64 writes a little-endian uint64 at pa.
+func (m *PhysMem) WriteU64(pa uint64, v uint64) {
+	var b [8]byte
+	for i := range b {
+		b[i] = byte(v >> (8 * i))
+	}
+	m.Write(pa, b[:])
+}
+
+// FrameAllocator hands out physically contiguous page frames from a region
+// of physical memory. It supports both page sizes; 2 MB allocations are
+// naturally aligned, as the IOMMU requires.
+type FrameAllocator struct {
+	base, limit uint64
+	next        uint64
+	free4k      []uint64
+	free2m      []uint64
+	pinned      map[uint64]int // frame base -> pin count
+	allocated   map[uint64]uint64
+}
+
+// NewFrameAllocator manages [base, base+size).
+func NewFrameAllocator(base, size uint64) *FrameAllocator {
+	if base%PageSize4K != 0 {
+		panic("mem: allocator base must be 4K-aligned")
+	}
+	return &FrameAllocator{
+		base:      base,
+		limit:     base + size,
+		next:      base,
+		pinned:    make(map[uint64]int),
+		allocated: make(map[uint64]uint64),
+	}
+}
+
+// Alloc returns the base physical address of a naturally aligned free frame
+// of the given page size.
+func (a *FrameAllocator) Alloc(pageSize uint64) (uint64, error) {
+	switch pageSize {
+	case PageSize4K:
+		if n := len(a.free4k); n > 0 {
+			pa := a.free4k[n-1]
+			a.free4k = a.free4k[:n-1]
+			a.allocated[pa] = pageSize
+			return pa, nil
+		}
+	case PageSize2M:
+		if n := len(a.free2m); n > 0 {
+			pa := a.free2m[n-1]
+			a.free2m = a.free2m[:n-1]
+			a.allocated[pa] = pageSize
+			return pa, nil
+		}
+	default:
+		return 0, fmt.Errorf("mem: unsupported page size %d", pageSize)
+	}
+	pa := (a.next + pageSize - 1) &^ (pageSize - 1)
+	// Return alignment slack to the 4K free list rather than leaking it.
+	for slack := a.next; slack < pa; slack += PageSize4K {
+		a.free4k = append(a.free4k, slack)
+	}
+	if pa+pageSize > a.limit {
+		return 0, fmt.Errorf("mem: out of physical frames (want %d bytes, %d left)", pageSize, a.limit-a.next)
+	}
+	a.next = pa + pageSize
+	a.allocated[pa] = pageSize
+	return pa, nil
+}
+
+// Free returns a frame to the allocator. Freeing a pinned frame panics: it
+// is the simulated equivalent of a use-after-free visible to a DMA device.
+func (a *FrameAllocator) Free(pa uint64) {
+	size, ok := a.allocated[pa]
+	if !ok {
+		panic(fmt.Sprintf("mem: free of unallocated frame %#x", pa))
+	}
+	if a.pinned[pa] > 0 {
+		panic(fmt.Sprintf("mem: free of pinned frame %#x", pa))
+	}
+	delete(a.allocated, pa)
+	if size == PageSize4K {
+		a.free4k = append(a.free4k, pa)
+	} else {
+		a.free2m = append(a.free2m, pa)
+	}
+}
+
+// Pin marks a frame as DMA-pinned. Pins nest.
+func (a *FrameAllocator) Pin(pa uint64) {
+	if _, ok := a.allocated[pa]; !ok {
+		panic(fmt.Sprintf("mem: pin of unallocated frame %#x", pa))
+	}
+	a.pinned[pa]++
+}
+
+// Unpin releases one pin on a frame.
+func (a *FrameAllocator) Unpin(pa uint64) {
+	if a.pinned[pa] <= 0 {
+		panic(fmt.Sprintf("mem: unpin of unpinned frame %#x", pa))
+	}
+	a.pinned[pa]--
+	if a.pinned[pa] == 0 {
+		delete(a.pinned, pa)
+	}
+}
+
+// Pinned reports whether a frame is currently pinned.
+func (a *FrameAllocator) Pinned(pa uint64) bool { return a.pinned[pa] > 0 }
+
+// AllocatedFrames returns the sorted list of allocated frame bases.
+func (a *FrameAllocator) AllocatedFrames() []uint64 {
+	out := make([]uint64, 0, len(a.allocated))
+	for pa := range a.allocated {
+		out = append(out, pa)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// InUseBytes returns the total bytes currently allocated.
+func (a *FrameAllocator) InUseBytes() uint64 {
+	var total uint64
+	for _, size := range a.allocated {
+		total += size
+	}
+	return total
+}

@@ -1,0 +1,241 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestPhysMemZeroFill(t *testing.T) {
+	m := NewPhysMem(1 << 20)
+	b := make([]byte, 128)
+	m.Read(4096, b)
+	for _, v := range b {
+		if v != 0 {
+			t.Fatal("untouched memory not zero")
+		}
+	}
+	if m.ResidentBytes() != 0 {
+		t.Fatalf("read materialized frames: %d bytes resident", m.ResidentBytes())
+	}
+}
+
+func TestPhysMemRoundTrip(t *testing.T) {
+	m := NewPhysMem(1 << 24)
+	data := []byte("the quick brown fox jumps over the lazy dog")
+	// Cross a frame boundary deliberately.
+	pa := uint64(frameSize - 10)
+	m.Write(pa, data)
+	got := make([]byte, len(data))
+	m.Read(pa, got)
+	if !bytes.Equal(got, data) {
+		t.Fatalf("round trip failed: %q", got)
+	}
+}
+
+func TestPhysMemRoundTripProperty(t *testing.T) {
+	m := NewPhysMem(1 << 22)
+	f := func(off uint16, data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		pa := uint64(off)
+		m.Write(pa, data)
+		got := make([]byte, len(data))
+		m.Read(pa, got)
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPhysMemU64(t *testing.T) {
+	m := NewPhysMem(1 << 16)
+	m.WriteU64(0x100, 0xdeadbeefcafebabe)
+	if got := m.ReadU64(0x100); got != 0xdeadbeefcafebabe {
+		t.Fatalf("ReadU64 = %#x", got)
+	}
+	// Little-endian byte order check.
+	var b [8]byte
+	m.Read(0x100, b[:])
+	if b[0] != 0xbe || b[7] != 0xde {
+		t.Fatalf("byte order wrong: %x", b)
+	}
+}
+
+func TestPhysMemOutOfBoundsPanics(t *testing.T) {
+	m := NewPhysMem(4096)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Write(4090, make([]byte, 16))
+}
+
+func TestFrameAllocatorAlignment(t *testing.T) {
+	a := NewFrameAllocator(0, 64<<20)
+	p4k, err := a.Alloc(PageSize4K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p4k%PageSize4K != 0 {
+		t.Fatalf("4K frame %#x misaligned", p4k)
+	}
+	p2m, err := a.Alloc(PageSize2M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2m%PageSize2M != 0 {
+		t.Fatalf("2M frame %#x misaligned", p2m)
+	}
+}
+
+func TestFrameAllocatorNoOverlap(t *testing.T) {
+	a := NewFrameAllocator(PageSize2M, 32<<20)
+	type span struct{ base, size uint64 }
+	var spans []span
+	for i := 0; i < 8; i++ {
+		p, err := a.Alloc(PageSize4K)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spans = append(spans, span{p, PageSize4K})
+		q, err := a.Alloc(PageSize2M)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spans = append(spans, span{q, PageSize2M})
+	}
+	for i := range spans {
+		for j := i + 1; j < len(spans); j++ {
+			a, b := spans[i], spans[j]
+			if a.base < b.base+b.size && b.base < a.base+a.size {
+				t.Fatalf("overlap: [%#x,+%#x) and [%#x,+%#x)", a.base, a.size, b.base, b.size)
+			}
+		}
+	}
+}
+
+func TestFrameAllocatorReuse(t *testing.T) {
+	a := NewFrameAllocator(0, 8<<20)
+	p, _ := a.Alloc(PageSize2M)
+	a.Free(p)
+	q, _ := a.Alloc(PageSize2M)
+	if p != q {
+		t.Fatalf("freed frame not reused: %#x vs %#x", p, q)
+	}
+}
+
+func TestFrameAllocatorExhaustion(t *testing.T) {
+	a := NewFrameAllocator(0, 4<<20)
+	var n int
+	for {
+		if _, err := a.Alloc(PageSize2M); err != nil {
+			break
+		}
+		n++
+		if n > 3 {
+			t.Fatal("allocated more 2M frames than fit")
+		}
+	}
+	if n != 2 {
+		t.Fatalf("allocated %d 2M frames from 4M, want 2", n)
+	}
+	// 4K allocations from slack should still work if any slack exists.
+	if a.InUseBytes() != 4<<20 {
+		t.Fatalf("InUseBytes = %d", a.InUseBytes())
+	}
+}
+
+func TestPinPreventsFree(t *testing.T) {
+	a := NewFrameAllocator(0, 8<<20)
+	p, _ := a.Alloc(PageSize4K)
+	a.Pin(p)
+	if !a.Pinned(p) {
+		t.Fatal("frame should be pinned")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("free of pinned frame should panic")
+			}
+		}()
+		a.Free(p)
+	}()
+	a.Unpin(p)
+	if a.Pinned(p) {
+		t.Fatal("frame should be unpinned")
+	}
+	a.Free(p) // now fine
+}
+
+func TestPinNesting(t *testing.T) {
+	a := NewFrameAllocator(0, 8<<20)
+	p, _ := a.Alloc(PageSize4K)
+	a.Pin(p)
+	a.Pin(p)
+	a.Unpin(p)
+	if !a.Pinned(p) {
+		t.Fatal("nested pin released too early")
+	}
+	a.Unpin(p)
+	if a.Pinned(p) {
+		t.Fatal("still pinned after matching unpins")
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	a := NewFrameAllocator(0, 8<<20)
+	p, _ := a.Alloc(PageSize4K)
+	a.Free(p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free should panic")
+		}
+	}()
+	a.Free(p)
+}
+
+func TestAllocSlackReturned(t *testing.T) {
+	a := NewFrameAllocator(0, 16<<20)
+	// Misalign next by allocating one 4K page first.
+	p0, _ := a.Alloc(PageSize4K)
+	_ = p0
+	_, _ = a.Alloc(PageSize2M) // forces alignment, creating 4K slack
+	// Slack frames should be reusable as 4K pages.
+	seen := map[uint64]bool{p0: true}
+	for i := 0; i < 100; i++ {
+		p, err := a.Alloc(PageSize4K)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[p] {
+			t.Fatalf("frame %#x handed out twice", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestAllocatedFramesSorted(t *testing.T) {
+	a := NewFrameAllocator(0, 8<<20)
+	for i := 0; i < 10; i++ {
+		a.Alloc(PageSize4K)
+	}
+	frames := a.AllocatedFrames()
+	for i := 1; i < len(frames); i++ {
+		if frames[i] <= frames[i-1] {
+			t.Fatal("frames not sorted")
+		}
+	}
+}
+
+func BenchmarkPhysMemLineWrite(b *testing.B) {
+	m := NewPhysMem(1 << 30)
+	line := make([]byte, LineSize)
+	b.SetBytes(LineSize)
+	for i := 0; i < b.N; i++ {
+		m.Write(uint64(i%(1<<24))*LineSize%(1<<30-LineSize), line)
+	}
+}

@@ -1,0 +1,201 @@
+// Package pagetable implements the address-translation structures used by
+// the platform: guest MMU page tables (GVA→GPA), extended page tables
+// (GPA→HPA), and the single IO page table (IOVA→HPA) that OPTIMUS slices
+// among virtual accelerators.
+//
+// Tables are modelled as radix translations keyed by virtual page number
+// with an explicit walk-depth cost, rather than as bytes in simulated
+// memory: what the evaluation depends on is mapping semantics, permission
+// checks, and the number of memory references a hardware walker performs.
+package pagetable
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Perm is a page permission bitmask.
+type Perm uint8
+
+// Permission bits.
+const (
+	PermRead Perm = 1 << iota
+	PermWrite
+	PermExec
+	PermRW = PermRead | PermWrite
+)
+
+// String renders the permission set as e.g. "rw-".
+func (p Perm) String() string {
+	b := []byte("---")
+	if p&PermRead != 0 {
+		b[0] = 'r'
+	}
+	if p&PermWrite != 0 {
+		b[1] = 'w'
+	}
+	if p&PermExec != 0 {
+		b[2] = 'x'
+	}
+	return string(b)
+}
+
+// Translation errors.
+var (
+	ErrNotMapped  = errors.New("pagetable: address not mapped")
+	ErrPermission = errors.New("pagetable: permission denied")
+	ErrExists     = errors.New("pagetable: page already mapped")
+	ErrMisaligned = errors.New("pagetable: misaligned address")
+)
+
+// Entry is one page mapping.
+type Entry struct {
+	PA       uint64
+	Perm     Perm
+	PageSize uint64
+	// Accessed and Dirty mirror hardware A/D bits; the hypervisor's shadow
+	// paging logic reads them when tearing down mappings.
+	Accessed bool
+	Dirty    bool
+}
+
+// Table maps virtual page numbers to Entries for a single page size.
+// A Table is safe for concurrent use; the simulated CPU side (guest
+// processes) and the device side (IOMMU walker) may race in tests even
+// though the DES itself is single-threaded.
+type Table struct {
+	mu       sync.RWMutex
+	pageSize uint64
+	levels   int
+	entries  map[uint64]*Entry
+	// epoch increments on any modification; the IOMMU uses it to know when
+	// cached IOTLB entries might be stale (simulating invalidation
+	// requirements).
+	epoch uint64
+}
+
+// New returns a table for the given page size. levels is the radix depth a
+// hardware walker traverses (4 for x86-64 4K pages, 3 for 2M pages); it is
+// exposed so the IOMMU can charge the correct number of memory references
+// per walk.
+func New(pageSize uint64, levels int) *Table {
+	if pageSize == 0 || pageSize&(pageSize-1) != 0 {
+		panic(fmt.Sprintf("pagetable: page size %d not a power of two", pageSize))
+	}
+	if levels <= 0 {
+		panic("pagetable: levels must be positive")
+	}
+	return &Table{pageSize: pageSize, levels: levels, entries: make(map[uint64]*Entry)}
+}
+
+// PageSize returns the table's page size.
+func (t *Table) PageSize() uint64 { return t.pageSize }
+
+// WalkLevels returns the radix depth of a hardware walk of this table.
+func (t *Table) WalkLevels() int { return t.levels }
+
+// Epoch returns the modification epoch (increments on Map/Unmap/Protect).
+func (t *Table) Epoch() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.epoch
+}
+
+// Len returns the number of mapped pages.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.entries)
+}
+
+func (t *Table) vpn(va uint64) uint64 { return va / t.pageSize }
+
+// Map installs va→pa with the given permissions. Both addresses must be
+// page-aligned. Mapping an already-mapped page returns ErrExists (callers
+// that want replace semantics unmap first — matching IOMMU driver rules).
+func (t *Table) Map(va, pa uint64, perm Perm) error {
+	if va%t.pageSize != 0 || pa%t.pageSize != 0 {
+		return fmt.Errorf("%w: va=%#x pa=%#x pagesize=%#x", ErrMisaligned, va, pa, t.pageSize)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	vpn := t.vpn(va)
+	if _, ok := t.entries[vpn]; ok {
+		return fmt.Errorf("%w: va=%#x", ErrExists, va)
+	}
+	t.entries[vpn] = &Entry{PA: pa, Perm: perm, PageSize: t.pageSize}
+	t.epoch++
+	return nil
+}
+
+// Unmap removes the mapping containing va.
+func (t *Table) Unmap(va uint64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	vpn := t.vpn(va)
+	if _, ok := t.entries[vpn]; !ok {
+		return fmt.Errorf("%w: va=%#x", ErrNotMapped, va)
+	}
+	delete(t.entries, vpn)
+	t.epoch++
+	return nil
+}
+
+// Protect changes the permissions of the page containing va.
+func (t *Table) Protect(va uint64, perm Perm) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.entries[t.vpn(va)]
+	if !ok {
+		return fmt.Errorf("%w: va=%#x", ErrNotMapped, va)
+	}
+	e.Perm = perm
+	t.epoch++
+	return nil
+}
+
+// Lookup returns the entry for the page containing va without touching
+// A/D bits (software inspection path).
+func (t *Table) Lookup(va uint64) (Entry, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	e, ok := t.entries[t.vpn(va)]
+	if !ok {
+		return Entry{}, false
+	}
+	return *e, true
+}
+
+// Translate performs a hardware-style translation of va for an access with
+// the given required permissions, setting A/D bits. It returns the physical
+// address corresponding to va (page base plus offset).
+func (t *Table) Translate(va uint64, req Perm) (uint64, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.entries[t.vpn(va)]
+	if !ok {
+		return 0, fmt.Errorf("%w: va=%#x", ErrNotMapped, va)
+	}
+	if e.Perm&req != req {
+		return 0, fmt.Errorf("%w: va=%#x have=%v want=%v", ErrPermission, va, e.Perm, req)
+	}
+	e.Accessed = true
+	if req&PermWrite != 0 {
+		e.Dirty = true
+	}
+	return e.PA + va%t.pageSize, nil
+}
+
+// PageBase returns the base virtual address of the page containing va.
+func (t *Table) PageBase(va uint64) uint64 { return va &^ (t.pageSize - 1) }
+
+// ForEach calls fn for every mapping in unspecified order; fn must not
+// modify the table.
+func (t *Table) ForEach(fn func(vaBase uint64, e Entry)) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for vpn, e := range t.entries {
+		fn(vpn*t.pageSize, *e)
+	}
+}

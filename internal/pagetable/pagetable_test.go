@@ -1,0 +1,204 @@
+package pagetable
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestMapTranslateRoundTrip(t *testing.T) {
+	pt := New(4096, 4)
+	if err := pt.Map(0x1000, 0x20000, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	pa, err := pt.Translate(0x1234, PermRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa != 0x20234 {
+		t.Fatalf("pa = %#x, want 0x20234", pa)
+	}
+}
+
+func TestTranslateUnmapped(t *testing.T) {
+	pt := New(4096, 4)
+	if _, err := pt.Translate(0x1000, PermRead); !errors.Is(err, ErrNotMapped) {
+		t.Fatalf("err = %v, want ErrNotMapped", err)
+	}
+}
+
+func TestPermissionEnforcement(t *testing.T) {
+	pt := New(4096, 4)
+	pt.Map(0x1000, 0x2000, PermRead)
+	if _, err := pt.Translate(0x1000, PermWrite); !errors.Is(err, ErrPermission) {
+		t.Fatalf("write to read-only page: err = %v", err)
+	}
+	if _, err := pt.Translate(0x1000, PermRead); err != nil {
+		t.Fatalf("read of read-only page failed: %v", err)
+	}
+	if err := pt.Protect(0x1000, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pt.Translate(0x1000, PermWrite); err != nil {
+		t.Fatalf("write after Protect(RW) failed: %v", err)
+	}
+}
+
+func TestDoubleMapRejected(t *testing.T) {
+	pt := New(4096, 4)
+	pt.Map(0x1000, 0x2000, PermRW)
+	if err := pt.Map(0x1000, 0x9000, PermRW); !errors.Is(err, ErrExists) {
+		t.Fatalf("err = %v, want ErrExists", err)
+	}
+}
+
+func TestMisalignedMapRejected(t *testing.T) {
+	pt := New(4096, 4)
+	if err := pt.Map(0x1001, 0x2000, PermRW); !errors.Is(err, ErrMisaligned) {
+		t.Fatalf("err = %v, want ErrMisaligned", err)
+	}
+	if err := pt.Map(0x1000, 0x2001, PermRW); !errors.Is(err, ErrMisaligned) {
+		t.Fatalf("err = %v, want ErrMisaligned", err)
+	}
+}
+
+func TestUnmap(t *testing.T) {
+	pt := New(4096, 4)
+	pt.Map(0x1000, 0x2000, PermRW)
+	if err := pt.Unmap(0x1000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pt.Translate(0x1000, PermRead); !errors.Is(err, ErrNotMapped) {
+		t.Fatal("mapping survived Unmap")
+	}
+	if err := pt.Unmap(0x1000); !errors.Is(err, ErrNotMapped) {
+		t.Fatalf("double unmap: err = %v", err)
+	}
+}
+
+func TestAccessedDirtyBits(t *testing.T) {
+	pt := New(4096, 4)
+	pt.Map(0x1000, 0x2000, PermRW)
+	e, _ := pt.Lookup(0x1000)
+	if e.Accessed || e.Dirty {
+		t.Fatal("fresh mapping has A/D set")
+	}
+	pt.Translate(0x1000, PermRead)
+	e, _ = pt.Lookup(0x1000)
+	if !e.Accessed || e.Dirty {
+		t.Fatalf("after read: A=%v D=%v, want A only", e.Accessed, e.Dirty)
+	}
+	pt.Translate(0x1000, PermWrite)
+	e, _ = pt.Lookup(0x1000)
+	if !e.Dirty {
+		t.Fatal("write did not set dirty bit")
+	}
+}
+
+func TestEpochAdvances(t *testing.T) {
+	pt := New(4096, 4)
+	e0 := pt.Epoch()
+	pt.Map(0x1000, 0x2000, PermRW)
+	if pt.Epoch() == e0 {
+		t.Fatal("Map did not bump epoch")
+	}
+	e1 := pt.Epoch()
+	pt.Unmap(0x1000)
+	if pt.Epoch() == e1 {
+		t.Fatal("Unmap did not bump epoch")
+	}
+}
+
+func TestHugePageTranslation(t *testing.T) {
+	pt := New(2<<20, 3)
+	pt.Map(0, 0x40000000, PermRW)
+	pa, err := pt.Translate(0x12345, PermRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa != 0x40012345 {
+		t.Fatalf("pa = %#x", pa)
+	}
+	if pt.WalkLevels() != 3 {
+		t.Fatal("walk levels")
+	}
+}
+
+// Property: for any set of distinct pages mapped, Translate(va) ==
+// pa_of_page + offset for all offsets.
+func TestTranslateProperty(t *testing.T) {
+	f := func(pages []uint16, offset uint16) bool {
+		pt := New(4096, 4)
+		mapped := make(map[uint64]uint64)
+		for i, p := range pages {
+			va := uint64(p) * 4096
+			pa := uint64(i+1) * 0x100000
+			if _, ok := mapped[va]; ok {
+				continue
+			}
+			if err := pt.Map(va, pa, PermRW); err != nil {
+				return false
+			}
+			mapped[va] = pa
+		}
+		off := uint64(offset) % 4096
+		for va, pa := range mapped {
+			got, err := pt.Translate(va+off, PermRead)
+			if err != nil || got != pa+off {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachAndLen(t *testing.T) {
+	pt := New(4096, 4)
+	want := map[uint64]uint64{0x1000: 0xa000, 0x3000: 0xb000, 0x7000: 0xc000}
+	for va, pa := range want {
+		pt.Map(va, pa, PermRead)
+	}
+	if pt.Len() != 3 {
+		t.Fatalf("Len = %d", pt.Len())
+	}
+	got := make(map[uint64]uint64)
+	pt.ForEach(func(va uint64, e Entry) { got[va] = e.PA })
+	for va, pa := range want {
+		if got[va] != pa {
+			t.Fatalf("ForEach missing %#x→%#x", va, pa)
+		}
+	}
+}
+
+func TestPermString(t *testing.T) {
+	if PermRW.String() != "rw-" {
+		t.Fatalf("PermRW = %q", PermRW.String())
+	}
+	if (PermRead | PermExec).String() != "r-x" {
+		t.Fatal("r-x")
+	}
+	if Perm(0).String() != "---" {
+		t.Fatal("---")
+	}
+}
+
+func TestPageBase(t *testing.T) {
+	pt := New(2<<20, 3)
+	if pt.PageBase(0x212345) != 0x200000 {
+		t.Fatalf("PageBase = %#x", pt.PageBase(0x212345))
+	}
+}
+
+func BenchmarkTranslate(b *testing.B) {
+	pt := New(4096, 4)
+	for i := uint64(0); i < 1024; i++ {
+		pt.Map(i*4096, 0x100000+i*4096, PermRW)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pt.Translate(uint64(i%1024)*4096, PermRead)
+	}
+}

@@ -1,0 +1,181 @@
+// Package sim provides the discrete-event simulation kernel that underpins
+// the simulated shared-memory FPGA platform.
+//
+// Time is measured in integer picoseconds so that clock periods of all
+// frequencies used by the platform (100–400 MHz fabric clocks, DRAM and
+// interconnect timings) are exactly representable. Events are executed in
+// (time, insertion-order) order, which makes every simulation fully
+// deterministic: two runs with the same seed produce identical traces.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a simulated timestamp or duration in picoseconds.
+type Time int64
+
+// Common durations.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000 * Picosecond
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// String renders a Time with an adaptive unit, e.g. "412ns" or "10ms".
+func (t Time) String() string {
+	switch {
+	case t == 0:
+		return "0s"
+	case t%Second == 0:
+		return fmt.Sprintf("%ds", t/Second)
+	case t%Millisecond == 0:
+		return fmt.Sprintf("%dms", t/Millisecond)
+	case t%Microsecond == 0:
+		return fmt.Sprintf("%dus", t/Microsecond)
+	case t%Nanosecond == 0:
+		return fmt.Sprintf("%dns", t/Nanosecond)
+	default:
+		return fmt.Sprintf("%dps", int64(t))
+	}
+}
+
+// Seconds converts t to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Nanoseconds converts t to floating-point nanoseconds.
+func (t Time) Nanoseconds() float64 { return float64(t) / float64(Nanosecond) }
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a discrete-event simulation executor. The zero value is ready to
+// use. Kernel is not safe for concurrent use; the entire simulation runs on
+// one goroutine by design (determinism).
+type Kernel struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	nexec  uint64
+}
+
+// NewKernel returns a kernel positioned at time zero.
+func NewKernel() *Kernel { return &Kernel{} }
+
+// Now returns the current simulated time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Executed returns the number of events executed so far (for diagnostics).
+func (k *Kernel) Executed() uint64 { return k.nexec }
+
+// Pending returns the number of scheduled-but-unexecuted events.
+func (k *Kernel) Pending() int { return len(k.events) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it always indicates a component bug, and silently reordering time would
+// corrupt every latency measurement downstream.
+func (k *Kernel) At(t Time, fn func()) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
+	}
+	k.seq++
+	heap.Push(&k.events, event{at: t, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current time. A non-positive delay
+// schedules for "immediately after the current event" (same timestamp,
+// later sequence number).
+func (k *Kernel) After(d Time, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	k.At(k.now+d, fn)
+}
+
+// Step executes the single next event, returning false if none remain.
+func (k *Kernel) Step() bool {
+	if len(k.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&k.events).(event)
+	k.now = e.at
+	k.nexec++
+	e.fn()
+	return true
+}
+
+// Run executes events until the queue is empty.
+func (k *Kernel) Run() {
+	for k.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to deadline. Events scheduled at exactly the deadline do run.
+func (k *Kernel) RunUntil(deadline Time) {
+	for len(k.events) > 0 && k.events[0].at <= deadline {
+		k.Step()
+	}
+	if k.now < deadline {
+		k.now = deadline
+	}
+}
+
+// RunFor executes events for d simulated time from now.
+func (k *Kernel) RunFor(d Time) { k.RunUntil(k.now + d) }
+
+// Clock converts between cycle counts of a fixed-frequency clock domain and
+// simulated time. FPGA components (the shell, the multiplexer tree, each
+// accelerator) each own a Clock at their synthesized frequency.
+type Clock struct {
+	period Time
+	mhz    int
+}
+
+// NewClock returns a clock with the given frequency in MHz. Frequencies must
+// divide 1e6 MHz... in practice any positive integer MHz is accepted and the
+// period is rounded to the nearest picosecond (exact for all paper
+// frequencies: 100, 200, 400 MHz).
+func NewClock(freqMHz int) Clock {
+	if freqMHz <= 0 {
+		panic("sim: clock frequency must be positive")
+	}
+	return Clock{period: Time(1_000_000/freqMHz) * Picosecond, mhz: freqMHz}
+}
+
+// FreqMHz returns the clock frequency in MHz.
+func (c Clock) FreqMHz() int { return c.mhz }
+
+// Period returns the duration of one cycle.
+func (c Clock) Period() Time { return c.period }
+
+// Cycles returns the duration of n cycles.
+func (c Clock) Cycles(n int64) Time { return Time(n) * c.period }
+
+// CyclesIn reports how many full cycles fit in d.
+func (c Clock) CyclesIn(d Time) int64 { return int64(d / c.period) }

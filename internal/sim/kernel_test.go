@@ -1,0 +1,340 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKernelOrdering(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	k.At(30*Nanosecond, func() { got = append(got, 3) })
+	k.At(10*Nanosecond, func() { got = append(got, 1) })
+	k.At(20*Nanosecond, func() { got = append(got, 2) })
+	k.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if k.Now() != 30*Nanosecond {
+		t.Fatalf("clock = %v, want 30ns", k.Now())
+	}
+}
+
+func TestKernelFIFOAtSameTime(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(5*Nanosecond, func() { got = append(got, i) })
+	}
+	k.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-timestamp events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestKernelNestedScheduling(t *testing.T) {
+	k := NewKernel()
+	var hits int
+	var rec func()
+	rec = func() {
+		hits++
+		if hits < 100 {
+			k.After(Nanosecond, rec)
+		}
+	}
+	k.After(0, rec)
+	k.Run()
+	if hits != 100 {
+		t.Fatalf("hits = %d, want 100", hits)
+	}
+	if k.Now() != 99*Nanosecond {
+		t.Fatalf("now = %v, want 99ns", k.Now())
+	}
+}
+
+func TestKernelSchedulingInPastPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling in the past")
+		}
+	}()
+	k := NewKernel()
+	k.At(10*Nanosecond, func() { k.At(5*Nanosecond, func() {}) })
+	k.Run()
+}
+
+func TestRunUntil(t *testing.T) {
+	k := NewKernel()
+	var ran []Time
+	for _, d := range []Time{1, 2, 3, 4, 5} {
+		d := d
+		k.At(d*Microsecond, func() { ran = append(ran, d) })
+	}
+	k.RunUntil(3 * Microsecond)
+	if len(ran) != 3 {
+		t.Fatalf("ran %d events, want 3 (incl. boundary)", len(ran))
+	}
+	if k.Now() != 3*Microsecond {
+		t.Fatalf("now = %v, want 3us", k.Now())
+	}
+	if k.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", k.Pending())
+	}
+	k.RunFor(Microsecond)
+	if len(ran) != 4 || k.Now() != 4*Microsecond {
+		t.Fatalf("RunFor: ran=%d now=%v", len(ran), k.Now())
+	}
+}
+
+func TestClockPeriods(t *testing.T) {
+	cases := []struct {
+		mhz    int
+		period Time
+	}{
+		{400, 2500 * Picosecond},
+		{200, 5 * Nanosecond},
+		{100, 10 * Nanosecond},
+	}
+	for _, c := range cases {
+		clk := NewClock(c.mhz)
+		if clk.Period() != c.period {
+			t.Errorf("%d MHz period = %v, want %v", c.mhz, clk.Period(), c.period)
+		}
+		if clk.Cycles(4) != 4*c.period {
+			t.Errorf("%d MHz Cycles(4) wrong", c.mhz)
+		}
+		if got := clk.CyclesIn(Microsecond); got != int64(c.mhz) {
+			t.Errorf("%d MHz CyclesIn(1us) = %d, want %d", c.mhz, got, c.mhz)
+		}
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := map[Time]string{
+		0:                "0s",
+		412 * Nanosecond: "412ns",
+		10 * Millisecond: "10ms",
+		2 * Second:       "2s",
+		1500:             "1500ps",
+	}
+	for in, want := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("(%d).String() = %q, want %q", int64(in), got, want)
+		}
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRand(43)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d identical values in 1000", same)
+	}
+}
+
+func TestRandUint64nBounds(t *testing.T) {
+	f := func(seed uint64, n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		r := NewRand(seed)
+		for i := 0; i < 50; i++ {
+			if r.Uint64n(n) >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandUniformity(t *testing.T) {
+	r := NewRand(7)
+	const buckets, samples = 16, 160000
+	var hist [buckets]int
+	for i := 0; i < samples; i++ {
+		hist[r.Intn(buckets)]++
+	}
+	want := samples / buckets
+	for i, h := range hist {
+		if h < want*9/10 || h > want*11/10 {
+			t.Fatalf("bucket %d = %d, want ~%d", i, h, want)
+		}
+	}
+}
+
+func TestRandPerm(t *testing.T) {
+	r := NewRand(1)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRandFill(t *testing.T) {
+	r := NewRand(9)
+	for _, n := range []int{0, 1, 7, 8, 9, 64, 65} {
+		b := make([]byte, n)
+		r.Fill(b)
+		if n >= 16 {
+			zero := 0
+			for _, v := range b {
+				if v == 0 {
+					zero++
+				}
+			}
+			if zero == n {
+				t.Fatalf("Fill produced all zeros for n=%d", n)
+			}
+		}
+	}
+}
+
+func TestLatencyStat(t *testing.T) {
+	s := NewLatencyStat(100, 1)
+	for i := 1; i <= 100; i++ {
+		s.Observe(Time(i) * Nanosecond)
+	}
+	if s.Count() != 100 {
+		t.Fatalf("count = %d", s.Count())
+	}
+	if s.Mean() != Time(50500)*Picosecond {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+	if s.Min() != Nanosecond || s.Max() != 100*Nanosecond {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	p50 := s.Percentile(50)
+	if p50 < 40*Nanosecond || p50 > 60*Nanosecond {
+		t.Fatalf("p50 = %v", p50)
+	}
+	if s.StdDev() <= 0 {
+		t.Fatal("stddev should be positive")
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	// 1 GB in 1 second = 1 GB/s.
+	if got := Throughput(1e9, Second); got < 0.999 || got > 1.001 {
+		t.Fatalf("Throughput = %v, want 1", got)
+	}
+	if Throughput(100, 0) != 0 {
+		t.Fatal("zero duration should yield 0")
+	}
+}
+
+func BenchmarkKernelEventDispatch(b *testing.B) {
+	k := NewKernel()
+	n := 0
+	var fn func()
+	fn = func() {
+		n++
+		if n < b.N {
+			k.After(Nanosecond, fn)
+		}
+	}
+	b.ResetTimer()
+	k.After(0, fn)
+	k.Run()
+}
+
+func BenchmarkRandUint64(b *testing.B) {
+	r := NewRand(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func TestPercentileBounds(t *testing.T) {
+	s := NewLatencyStat(16, 2)
+	if s.Percentile(50) != 0 {
+		t.Fatal("empty percentile should be 0")
+	}
+	for i := 1; i <= 16; i++ {
+		s.Observe(Time(i) * Microsecond)
+	}
+	if p := s.Percentile(0); p != Microsecond {
+		t.Fatalf("p0 = %v", p)
+	}
+	if p := s.Percentile(100); p != 16*Microsecond {
+		t.Fatalf("p100 = %v", p)
+	}
+	if p := s.Percentile(150); p != 16*Microsecond {
+		t.Fatalf("p150 clamps to max, got %v", p)
+	}
+}
+
+func TestRandForkIndependence(t *testing.T) {
+	a := NewRand(5)
+	b := a.Fork()
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("forked stream correlates: %d/1000 equal", same)
+	}
+}
+
+func TestRandFromState(t *testing.T) {
+	a := NewRand(6)
+	a.Uint64()
+	st := a.State()
+	b := RandFromState(st)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("restored state diverged")
+		}
+	}
+	// All-zero state is rescued, not propagated.
+	z := RandFromState([4]uint64{})
+	if z.Uint64() == 0 && z.Uint64() == 0 && z.Uint64() == 0 {
+		t.Fatal("all-zero state not rescued")
+	}
+}
+
+func TestKernelExecutedAndPending(t *testing.T) {
+	k := NewKernel()
+	k.After(Nanosecond, func() {})
+	k.After(2*Nanosecond, func() {})
+	if k.Pending() != 2 {
+		t.Fatalf("pending = %d", k.Pending())
+	}
+	k.Run()
+	if k.Executed() != 2 || k.Pending() != 0 {
+		t.Fatalf("executed=%d pending=%d", k.Executed(), k.Pending())
+	}
+}
+
+func TestClockInvalidFrequencyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewClock(0)
+}

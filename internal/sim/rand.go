@@ -1,0 +1,137 @@
+package sim
+
+// Rand is a small, fast, deterministic PRNG (xoshiro256**). The simulated
+// platform cannot use math/rand's global state: every component that needs
+// randomness (MemBench address generation, graph generators, channel jitter)
+// owns its own Rand seeded from the scenario seed so that experiments are
+// reproducible bit-for-bit.
+type Rand struct {
+	s [4]uint64
+}
+
+// NewRand returns a generator seeded from seed via SplitMix64, which also
+// guards against the all-zero state that xoshiro cannot escape.
+func NewRand(seed uint64) *Rand {
+	r := &Rand{}
+	sm := seed
+	next := func() uint64 {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for i := range r.s {
+		r.s[i] = next()
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (r *Rand) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Uint64n returns a uniform value in [0, n). n must be positive.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("sim: Uint64n with n == 0")
+	}
+	// Lemire's multiply-shift rejection method.
+	for {
+		v := r.Uint64()
+		hi, lo := mul64(v, n)
+		if lo >= n || lo >= (-n)%n {
+			return hi
+		}
+	}
+}
+
+// mul64 computes the 128-bit product of a and b.
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 1<<32 - 1
+	al, ah := a&mask, a>>32
+	bl, bh := b&mask, b>>32
+	t := ah*bl + (al*bl)>>32
+	lo = a * b
+	hi = ah*bh + t>>32 + (t&mask+al*bh)>>32
+	return hi, lo
+}
+
+// Intn returns a uniform int in [0, n).
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Fill fills b with random bytes.
+func (r *Rand) Fill(b []byte) {
+	i := 0
+	for ; i+8 <= len(b); i += 8 {
+		v := r.Uint64()
+		b[i] = byte(v)
+		b[i+1] = byte(v >> 8)
+		b[i+2] = byte(v >> 16)
+		b[i+3] = byte(v >> 24)
+		b[i+4] = byte(v >> 32)
+		b[i+5] = byte(v >> 40)
+		b[i+6] = byte(v >> 48)
+		b[i+7] = byte(v >> 56)
+	}
+	if i < len(b) {
+		v := r.Uint64()
+		for ; i < len(b); i++ {
+			b[i] = byte(v)
+			v >>= 8
+		}
+	}
+}
+
+// State snapshots the generator's internal state — hardware accelerators
+// that use an on-chip PRNG save it through the preemption interface so a
+// resumed job continues the exact same access sequence.
+func (r *Rand) State() [4]uint64 { return r.s }
+
+// RandFromState reconstructs a generator from a State snapshot.
+func RandFromState(s [4]uint64) *Rand {
+	if s == ([4]uint64{}) {
+		return NewRand(0) // avoid the unreachable all-zero state
+	}
+	return &Rand{s: s}
+}
+
+// Fork derives an independent generator; useful for giving each component a
+// stream that does not perturb its siblings when one consumes more values.
+func (r *Rand) Fork() *Rand {
+	return NewRand(r.Uint64() ^ 0xa5a5a5a5a5a5a5a5)
+}

@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Counter is a monotonically increasing event/byte counter with a name.
+type Counter struct {
+	Name  string
+	Value uint64
+}
+
+// Add increments the counter.
+func (c *Counter) Add(n uint64) { c.Value += n }
+
+// LatencyStat accumulates latency samples with O(1) memory for the moments
+// and an optional reservoir for percentiles.
+type LatencyStat struct {
+	n         uint64
+	sum       Time
+	min, max  Time
+	sumSq     float64
+	reservoir []Time
+	resCap    int
+	rng       *Rand
+}
+
+// NewLatencyStat returns a stat that keeps up to resCap reservoir samples
+// for percentile estimation (0 disables the reservoir).
+func NewLatencyStat(resCap int, seed uint64) *LatencyStat {
+	return &LatencyStat{min: math.MaxInt64, resCap: resCap, rng: NewRand(seed)}
+}
+
+// Observe records one latency sample.
+func (s *LatencyStat) Observe(d Time) {
+	s.n++
+	s.sum += d
+	if d < s.min {
+		s.min = d
+	}
+	if d > s.max {
+		s.max = d
+	}
+	f := float64(d)
+	s.sumSq += f * f
+	if s.resCap > 0 {
+		if len(s.reservoir) < s.resCap {
+			s.reservoir = append(s.reservoir, d)
+		} else if j := s.rng.Uint64n(s.n); j < uint64(s.resCap) {
+			s.reservoir[j] = d
+		}
+	}
+}
+
+// Count returns the number of samples.
+func (s *LatencyStat) Count() uint64 { return s.n }
+
+// Mean returns the mean latency, or 0 with no samples.
+func (s *LatencyStat) Mean() Time {
+	if s.n == 0 {
+		return 0
+	}
+	return Time(int64(s.sum) / int64(s.n))
+}
+
+// Min returns the minimum sample (0 when empty).
+func (s *LatencyStat) Min() Time {
+	if s.n == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// Max returns the maximum sample.
+func (s *LatencyStat) Max() Time { return s.max }
+
+// StdDev returns the sample standard deviation in picoseconds.
+func (s *LatencyStat) StdDev() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	mean := float64(s.sum) / float64(s.n)
+	v := s.sumSq/float64(s.n) - mean*mean
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// Percentile estimates the p-th percentile (0–100) from the reservoir.
+func (s *LatencyStat) Percentile(p float64) Time {
+	if len(s.reservoir) == 0 {
+		return 0
+	}
+	sorted := make([]Time, len(s.reservoir))
+	copy(sorted, s.reservoir)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p / 100 * float64(len(sorted)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// String summarizes the stat.
+func (s *LatencyStat) String() string {
+	return fmt.Sprintf("n=%d mean=%v min=%v max=%v", s.n, s.Mean(), s.Min(), s.Max())
+}
+
+// Throughput converts a byte count over a duration into GB/s (decimal GB).
+func Throughput(bytes uint64, d Time) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(bytes) / 1e9 / d.Seconds()
+}

@@ -1,0 +1,83 @@
+// Package optimus is the public façade of optimus-sim, a Go reproduction
+// of "A Hypervisor for Shared-Memory FPGA Platforms" (OPTIMUS, ASPLOS
+// 2020). It re-exports the pieces a downstream user composes:
+//
+//   - Platform assembly and the hypervisor: New / Config (spatial and
+//     temporal multiplexing, page table slicing, schedulers).
+//   - The guest stack: VMs, processes, and the userspace device API
+//     (OpenDevice, DMA buffers, MMIO programming).
+//   - The accelerator catalog: the paper's fourteen benchmark designs plus
+//     the Logic interface for writing preemption-capable accelerators.
+//   - The experiment harness regenerating every table and figure of the
+//     paper's evaluation.
+//
+// Quick start (see examples/quickstart for the full program):
+//
+//	h, _ := optimus.New(optimus.Config{Accels: []string{"AES"}})
+//	vm, _ := h.NewVM("tenant", 10<<30)
+//	proc := vm.NewProcess()
+//	va, _ := h.NewVAccel(proc, 0)
+//	dev, _ := optimus.OpenDevice(proc, va)
+//	buf, _ := dev.AllocDMA(1 << 20)
+//	... program registers, dev.Run(), read results ...
+package optimus
+
+import (
+	"optimus/internal/accel"
+	"optimus/internal/exp"
+	"optimus/internal/guest"
+	"optimus/internal/hv"
+	"optimus/internal/sim"
+)
+
+// Core types.
+type (
+	// Config assembles a simulated platform (see hv.Config).
+	Config = hv.Config
+	// Hypervisor owns the machine and its virtualization state.
+	Hypervisor = hv.Hypervisor
+	// VM is one guest virtual machine.
+	VM = hv.VM
+	// Process is a guest process address space.
+	Process = hv.Process
+	// VAccel is a virtual accelerator (the guest-visible device).
+	VAccel = hv.VAccel
+	// Device is the guest userspace handle to a virtual accelerator.
+	Device = guest.Device
+	// Buffer is an allocation in the shared CPU/FPGA DMA region.
+	Buffer = guest.Buffer
+	// AccelLogic is the interface accelerator designs implement,
+	// including the preemption interface of §4.2.
+	AccelLogic = accel.Logic
+	// Time is simulated time in picoseconds.
+	Time = sim.Time
+)
+
+// Virtualization modes.
+const (
+	ModeOptimus     = hv.ModeOptimus
+	ModePassThrough = hv.ModePassThrough
+)
+
+// Temporal-multiplexing scheduler policies.
+const (
+	PolicyRR       = hv.PolicyRR
+	PolicyWRR      = hv.PolicyWRR
+	PolicyPriority = hv.PolicyPriority
+)
+
+// New assembles a platform: shell, hardware monitor, physical
+// accelerators, and the hypervisor.
+func New(cfg Config) (*Hypervisor, error) { return hv.New(cfg) }
+
+// OpenDevice connects a guest process to its virtual accelerator through
+// the guest driver and userspace library.
+func OpenDevice(proc *Process, va *VAccel) (*Device, error) { return guest.Open(proc, va) }
+
+// Accelerators returns the names of the built-in accelerator designs
+// (Table 1 abbreviations).
+func Accelerators() []string { return accel.Names() }
+
+// Experiments returns the IDs of the paper-evaluation experiments the
+// harness can regenerate (optimus-bench runs these).
+func Experiments() []string { return exp.IDs() }

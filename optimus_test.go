@@ -1,0 +1,71 @@
+package optimus_test
+
+import (
+	"testing"
+
+	"optimus"
+	"optimus/internal/accel"
+)
+
+// TestFacadeQuickstart exercises the public façade end to end, mirroring
+// examples/quickstart.
+func TestFacadeQuickstart(t *testing.T) {
+	h, err := optimus.New(optimus.Config{Accels: []string{"SHA"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := h.NewVM("t", 10<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc := vm.NewProcess()
+	va, err := h.NewVAccel(proc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := optimus.OpenDevice(proc, va)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := dev.AllocDMA(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := dev.AllocDMA(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := make([]byte, 4096)
+	for i := range msg {
+		msg[i] = byte(i)
+	}
+	if err := dev.Write(src, 0, msg); err != nil {
+		t.Fatal(err)
+	}
+	dev.RegWrite(accel.XFArgSrc, src.Addr)
+	dev.RegWrite(accel.XFArgDst, dst.Addr)
+	dev.RegWrite(accel.XFArgLen, 4096)
+	if err := dev.Run(); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, 64)
+	dev.Read(dst, 0, out)
+	allZero := true
+	for _, v := range out {
+		if v != 0 {
+			allZero = false
+		}
+	}
+	if allZero {
+		t.Fatal("digest not written")
+	}
+}
+
+func TestCatalogs(t *testing.T) {
+	if len(optimus.Accelerators()) != 14 {
+		t.Fatalf("accelerator catalog has %d entries, want 14", len(optimus.Accelerators()))
+	}
+	if len(optimus.Experiments()) < 12 {
+		t.Fatalf("experiment catalog has %d entries", len(optimus.Experiments()))
+	}
+}
