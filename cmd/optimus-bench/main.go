@@ -6,25 +6,52 @@
 //
 //	optimus-bench -exp fig1 [-full]
 //	optimus-bench -exp all -full
+//	optimus-bench -exp all -par 8 -json BENCH_exp.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"optimus/internal/exp"
+	"optimus/internal/sim"
 )
+
+// expRecord is one experiment's perf sample in the -json artifact; the
+// sequence of artifacts across commits is the simulator's performance
+// trajectory.
+type expRecord struct {
+	Exp          string  `json:"exp"`
+	WallMS       float64 `json:"wall_ms"`
+	Events       uint64  `json:"events_executed"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+type benchArtifact struct {
+	Scale      string      `json:"scale"`
+	Par        int         `json:"par"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	TotalMS    float64     `json:"total_wall_ms"`
+	Records    []expRecord `json:"experiments"`
+}
 
 func main() {
 	expID := flag.String("exp", "", "experiment to run (or 'all')")
 	full := flag.Bool("full", false, "run at full (paper-sized) scale instead of quick scale")
+	par := flag.Int("par", runtime.GOMAXPROCS(0),
+		"sweep points to run concurrently (1 = sequential)")
+	jsonPath := flag.String("json", "", "write a machine-readable perf artifact (wall time, events/sec per experiment) to this path")
 	flag.Parse()
 
 	scale := exp.ScaleQuick
+	scaleName := "quick"
 	if *full {
 		scale = exp.ScaleFull
+		scaleName = "full"
 	}
 
 	if *expID == "" {
@@ -40,12 +67,40 @@ func main() {
 	if *expID == "all" {
 		ids = exp.IDs()
 	}
+	exp.SetParallelism(*par)
+	art := benchArtifact{Scale: scaleName, Par: exp.Parallelism(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	suiteStart := time.Now()
 	for _, id := range ids {
 		start := time.Now()
+		eventsBefore := sim.EventsExecuted()
 		if err := exp.Run(id, scale, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "optimus-bench: %s: %v\n", id, err)
 			os.Exit(1)
 		}
-		fmt.Printf("(%s completed in %v wall time)\n\n", id, time.Since(start).Round(time.Millisecond))
+		wall := time.Since(start)
+		events := sim.EventsExecuted() - eventsBefore
+		fmt.Printf("(%s completed in %v wall time, %d events, %.3g events/sec)\n\n",
+			id, wall.Round(time.Millisecond), events, float64(events)/wall.Seconds())
+		art.Records = append(art.Records, expRecord{
+			Exp:          id,
+			WallMS:       float64(wall.Nanoseconds()) / 1e6,
+			Events:       events,
+			EventsPerSec: float64(events) / wall.Seconds(),
+		})
+	}
+	art.TotalMS = float64(time.Since(suiteStart).Nanoseconds()) / 1e6
+
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(art, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "optimus-bench: encoding %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "optimus-bench: writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote perf artifact to %s\n", *jsonPath)
 	}
 }

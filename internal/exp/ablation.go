@@ -29,16 +29,24 @@ func GuardAblation(scale Scale) (*Table, error) {
 			"Each job's working set fits its 1GB/8 = 128 MB conflict-free share; only the slice layout differs.",
 		},
 	}
-	for _, perJob := range []uint64{16 << 20, 64 << 20, 128 << 20} {
-		row := []string{fmtBytes(perJob)}
-		for _, disable := range []bool{false, true} {
-			gbps, err := guardPoint(perJob, disable, window)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, fmtGBps(gbps))
+	perJobs := []uint64{16 << 20, 64 << 20, 128 << 20}
+	cells := make([][]string, len(perJobs))
+	for i := range cells {
+		cells[i] = make([]string, 2)
+	}
+	err := grid(len(perJobs), 2, func(r, c int) error {
+		gbps, err := guardPoint(perJobs[r], c == 1, window)
+		if err != nil {
+			return err
 		}
-		t.AddRow(row...)
+		cells[r][c] = fmtGBps(gbps)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, perJob := range perJobs {
+		t.AddRow(append([]string{fmtBytes(perJob)}, cells[i]...)...)
 	}
 	return t, nil
 }
@@ -88,16 +96,24 @@ func IOMMUAblation(scale Scale) (*Table, error) {
 			"The paper argues (§6.4) manufacturers should integrate the IOMMU into the CPU; an integrated walker pays ~1/4 the walk latency.",
 		},
 	}
-	for _, ws := range []uint64{512 << 20, 2 << 30, 8 << 30} {
-		row := []string{fmtBytes(ws)}
-		for _, integrated := range []bool{false, true} {
-			gbps, err := iommuPoint(ws, integrated, window)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, fmtGBps(gbps))
+	wss := []uint64{512 << 20, 2 << 30, 8 << 30}
+	cells := make([][]string, len(wss))
+	for i := range cells {
+		cells[i] = make([]string, 2)
+	}
+	err := grid(len(wss), 2, func(r, c int) error {
+		gbps, err := iommuPoint(wss[r], c == 1, window)
+		if err != nil {
+			return err
 		}
-		t.AddRow(row...)
+		cells[r][c] = fmtGBps(gbps)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, ws := range wss {
+		t.AddRow(append([]string{fmtBytes(ws)}, cells[i]...)...)
 	}
 	return t, nil
 }
@@ -157,30 +173,39 @@ func MuxArityAblation(scale Scale) (*Table, error) {
 		{"quad tree", fpga.MuxTopology{Arity: 4}, true},
 		{"flat mux", fpga.MuxTopology{Flat: true}, false},
 	}
-	for _, c := range cases {
+	rows := make([][]string, len(cases))
+	err := Points(len(cases), func(i int) error {
+		c := cases[i]
 		cfg := optimusEight("LL")
 		cfg.Monitor.Topology = c.topo
 		h, tenants, err := spatialPlatformSlots(cfg, 1)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		tn := tenants[0]
 		buf, err := tn.dev.AllocDMA(uint64(nodes) * 256)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		head, _ := buildGuestList(tn, buf, nodes, 1)
 		tn.dev.RegWrite(accel.LLArgHead, head)
 		h.Phy(0).Accel.SetChannel(ccip.VCUPI)
 		if err := tn.dev.Start(); err != nil {
-			return nil, err
+			return err
 		}
 		if err := tn.dev.Wait(); err != nil {
-			return nil, err
+			return err
 		}
 		lat := h.Phy(0).Accel.DMALatency().Mean()
-		t.AddRow(c.name, fmt.Sprint(h.Monitor.TreeLevels()),
-			fmt.Sprintf("%.0f", lat.Nanoseconds()), fmt.Sprint(c.meets))
+		rows[i] = []string{c.name, fmt.Sprint(h.Monitor.TreeLevels()),
+			fmt.Sprintf("%.0f", lat.Nanoseconds()), fmt.Sprint(c.meets)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	t.Notes = append(t.Notes,
 		"The flat mux's latency is what a hard-wired single-level mux would give; the synthesis model (see 'timing') shows it cannot close timing at 400 MHz as soft logic.")

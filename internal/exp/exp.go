@@ -13,6 +13,7 @@
 package exp
 
 import (
+	"encoding/binary"
 	"fmt"
 	"io"
 	"strings"
@@ -322,10 +323,8 @@ func buildGuestList(tn *tenant, buf guest.Buffer, n int, seed uint64) (uint64, u
 		}
 		payload := rng.Uint64()
 		sum += payload
-		for b := 0; b < 8; b++ {
-			node[b] = byte(next >> (8 * b))
-			node[8+b] = byte(payload >> (8 * b))
-		}
+		binary.LittleEndian.PutUint64(node, next)
+		binary.LittleEndian.PutUint64(node[8:], payload)
 		tn.proc.Write(addrs[i], node)
 	}
 	return addrs[0], sum

@@ -26,12 +26,20 @@ func Table3(scale Scale) (*Table, error) {
 		Header: []string{"App", "Range ((max-min)/mean)"},
 		Notes:  []string{"Paper reports ranges of ~1e-4 to ~6e-2: every accelerator gets ~1/8 of aggregate throughput."},
 	}
-	for _, app := range apps {
-		spread, err := table3Point(app, size, window)
+	spreads := make([]float64, len(apps))
+	err := Points(len(apps), func(i int) error {
+		spread, err := table3Point(apps[i], size, window)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", app, err)
+			return fmt.Errorf("%s: %w", apps[i], err)
 		}
-		t.AddRow(app, fmt.Sprintf("%.2e", spread))
+		spreads[i] = spread
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, app := range apps {
+		t.AddRow(app, fmt.Sprintf("%.2e", spreads[i]))
 	}
 	return t, nil
 }
@@ -109,12 +117,20 @@ func Table4(scale Scale) (*Table, error) {
 		return nil, err
 	}
 	t.AddRow("(standalone)", fmtGBps(standalone), "1.00x")
-	for _, app := range others {
-		got, err := table4MBThroughput(app, 1, window, size)
+	colocated := make([]float64, len(others))
+	err = Points(len(others), func(i int) error {
+		got, err := table4MBThroughput(others[i], 1, window, size)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", app, err)
+			return fmt.Errorf("%s: %w", others[i], err)
 		}
-		t.AddRow(app, fmtGBps(got), fmtRatio(got/standalone))
+		colocated[i] = got
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, app := range others {
+		t.AddRow(app, fmtGBps(colocated[i]), fmtRatio(colocated[i]/standalone))
 	}
 	return t, nil
 }
@@ -197,23 +213,25 @@ func SchedFairness(scale Scale) (*Table, error) {
 		{hv.PolicyWRR, "weighted", []int{4, 2, 1, 1}, nil, []float64{0.5, 0.25, 0.125, 0.125}},
 		{hv.PolicyPriority, "priority", nil, []int{5, 5, 1}, []float64{0.5, 0.5, 0}},
 	}
-	for _, sp := range specs {
+	specRows := make([][][]string, len(specs))
+	err := Points(len(specs), func(si int) error {
+		sp := specs[si]
 		n := len(sp.expected)
 		h, err := hv.New(hv.Config{Accels: []string{"MB"}, TimeSlice: slice})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		h.Scheduler(0).SetPolicy(sp.policy)
 		tenants := make([]*tenant, n)
 		for i := 0; i < n; i++ {
 			tn, err := newTenant(h, 0)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			tenants[i] = tn
 			buf, err := tn.dev.AllocDMA(8 << 20)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			tn.dev.SetupStateBuffer()
 			tn.dev.RegWrite(accel.MBArgBase, buf.Addr)
@@ -227,7 +245,7 @@ func SchedFairness(scale Scale) (*Table, error) {
 				tn.dev.VAccel().SetPriority(sp.priority[i])
 			}
 			if err := tn.dev.Start(); err != nil {
-				return nil, err
+				return err
 			}
 		}
 		h.K.RunFor(window)
@@ -241,10 +259,19 @@ func SchedFairness(scale Scale) (*Table, error) {
 			if dev < 0 {
 				dev = -dev
 			}
-			t.AddRow(sp.name, fmt.Sprintf("#%d", i),
+			specRows[si] = append(specRows[si], []string{sp.name, fmt.Sprintf("#%d", i),
 				fmt.Sprintf("%.3f", sp.expected[i]),
 				fmt.Sprintf("%.3f", share),
-				fmt.Sprintf("%.2f%%", 100*dev))
+				fmt.Sprintf("%.2f%%", 100*dev)})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, rows := range specRows {
+		for _, row := range rows {
+			t.AddRow(row...)
 		}
 	}
 	return t, nil

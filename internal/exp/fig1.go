@@ -34,17 +34,18 @@ func Fig1(scale Scale) (*Table, error) {
 		},
 	}
 
-	for _, r := range ratios {
-		edges := vertices * r
+	rows := make([][]string, len(ratios))
+	err := Points(len(ratios), func(i int) error {
+		edges := vertices * ratios[i]
 		g := genGraph(vertices, edges, 0xF16)
 
 		smNative, err := runSharedSSSP(g, false)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		smVirt, err := runSharedSSSP(g, true)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		hcTimes := map[string]sim.Time{}
 		for _, mode := range []hostcentric.Mode{hostcentric.ModeConfig, hostcentric.ModeCopy} {
@@ -52,15 +53,22 @@ func Fig1(scale Scale) (*Table, error) {
 				k := sim.NewKernel()
 				res, err := hostcentric.RunSSSP(k, g, 0, mode, hostcentric.DefaultConfig(virt))
 				if err != nil {
-					return nil, err
+					return err
 				}
 				hcTimes[fmt.Sprintf("%v/%v", mode, virt)] = res.Elapsed
 			}
 		}
 		ms := func(d sim.Time) string { return fmt.Sprintf("%.2f", d.Seconds()*1e3) }
-		t.AddRow(fmt.Sprintf("%.2fM", float64(edges)/1e6),
+		rows[i] = []string{fmt.Sprintf("%.2fM", float64(edges)/1e6),
 			ms(smNative), ms(hcTimes["Host-Centric+Config/false"]), ms(hcTimes["Host-Centric+Copy/false"]),
-			ms(smVirt), ms(hcTimes["Host-Centric+Config/true"]), ms(hcTimes["Host-Centric+Copy/true"]))
+			ms(smVirt), ms(hcTimes["Host-Centric+Config/true"]), ms(hcTimes["Host-Centric+Copy/true"])}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return t, nil
 }

@@ -33,15 +33,27 @@ func Fig4a(scale Scale) (*Table, error) {
 		Header: []string{"Channel", "PT latency (ns)", "OPTIMUS latency (ns)", "Normalized (%)"},
 		Notes:  []string{"Paper: UPI 124.2%, PCIe 111.1% — the 3-level multiplexer tree adds ~100 ns."},
 	}
-	for _, ch := range []ccip.Channel{ccip.VCUPI, ccip.VCPCIe0} {
-		pt, err := llMeanLatency(hv.Config{Accels: []string{"LL"}, Mode: hv.ModePassThrough}, ch, nodes, 0)
-		if err != nil {
-			return nil, err
+	channels := []ccip.Channel{ccip.VCUPI, ccip.VCPCIe0}
+	// One point per (channel, config) pair; both configs of a channel are
+	// needed for its normalized column, so rows assemble after the sweep.
+	lats := make([]sim.Time, 2*len(channels))
+	err := grid(len(channels), 2, func(r, c int) error {
+		cfg := optimusEight("LL")
+		if c == 0 {
+			cfg = hv.Config{Accels: []string{"LL"}, Mode: hv.ModePassThrough}
 		}
-		op, err := llMeanLatency(optimusEight("LL"), ch, nodes, 0)
+		lat, err := llMeanLatency(cfg, channels[r], nodes, 0)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		lats[2*r+c] = lat
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, ch := range channels {
+		pt, op := lats[2*i], lats[2*i+1]
 		name := "UPI"
 		if ch != ccip.VCUPI {
 			name = "PCIe"
@@ -98,15 +110,27 @@ func Fig4b(scale Scale) (*Table, error) {
 		Header: []string{"App", "PT (work/s)", "OPTIMUS (work/s)", "Normalized (%)"},
 		Notes:  []string{"Paper: MemBench 90.1% (worst case; request every 2 tree cycles); real apps ≥92.7%."},
 	}
-	for _, app := range apps {
-		pt, err := singleJobThroughput(hv.Config{Accels: []string{app}, Mode: hv.ModePassThrough}, app, size, window)
-		if err != nil {
-			return nil, fmt.Errorf("%s (PT): %w", app, err)
+	vals := make([][2]float64, len(apps))
+	err := grid(len(apps), 2, func(r, c int) error {
+		app := apps[r]
+		cfg := optimusEight(app)
+		label := "OPTIMUS"
+		if c == 0 {
+			cfg = hv.Config{Accels: []string{app}, Mode: hv.ModePassThrough}
+			label = "PT"
 		}
-		op, err := singleJobThroughput(optimusEight(app), app, size, window)
+		v, err := singleJobThroughput(cfg, app, size, window)
 		if err != nil {
-			return nil, fmt.Errorf("%s (OPTIMUS): %w", app, err)
+			return fmt.Errorf("%s (%s): %w", app, label, err)
 		}
+		vals[r][c] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, app := range apps {
+		pt, op := vals[i][0], vals[i][1]
 		t.AddRow(app, fmt.Sprintf("%.3g", pt), fmt.Sprintf("%.3g", op), fmtPct(100*op/pt))
 	}
 	return t, nil

@@ -51,16 +51,24 @@ func Fig5(pageSize uint64, ch ccip.Channel, scale Scale) (*Table, error) {
 			"Latency is flat while the working set fits the IOTLB reach (1 GB at 2M pages, 2 MB at 4K), then climbs as misses add soft-IOMMU walks.",
 		},
 	}
-	for _, ws := range fig5WorkingSets(pageSize, scale) {
-		row := []string{fmtBytes(ws)}
-		for _, n := range jobCounts {
-			lat, err := llLatencyPoint(pageSize, ch, n, ws, nodes)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, fmt.Sprintf("%.0f", lat.Nanoseconds()))
+	wss := fig5WorkingSets(pageSize, scale)
+	cells := make([][]string, len(wss))
+	for i := range cells {
+		cells[i] = make([]string, len(jobCounts))
+	}
+	err := grid(len(wss), len(jobCounts), func(r, c int) error {
+		lat, err := llLatencyPoint(pageSize, ch, jobCounts[c], wss[r], nodes)
+		if err != nil {
+			return err
 		}
-		t.AddRow(row...)
+		cells[r][c] = fmt.Sprintf("%.0f", lat.Nanoseconds())
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, ws := range wss {
+		t.AddRow(append([]string{fmtBytes(ws)}, cells[i]...)...)
 	}
 	return t, nil
 }
@@ -95,8 +103,7 @@ func llLatencyPoint(pageSize uint64, ch ccip.Channel, n int, ws uint64, nodes in
 		}
 		tn.dev.OnDone(func() { remaining-- })
 	}
-	for remaining > 0 && h.K.Step() {
-	}
+	h.K.RunWhile(func() bool { return remaining > 0 })
 	if remaining > 0 {
 		return 0, fmt.Errorf("exp: LL jobs stalled")
 	}
@@ -158,16 +165,24 @@ func Fig6(pageSize uint64, writes bool, scale Scale) (*Table, error) {
 			"Throughput drops once the aggregate working set exceeds the IOTLB reach; job count does not reduce aggregate throughput.",
 		},
 	}
-	for _, ws := range fig5WorkingSets(pageSize, scale) {
-		row := []string{fmtBytes(ws)}
-		for _, n := range jobCounts {
-			gbps, err := mbThroughputPoint(pageSize, n, ws, writes, window)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, fmtGBps(gbps))
+	wss := fig5WorkingSets(pageSize, scale)
+	cells := make([][]string, len(wss))
+	for i := range cells {
+		cells[i] = make([]string, len(jobCounts))
+	}
+	err := grid(len(wss), len(jobCounts), func(r, c int) error {
+		gbps, err := mbThroughputPoint(pageSize, jobCounts[c], wss[r], writes, window)
+		if err != nil {
+			return err
 		}
-		t.AddRow(row...)
+		cells[r][c] = fmtGBps(gbps)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, ws := range wss {
+		t.AddRow(append([]string{fmtBytes(ws)}, cells[i]...)...)
 	}
 	return t, nil
 }

@@ -33,17 +33,25 @@ func Fig7(scale Scale) (*Table, error) {
 			"Paper: GAU, GRS, SBL, SSSP stop scaling beyond 4 jobs (interconnect saturated); the rest scale near-linearly to 8.",
 		},
 	}
-	for _, app := range apps {
-		var base float64
+	aggs := make([][]float64, len(apps))
+	for i := range aggs {
+		aggs[i] = make([]float64, len(jobCounts))
+	}
+	err := grid(len(apps), len(jobCounts), func(r, c int) error {
+		agg, err := fig7Point(apps[r], jobCounts[c], size, window)
+		if err != nil {
+			return fmt.Errorf("%s x%d: %w", apps[r], jobCounts[c], err)
+		}
+		aggs[r][c] = agg
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, app := range apps {
+		base := aggs[i][0] // jobCounts[0] == 1
 		row := []string{app}
-		for _, n := range jobCounts {
-			agg, err := fig7Point(app, n, size, window)
-			if err != nil {
-				return nil, fmt.Errorf("%s x%d: %w", app, n, err)
-			}
-			if n == 1 {
-				base = agg
-			}
+		for _, agg := range aggs[i] {
 			row = append(row, fmtRatio(agg/base))
 		}
 		t.AddRow(row...)

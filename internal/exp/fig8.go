@@ -47,17 +47,27 @@ func Fig8(scale Scale) (*Table, error) {
 		{"MemBench", "MB", 0},
 		{"MD5 Worst Case", "MB", 5 << 19}, // 2.5 MB: MD5's full resource footprint
 	}
-	for _, w := range workloads {
-		var base float64
+	thrs := make([][]float64, len(workloads))
+	for i := range thrs {
+		thrs[i] = make([]float64, len(jobCounts))
+	}
+	err := grid(len(workloads), len(jobCounts), func(r, c int) error {
+		w := workloads[r]
+		n := jobCounts[c]
+		thr, err := fig8Point(w.app, w.pad, n, slice, sim.Time(16*slicesPerJob)*slice)
+		if err != nil {
+			return fmt.Errorf("%s x%d: %w", w.name, n, err)
+		}
+		thrs[r][c] = thr
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, w := range workloads {
+		base := thrs[i][0] // jobCounts[0] == 1
 		row := []string{w.name}
-		for _, n := range jobCounts {
-			thr, err := fig8Point(w.app, w.pad, n, slice, sim.Time(16*slicesPerJob)*slice)
-			if err != nil {
-				return nil, fmt.Errorf("%s x%d: %w", w.name, n, err)
-			}
-			if n == 1 {
-				base = thr
-			}
+		for _, thr := range thrs[i] {
 			row = append(row, fmt.Sprintf("%.3f", thr/base))
 		}
 		t.AddRow(row...)

@@ -1,0 +1,185 @@
+package exp
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"optimus/internal/ccip"
+	"optimus/internal/mem"
+)
+
+// withParallelism runs body with the pool bound set to n, restoring the
+// default afterwards so tests don't leak configuration.
+func withParallelism(t *testing.T, n int, body func()) {
+	t.Helper()
+	SetParallelism(n)
+	defer SetParallelism(0)
+	body()
+}
+
+func TestPointsCollectsInOrder(t *testing.T) {
+	for _, par := range []int{1, 8} {
+		withParallelism(t, par, func() {
+			got := make([]int, 40)
+			if err := Points(40, func(i int) error {
+				got[i] = i * i
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			for i, v := range got {
+				if v != i*i {
+					t.Fatalf("par=%d: slot %d = %d", par, i, v)
+				}
+			}
+		})
+	}
+}
+
+func TestPointsLowestIndexErrorWins(t *testing.T) {
+	errA := errors.New("a")
+	for _, par := range []int{1, 8} {
+		withParallelism(t, par, func() {
+			err := Points(16, func(i int) error {
+				switch i {
+				case 3:
+					return errA
+				case 11:
+					return errors.New("b")
+				}
+				return nil
+			})
+			if err != errA {
+				t.Fatalf("par=%d: err = %v, want lowest-index error", par, err)
+			}
+		})
+	}
+}
+
+func TestPointsZeroAndParallelismBounds(t *testing.T) {
+	if err := Points(0, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	SetParallelism(-5)
+	if Parallelism() < 1 {
+		t.Fatalf("Parallelism() = %d", Parallelism())
+	}
+	SetParallelism(3)
+	if Parallelism() != 3 {
+		t.Fatalf("Parallelism() = %d, want 3", Parallelism())
+	}
+	SetParallelism(0)
+}
+
+// TestGenGraphSingleFlight asserts concurrent requests for the same graph
+// share one generation (same pointer back) and nothing races.
+func TestGenGraphSingleFlight(t *testing.T) {
+	const workers = 16
+	got := make([]interface{}, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			got[w] = genGraph(500, 2000, 0xABCD)
+		}()
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if got[w] != got[0] {
+			t.Fatal("same-key genGraph returned distinct graphs")
+		}
+	}
+}
+
+// TestRSCodeConcurrentEncode drives the shared RS encoder from many
+// goroutines; run under -race this verifies provisioning's only shared
+// codec is safe for parallel sweep workers.
+func TestRSCodeConcurrentEncode(t *testing.T) {
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			msg := make([]byte, 223)
+			for i := range msg {
+				msg[i] = byte(i + w)
+			}
+			cw, err := rsCode().Encode(msg)
+			if err != nil || len(cw) != 255 {
+				t.Errorf("encode: %v len=%d", err, len(cw))
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestParallelDeterminism is the regression gate for the sweep pool: a
+// quick-scale fig5 + fig6 run must render byte-identical tables whether
+// points execute sequentially or on 8 workers. Every point owns a private
+// kernel and platform, so parallelism must not be observable in results.
+func TestParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	render := func(par int) string {
+		var buf bytes.Buffer
+		withParallelism(t, par, func() {
+			tab5, err := Fig5(mem.PageSize4K, ccip.VCUPI, ScaleQuick)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tab5.Render(&buf)
+			tab6, err := Fig6(mem.PageSize4K, false, ScaleQuick)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tab6.Render(&buf)
+		})
+		return buf.String()
+	}
+	seq := render(1)
+	par := render(8)
+	if seq != par {
+		t.Fatalf("tables differ between -par 1 and -par 8:\n--- par=1 ---\n%s\n--- par=8 ---\n%s", seq, par)
+	}
+	if len(seq) == 0 {
+		t.Fatal("empty render")
+	}
+}
+
+// TestRunParallelThreadsFlag exercises the CLI entry point end to end.
+func TestRunParallelThreadsFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunParallel("table1", ScaleQuick, 4, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if Parallelism() != 4 {
+		t.Fatalf("Parallelism() = %d after RunParallel(par=4)", Parallelism())
+	}
+	SetParallelism(0)
+	if buf.Len() == 0 {
+		t.Fatal("no output")
+	}
+}
+
+// TestGridCoversAllCells sanity-checks the 2D helper's index math.
+func TestGridCoversAllCells(t *testing.T) {
+	seen := make(map[string]bool)
+	var mu sync.Mutex
+	if err := grid(3, 5, func(r, c int) error {
+		mu.Lock()
+		seen[fmt.Sprintf("%d/%d", r, c)] = true
+		mu.Unlock()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 15 {
+		t.Fatalf("visited %d cells, want 15", len(seen))
+	}
+}

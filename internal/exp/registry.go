@@ -91,7 +91,10 @@ func IDs() []string {
 	return out
 }
 
-// Run executes one experiment and renders its tables to w.
+// Run executes one experiment and renders its tables to w. Sweep points
+// fan out across the worker pool configured by SetParallelism; results are
+// collected in declaration order, so the rendered tables are byte-identical
+// at every parallelism level.
 func Run(id string, scale Scale, w io.Writer) error {
 	r, ok := Experiments[id]
 	if !ok {
@@ -105,4 +108,12 @@ func Run(id string, scale Scale, w io.Writer) error {
 		t.Render(w)
 	}
 	return nil
+}
+
+// RunParallel sets the sweep parallelism (the CLI's -par flag) and then
+// executes one experiment. par <= 0 selects GOMAXPROCS; par == 1 restores
+// strictly sequential point execution.
+func RunParallel(id string, scale Scale, par int, w io.Writer) error {
+	SetParallelism(par)
+	return Run(id, scale, w)
 }

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sync"
 
@@ -29,22 +30,32 @@ func rsCode() *reedsolomon.Code {
 	return rsShared
 }
 
-// graphCache memoizes generated graphs across experiment points.
+// graphCache memoizes generated graphs across experiment points,
+// single-flight: concurrent sweep workers asking for the same graph share
+// one generation (the second waits on the entry's Once), and the map mutex
+// is never held during generation, so workers wanting *different* graphs
+// generate them concurrently.
+type graphEntry struct {
+	once sync.Once
+	g    *graph.CSR
+}
+
 var (
 	graphMu    sync.Mutex
-	graphCache = map[string]*graph.CSR{}
+	graphCache = map[string]*graphEntry{}
 )
 
 func genGraph(vertices, edges int, seed uint64) *graph.CSR {
 	key := fmt.Sprintf("%d/%d/%d", vertices, edges, seed)
 	graphMu.Lock()
-	defer graphMu.Unlock()
-	if g, ok := graphCache[key]; ok {
-		return g
+	ent, ok := graphCache[key]
+	if !ok {
+		ent = &graphEntry{}
+		graphCache[key] = ent
 	}
-	g := graph.Uniform(vertices, edges, 64, seed)
-	graphCache[key] = g
-	return g
+	graphMu.Unlock()
+	ent.once.Do(func() { ent.g = graph.Uniform(vertices, edges, 64, seed) })
+	return ent.g
 }
 
 // layoutSSSPJob writes g (CSR + descriptor + initialized distances) into
@@ -78,10 +89,7 @@ func layoutSSSPJob(tn *tenant, g *graph.CSR, source int) error {
 	put32s := func(buf guest.Buffer, vals []uint32) error {
 		b := make([]byte, align(uint64(len(vals))*4))
 		for i, v := range vals {
-			b[4*i] = byte(v)
-			b[4*i+1] = byte(v >> 8)
-			b[4*i+2] = byte(v >> 16)
-			b[4*i+3] = byte(v >> 24)
+			binary.LittleEndian.PutUint32(b[4*i:], v)
 		}
 		return d.Write(buf, 0, b)
 	}
@@ -100,9 +108,7 @@ func layoutSSSPJob(tn *tenant, g *graph.CSR, source int) error {
 		if v == source {
 			val = 0
 		}
-		for i := 0; i < 8; i++ {
-			dist[8*v+i] = byte(val >> (8 * i))
-		}
+		binary.LittleEndian.PutUint64(dist[8*v:], val)
 	}
 	if err := d.Write(distBuf, 0, dist); err != nil {
 		return err
@@ -117,9 +123,7 @@ func layoutSSSPJob(tn *tenant, g *graph.CSR, source int) error {
 		{0x28, distBuf.Addr}, {0x30, uint64(source)},
 	}
 	for _, f := range fields {
-		for i := 0; i < 8; i++ {
-			descBytes[f.off+i] = byte(f.v >> (8 * i))
-		}
+		binary.LittleEndian.PutUint64(descBytes[f.off:], f.v)
 	}
 	if err := d.Write(desc, 0, descBytes); err != nil {
 		return err
@@ -168,8 +172,7 @@ func runJobsToCompletion(h *hv.Hypervisor, jobs []*job) ([]sim.Time, error) {
 			remaining--
 		})
 	}
-	for remaining > 0 && h.K.Step() {
-	}
+	h.K.RunWhile(func() bool { return remaining > 0 })
 	if remaining > 0 {
 		return nil, fmt.Errorf("exp: %d jobs never finished", remaining)
 	}

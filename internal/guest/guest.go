@@ -180,8 +180,7 @@ func (d *Device) Wait() error {
 	k := d.va.Phys().Accel.Kernel()
 	done := false
 	d.va.OnDone(func() { done = true })
-	for !done && k.Step() {
-	}
+	k.RunWhile(func() bool { return !done })
 	if !done {
 		st, _ := d.Status()
 		return fmt.Errorf("guest: simulation drained with job in state %s", accel.StatusName(st))

@@ -9,8 +9,8 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"sync/atomic"
 )
 
 // Time is a simulated timestamp or duration in picoseconds.
@@ -55,33 +55,95 @@ type event struct {
 	fn  func()
 }
 
-type eventHeap []event
+// executedTotal accumulates events executed across every kernel in the
+// process (all goroutines). Kernels flush to it in batches at the end of
+// each Run/RunUntil/RunWhile/Step so the per-event hot path stays free of
+// atomics; see EventsExecuted.
+var executedTotal atomic.Uint64
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
-}
+// EventsExecuted returns the process-wide count of simulation events
+// executed by all kernels so far. It is safe to call from any goroutine and
+// is intended for throughput reporting (events/sec) by benchmark harnesses.
+func EventsExecuted() uint64 { return executedTotal.Load() }
 
 // Kernel is a discrete-event simulation executor. The zero value is ready to
 // use. Kernel is not safe for concurrent use; the entire simulation runs on
-// one goroutine by design (determinism).
+// one goroutine by design (determinism). Distinct kernels are fully
+// independent and may run on distinct goroutines concurrently.
+//
+// The event queue is an inlined 4-ary min-heap of event structs ordered by
+// (time, insertion order) — no interface boxing, no per-event allocation in
+// steady state — plus a FIFO fast lane for events scheduled at exactly the
+// current timestamp (the ubiquitous After(0, ...) "immediately after"
+// pattern), which skips the heap entirely.
 type Kernel struct {
-	now    Time
-	events eventHeap
-	seq    uint64
-	nexec  uint64
+	now      Time
+	heap     []event // 4-ary min-heap by (at, seq)
+	fifo     []event // events at exactly `now`, in insertion order
+	fifoHead int
+	seq      uint64
+	nexec    uint64
+	flushed  uint64 // portion of nexec already added to executedTotal
+}
+
+func eventLess(a, b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// heapPush inserts e, sifting up through the 4-ary heap.
+func (k *Kernel) heapPush(e event) {
+	k.heap = append(k.heap, e)
+	i := len(k.heap) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !eventLess(e, k.heap[p]) {
+			break
+		}
+		k.heap[i] = k.heap[p]
+		i = p
+	}
+	k.heap[i] = e
+}
+
+// heapPop removes and returns the minimum event.
+func (k *Kernel) heapPop() event {
+	h := k.heap
+	top := h[0]
+	n := len(h) - 1
+	e := h[n]
+	h[n].fn = nil // release the closure for GC
+	k.heap = h[:n]
+	if n > 0 {
+		// Sift e down from the root.
+		h = k.heap
+		i := 0
+		for {
+			c := i<<2 + 1
+			if c >= n {
+				break
+			}
+			m := c
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			for j := c + 1; j < end; j++ {
+				if eventLess(h[j], h[m]) {
+					m = j
+				}
+			}
+			if !eventLess(h[m], e) {
+				break
+			}
+			h[i] = h[m]
+			i = m
+		}
+		h[i] = e
+	}
+	return top
 }
 
 // NewKernel returns a kernel positioned at time zero.
@@ -94,56 +156,132 @@ func (k *Kernel) Now() Time { return k.now }
 func (k *Kernel) Executed() uint64 { return k.nexec }
 
 // Pending returns the number of scheduled-but-unexecuted events.
-func (k *Kernel) Pending() int { return len(k.events) }
+func (k *Kernel) Pending() int { return len(k.heap) + len(k.fifo) - k.fifoHead }
+
+// flush publishes this kernel's executed-event delta to the process-wide
+// counter. Called at the end of every public run entry point, never per
+// event.
+func (k *Kernel) flush() {
+	if d := k.nexec - k.flushed; d > 0 {
+		executedTotal.Add(d)
+		k.flushed = k.nexec
+	}
+}
 
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // it always indicates a component bug, and silently reordering time would
 // corrupt every latency measurement downstream.
+//
+// Events at exactly the current time take the FIFO fast lane: they cannot
+// be preceded by any event not already in the queue, so heap ordering is
+// unnecessary for them. Heap events at time t were necessarily scheduled
+// while now < t — before any fast-lane event at t existed — so draining the
+// heap's t-events before the lane preserves global (time, insertion) order.
 func (k *Kernel) At(t Time, fn func()) {
-	if t < k.now {
-		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
+	if t <= k.now {
+		if t < k.now {
+			panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
+		}
+		k.fifo = append(k.fifo, event{at: t, fn: fn})
+		return
 	}
 	k.seq++
-	heap.Push(&k.events, event{at: t, seq: k.seq, fn: fn})
+	k.heapPush(event{at: t, seq: k.seq, fn: fn})
 }
 
 // After schedules fn to run d after the current time. A non-positive delay
 // schedules for "immediately after the current event" (same timestamp,
 // later sequence number).
 func (k *Kernel) After(d Time, fn func()) {
-	if d < 0 {
-		d = 0
+	if d <= 0 {
+		k.fifo = append(k.fifo, event{at: k.now, fn: fn})
+		return
 	}
 	k.At(k.now+d, fn)
 }
 
-// Step executes the single next event, returning false if none remain.
-func (k *Kernel) Step() bool {
-	if len(k.events) == 0 {
+// step executes the single next event without flushing the global counter.
+func (k *Kernel) step() bool {
+	var e event
+	if k.fifoHead < len(k.fifo) {
+		// Heap events at the current time predate every lane event (see At)
+		// and must run first; otherwise the lane's front is next.
+		if len(k.heap) > 0 && k.heap[0].at <= k.now {
+			e = k.heapPop()
+		} else {
+			e = k.fifo[k.fifoHead]
+			k.fifo[k.fifoHead].fn = nil
+			k.fifoHead++
+			if k.fifoHead == len(k.fifo) {
+				k.fifo = k.fifo[:0]
+				k.fifoHead = 0
+			}
+		}
+	} else if len(k.heap) > 0 {
+		e = k.heapPop()
+	} else {
 		return false
 	}
-	e := heap.Pop(&k.events).(event)
 	k.now = e.at
 	k.nexec++
 	e.fn()
 	return true
 }
 
+// Step executes the single next event, returning false if none remain.
+func (k *Kernel) Step() bool {
+	ok := k.step()
+	k.flush()
+	return ok
+}
+
 // Run executes events until the queue is empty.
 func (k *Kernel) Run() {
-	for k.Step() {
+	for k.step() {
 	}
+	k.flush()
+}
+
+// RunWhile executes events while cond() returns true and events remain.
+// cond is evaluated before each event. This is the batch form of
+//
+//	for cond() && k.Step() {}
+//
+// with executed-event accounting amortized over the whole run instead of
+// per step.
+func (k *Kernel) RunWhile(cond func() bool) {
+	for cond() && k.step() {
+	}
+	k.flush()
+}
+
+// nextAt returns the timestamp of the next pending event, if any. While the
+// same-timestamp lane is non-empty the next event is at the current time by
+// construction (heap events are never earlier than now).
+func (k *Kernel) nextAt() (Time, bool) {
+	if k.fifoHead < len(k.fifo) {
+		return k.now, true
+	}
+	if len(k.heap) > 0 {
+		return k.heap[0].at, true
+	}
+	return 0, false
 }
 
 // RunUntil executes events with timestamps <= deadline, then advances the
 // clock to deadline. Events scheduled at exactly the deadline do run.
 func (k *Kernel) RunUntil(deadline Time) {
-	for len(k.events) > 0 && k.events[0].at <= deadline {
-		k.Step()
+	for {
+		t, ok := k.nextAt()
+		if !ok || t > deadline {
+			break
+		}
+		k.step()
 	}
 	if k.now < deadline {
 		k.now = deadline
 	}
+	k.flush()
 }
 
 // RunFor executes events for d simulated time from now.

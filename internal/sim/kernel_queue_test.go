@@ -1,0 +1,184 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// TestKernelHeapProperty schedules randomized batches of events and asserts
+// global (time, insertion-order) execution order — the invariant the paper's
+// determinism argument rests on — across the specialized 4-ary heap and the
+// same-timestamp fast lane.
+func TestKernelHeapProperty(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		count := int(n)%200 + 1
+		rng := NewRand(seed)
+		k := NewKernel()
+		type rec struct {
+			at  Time
+			idx int
+		}
+		scheduled := make([]rec, count)
+		var got []rec
+		for i := 0; i < count; i++ {
+			// Small time range forces many equal timestamps.
+			at := Time(rng.Intn(16)) * Nanosecond
+			scheduled[i] = rec{at, i}
+			r := scheduled[i]
+			k.At(at, func() { got = append(got, r) })
+		}
+		want := append([]rec(nil), scheduled...)
+		sort.SliceStable(want, func(a, b int) bool { return want[a].at < want[b].at })
+		k.Run()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKernelFastLaneOrdering pins the rule that heap events at time T
+// (scheduled while now < T) run before fast-lane events created at T.
+func TestKernelFastLaneOrdering(t *testing.T) {
+	k := NewKernel()
+	var got []string
+	k.At(10*Nanosecond, func() {
+		got = append(got, "e1")
+		// Created while now == 10ns: fast lane, must run after e2.
+		k.After(0, func() { got = append(got, "e3") })
+		k.At(k.Now(), func() { got = append(got, "e4") })
+	})
+	k.At(10*Nanosecond, func() { got = append(got, "e2") })
+	k.Run()
+	want := []string{"e1", "e2", "e3", "e4"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestKernelFastLaneChains exercises deep After(0, ...) recursion: each
+// lane event spawns the next at the same timestamp, interleaved with heap
+// events at later times.
+func TestKernelFastLaneChains(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	var chain func(depth int)
+	chain = func(depth int) {
+		order = append(order, depth)
+		if depth < 50 {
+			k.After(0, func() { chain(depth + 1) })
+		}
+	}
+	k.At(5*Nanosecond, func() { chain(0) })
+	fired := false
+	k.At(6*Nanosecond, func() { fired = true })
+	k.Run()
+	if len(order) != 51 {
+		t.Fatalf("chain ran %d times, want 51", len(order))
+	}
+	for i, d := range order {
+		if d != i {
+			t.Fatalf("chain order broken at %d: %v", i, order[:i+1])
+		}
+	}
+	if !fired || k.Now() != 6*Nanosecond {
+		t.Fatalf("later event fired=%v now=%v", fired, k.Now())
+	}
+}
+
+// TestRunUntilBoundary covers RunUntil's deadline edge cases: events at
+// exactly the deadline run, fast-lane events spawned at the deadline run,
+// and events past the deadline do not.
+func TestRunUntilBoundary(t *testing.T) {
+	k := NewKernel()
+	var got []string
+	k.At(3*Nanosecond, func() {
+		got = append(got, "at3")
+		k.After(0, func() { got = append(got, "at3-lane") })
+	})
+	k.At(3*Nanosecond+Picosecond, func() { got = append(got, "past") })
+	k.RunUntil(3 * Nanosecond)
+	if len(got) != 2 || got[0] != "at3" || got[1] != "at3-lane" {
+		t.Fatalf("ran %v, want [at3 at3-lane]", got)
+	}
+	if k.Now() != 3*Nanosecond {
+		t.Fatalf("now = %v", k.Now())
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", k.Pending())
+	}
+	k.Run()
+	if len(got) != 3 || got[2] != "past" {
+		t.Fatalf("final order %v", got)
+	}
+}
+
+// TestRunUntilDeadlineSpawnsStop guards against a lane event at the
+// deadline scheduling work past the deadline and RunUntil running it.
+func TestRunUntilDeadlineSpawnsStop(t *testing.T) {
+	k := NewKernel()
+	late := false
+	k.At(2*Nanosecond, func() {
+		k.After(Nanosecond, func() { late = true })
+	})
+	k.RunUntil(2 * Nanosecond)
+	if late {
+		t.Fatal("event past deadline executed")
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("pending = %d", k.Pending())
+	}
+}
+
+func TestRunWhile(t *testing.T) {
+	k := NewKernel()
+	var n int
+	for i := 1; i <= 10; i++ {
+		k.At(Time(i)*Nanosecond, func() { n++ })
+	}
+	k.RunWhile(func() bool { return n < 4 })
+	if n != 4 {
+		t.Fatalf("ran %d events, want 4", n)
+	}
+	if k.Pending() != 6 {
+		t.Fatalf("pending = %d, want 6", k.Pending())
+	}
+	// Resumes cleanly.
+	k.RunWhile(func() bool { return true })
+	if n != 10 || k.Pending() != 0 {
+		t.Fatalf("after drain: n=%d pending=%d", n, k.Pending())
+	}
+}
+
+func TestEventsExecutedCounter(t *testing.T) {
+	before := EventsExecuted()
+	k := NewKernel()
+	for i := 0; i < 32; i++ {
+		k.At(Time(i)*Nanosecond, func() {})
+	}
+	k.Run()
+	if d := EventsExecuted() - before; d < 32 {
+		t.Fatalf("global counter advanced by %d, want >= 32", d)
+	}
+	// Step flushes too.
+	before = EventsExecuted()
+	k.After(Nanosecond, func() {})
+	k.Step()
+	if d := EventsExecuted() - before; d != 1 {
+		t.Fatalf("Step flushed %d, want 1", d)
+	}
+}
