@@ -162,7 +162,7 @@ func run(app string, jobs int, temporal bool, wsFlag, durFlag, pages, sliceFlag,
 		}
 		switch app {
 		case "MB":
-			dev.RegWrite(accel.MBArgBase, buf.Addr)
+			dev.RegWrite(accel.MBArgBase, uint64(buf.Addr))
 			dev.RegWrite(accel.MBArgSize, wsBytes)
 			dev.RegWrite(accel.MBArgBursts, 0)
 			dev.RegWrite(accel.MBArgWritePct, 30)
@@ -219,7 +219,7 @@ func buildList(dev *guest.Device, proc *hv.Process, buf guest.Buffer, n int, see
 	order := rng.Perm(slots)[:n]
 	addrs := make([]uint64, n)
 	for i, s := range order {
-		addrs[i] = buf.Addr + uint64(s)*64
+		addrs[i] = uint64(buf.Addr) + uint64(s)*64
 	}
 	for i := 0; i < n; i++ {
 		node := make([]byte, 64)
@@ -230,7 +230,7 @@ func buildList(dev *guest.Device, proc *hv.Process, buf guest.Buffer, n int, see
 		for b := 0; b < 8; b++ {
 			node[b] = byte(next >> (8 * b))
 		}
-		proc.Write(addrs[i], node)
+		proc.Write(mem.GVA(addrs[i]), node)
 	}
 	return addrs[0]
 }

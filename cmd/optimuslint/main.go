@@ -1,0 +1,100 @@
+// Command optimuslint runs the repository's four OPTIMUS-specific static
+// checks over Go packages and exits non-zero on any finding:
+//
+//	addrspace — cross-address-space conversions (GVA/GPA/IOVA/HPA) outside
+//	            the two sanctioned rewrite points, and raw-uint64 address
+//	            parameters
+//	detwall   — wall-clock reads, global math/rand, and order-sensitive
+//	            map iteration inside the determinism wall (sim, hv, exp)
+//	hotalloc  — heap-allocating constructs in //optimus:hotpath functions
+//	locksafe  — by-value mutex copies and Lock/Unlock imbalance
+//
+// Usage:
+//
+//	go run ./cmd/optimuslint [-only name[,name]] [packages]
+//
+// Packages default to ./.... The tool is a standalone driver rather than a
+// `go vet -vettool` plugin because the vettool protocol requires
+// golang.org/x/tools/go/analysis/unitchecker, which this repository's
+// offline, stdlib-only build cannot depend on; the analyzers themselves
+// mirror go/analysis shapes (see internal/lint) and port mechanically.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"optimus/internal/lint"
+	"optimus/internal/lint/addrspace"
+	"optimus/internal/lint/detwall"
+	"optimus/internal/lint/hotalloc"
+	"optimus/internal/lint/locksafe"
+)
+
+var analyzers = []*lint.Analyzer{
+	addrspace.Analyzer,
+	detwall.Analyzer,
+	hotalloc.Analyzer,
+	locksafe.Analyzer,
+}
+
+func main() {
+	only := flag.String("only", "", "comma-separated subset of analyzers to run")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: optimuslint [-only name,...] [packages]\n\nAnalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	selected := analyzers
+	if *only != "" {
+		byName := map[string]*lint.Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		selected = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "optimuslint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			selected = append(selected, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := lint.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "optimuslint: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := lint.Run(selected, pkgs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "optimuslint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "optimuslint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

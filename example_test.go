@@ -31,8 +31,8 @@ func Example() {
 	dst, _ := dev.AllocDMA(64)
 	dev.Write(src, 0, msg)
 
-	dev.RegWrite(accel.XFArgSrc, src.Addr)
-	dev.RegWrite(accel.XFArgDst, dst.Addr)
+	dev.RegWrite(accel.XFArgSrc, uint64(src.Addr))
+	dev.RegWrite(accel.XFArgDst, uint64(dst.Addr))
 	dev.RegWrite(accel.XFArgLen, 4096)
 	if err := dev.Run(); err != nil {
 		log.Fatal(err)

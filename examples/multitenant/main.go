@@ -70,7 +70,7 @@ func run(name string, policy hv.Policy) {
 		if _, err := dev.SetupStateBuffer(); err != nil {
 			log.Fatal(err)
 		}
-		dev.RegWrite(accel.MBArgBase, buf.Addr)
+		dev.RegWrite(accel.MBArgBase, uint64(buf.Addr))
 		dev.RegWrite(accel.MBArgSize, buf.Size)
 		dev.RegWrite(accel.MBArgBursts, 0) // run until preempted
 		dev.RegWrite(accel.MBArgWritePct, 20)

@@ -173,7 +173,7 @@ func main() {
 			}
 			want += v
 		}
-		dev.RegWrite(0, buf.Addr)
+		dev.RegWrite(0, uint64(buf.Addr))
 		dev.RegWrite(1, bufSize)
 		if err := dev.Start(); err != nil {
 			log.Fatal(err)

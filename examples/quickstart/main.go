@@ -50,10 +50,10 @@ func main() {
 
 	// 4. Program the accelerator's application registers over (trapped)
 	//    MMIO and run the job.
-	dev.RegWrite(accel.XFArgSrc, src.Addr)
-	dev.RegWrite(accel.XFArgDst, dst.Addr)
+	dev.RegWrite(accel.XFArgSrc, uint64(src.Addr))
+	dev.RegWrite(accel.XFArgDst, uint64(dst.Addr))
 	dev.RegWrite(accel.XFArgLen, uint64(len(plaintext)))
-	dev.RegWrite(accel.XFArgParam, keyBuf.Addr)
+	dev.RegWrite(accel.XFArgParam, uint64(keyBuf.Addr))
 	if err := dev.Run(); err != nil {
 		log.Fatal(err)
 	}

@@ -105,15 +105,15 @@ func runShared(g *graph.CSR) (optimus.Time, []uint64) {
 		v   uint64
 	}{
 		{0x00, uint64(g.NumVertices)}, {0x08, uint64(g.NumEdges())},
-		{0x10, rowBuf.Addr}, {0x18, colBuf.Addr}, {0x20, wBuf.Addr},
-		{0x28, distBuf.Addr}, {0x30, 0},
+		{0x10, uint64(rowBuf.Addr)}, {0x18, uint64(colBuf.Addr)}, {0x20, uint64(wBuf.Addr)},
+		{0x28, uint64(distBuf.Addr)}, {0x30, 0},
 	} {
 		for i := 0; i < 8; i++ {
 			descBytes[f.off+i] = byte(f.v >> (8 * i))
 		}
 	}
 	dev.Write(desc, 0, descBytes)
-	dev.RegWrite(accel.SSSPArgDesc, desc.Addr)
+	dev.RegWrite(accel.SSSPArgDesc, uint64(desc.Addr))
 
 	start := h.K.Now()
 	if err := dev.Run(); err != nil {

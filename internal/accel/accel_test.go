@@ -37,7 +37,7 @@ func newRig(t *testing.T, name string, size uint64) *rig {
 	shell := ccip.NewShell(k, pm, ccip.DefaultConfig())
 	ps := shell.IOMMU.Table().PageSize()
 	for va := uint64(0); va < size; va += ps {
-		if err := shell.IOMMU.Table().Map(va, va, pagetable.PermRW); err != nil {
+		if err := shell.IOMMU.Table().Map(mem.IOVA(va), mem.HPA(va), pagetable.PermRW); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -86,10 +86,10 @@ func (r *rig) run() {
 	}
 }
 
-func (r *rig) write(addr uint64, data []byte) { r.shell.Mem.Write(addr, data) }
+func (r *rig) write(addr uint64, data []byte) { r.shell.Mem.Write(mem.HPA(addr), data) }
 func (r *rig) read(addr uint64, n int) []byte {
 	b := make([]byte, n)
-	r.shell.Mem.Read(addr, b)
+	r.shell.Mem.Read(mem.HPA(addr), b)
 	return b
 }
 

@@ -38,7 +38,7 @@ func NewTestBench(logic Logic, size uint64) (*TestBench, error) {
 	shell := ccip.NewShell(k, pm, ccip.DefaultConfig())
 	ps := shell.IOMMU.Table().PageSize()
 	for va := uint64(0); va < size; va += ps {
-		if err := shell.IOMMU.Table().Map(va, va, pagetable.PermRW); err != nil {
+		if err := shell.IOMMU.Table().Map(mem.IOVA(va), mem.HPA(va), pagetable.PermRW); err != nil {
 			return nil, err
 		}
 	}
@@ -57,11 +57,12 @@ func NewTestBench(logic Logic, size uint64) (*TestBench, error) {
 	return &TestBench{K: k, Accel: a, shell: shell, mon: mon, size: size}, nil
 }
 
-// WriteMem places data at a DMA-visible address.
-func (tb *TestBench) WriteMem(addr uint64, data []byte) { tb.shell.Mem.Write(addr, data) }
+// WriteMem places data at a DMA-visible address (the bench's address space
+// is identity-mapped, so host-physical and device addresses coincide).
+func (tb *TestBench) WriteMem(addr mem.HPA, data []byte) { tb.shell.Mem.Write(addr, data) }
 
 // ReadMem copies n bytes from a DMA-visible address.
-func (tb *TestBench) ReadMem(addr uint64, n int) []byte {
+func (tb *TestBench) ReadMem(addr mem.HPA, n int) []byte {
 	b := make([]byte, n)
 	tb.shell.Mem.Read(addr, b)
 	return b
@@ -96,9 +97,9 @@ func (tb *TestBench) Start() {
 // Preempt drives the full preemption handshake — state buffer at stateGVA,
 // PREEMPT, wait for SAVED — then resets the accelerator, exactly as the
 // hypervisor would on a context switch. Returns the drain+save duration.
-func (tb *TestBench) Preempt(stateGVA uint64) (sim.Time, error) {
+func (tb *TestBench) Preempt(stateGVA mem.GVA) (sim.Time, error) {
 	base := hwmon.AccelMMIO(0)
-	tb.mon.MMIOWrite(base+RegStateAddr, stateGVA)
+	tb.mon.MMIOWrite(base+RegStateAddr, uint64(stateGVA))
 	start := tb.K.Now()
 	tb.mon.MMIOWrite(base+RegCtrl, CmdPreempt)
 	for tb.Accel.Status() != StatusSaved {
@@ -121,14 +122,14 @@ func (tb *TestBench) Preempt(stateGVA uint64) (sim.Time, error) {
 
 // Resume restores a previously saved job from stateGVA and continues it to
 // completion.
-func (tb *TestBench) Resume(stateGVA uint64) error {
+func (tb *TestBench) Resume(stateGVA mem.GVA) error {
 	base := hwmon.AccelMMIO(0)
 	for i, v := range tb.savedArgs {
 		if v != 0 {
 			tb.SetArg(i, v)
 		}
 	}
-	tb.mon.MMIOWrite(base+RegStateAddr, stateGVA)
+	tb.mon.MMIOWrite(base+RegStateAddr, uint64(stateGVA))
 	tb.mon.MMIOWrite(base+RegCtrl, CmdResume)
 	tb.K.Run()
 	if st := tb.Accel.Status(); st != StatusDone {
@@ -145,7 +146,7 @@ func (tb *TestBench) Resume(stateGVA uint64) error {
 //
 // The caller provides `program`, which (re)writes inputs and registers —
 // it is invoked before each of the two runs.
-func (tb *TestBench) CheckPreemption(program func(tb *TestBench), runFor sim.Time, stateGVA uint64) error {
+func (tb *TestBench) CheckPreemption(program func(tb *TestBench), runFor sim.Time, stateGVA mem.GVA) error {
 	program(tb)
 	if err := tb.Run(); err != nil {
 		return fmt.Errorf("uninterrupted run: %w", err)

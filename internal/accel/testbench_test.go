@@ -3,6 +3,7 @@ package accel
 import (
 	"testing"
 
+	"optimus/internal/mem"
 	"optimus/internal/sim"
 )
 
@@ -32,7 +33,7 @@ func TestTestBenchRunLL(t *testing.T) {
 			node[b] = byte(next >> (8 * b))
 			node[8+b] = byte(payload >> (8 * b))
 		}
-		tb.WriteMem(addrs[i], node)
+		tb.WriteMem(mem.HPA(addrs[i]), node)
 	}
 	tb.SetArg(LLArgHead, addrs[0])
 	if err := tb.Run(); err != nil {
@@ -117,7 +118,7 @@ func TestCheckPreemptionDetectsBrokenSave(t *testing.T) {
 			node[b] = byte(next >> (8 * b))
 			node[8+b] = byte(uint64(i) >> (8 * b))
 		}
-		tb.WriteMem(addrs[i], node)
+		tb.WriteMem(mem.HPA(addrs[i]), node)
 	}
 	program := func(tb *TestBench) { tb.SetArg(LLArgHead, addrs[0]) }
 	if err := tb.CheckPreemption(program, 100*sim.Microsecond, 0x900000); err == nil {

@@ -152,7 +152,7 @@ func NewShell(k *sim.Kernel, m *mem.PhysMem, cfg Config) *Shell {
 	if cfg.PageSize == mem.PageSize4K {
 		levels = 4
 	}
-	iopt := pagetable.New(cfg.PageSize, levels)
+	iopt := pagetable.New[mem.IOVA, mem.HPA](cfg.PageSize, levels)
 	s := &Shell{
 		K:     k,
 		Mem:   m,
@@ -230,9 +230,9 @@ func (s *Shell) Issue(req Request) {
 	if req.Kind == WrLine {
 		perm = pagetable.PermWrite
 	}
-	hpas := make([]uint64, req.Lines)
+	hpas := make([]mem.HPA, req.Lines)
 	for i := 0; i < req.Lines; i++ {
-		iova := req.Addr + uint64(i)*LineSize
+		iova := mem.IOVA(req.Addr) + mem.IOVA(i)*LineSize
 		hpa, d, _, err := s.IOMMU.Translate(iova, perm)
 		if err != nil {
 			s.stats.Faults++

@@ -18,7 +18,7 @@ func testShell(t testing.TB, cfg Config, mapped uint64) (*sim.Kernel, *Shell) {
 	s := NewShell(k, m, cfg)
 	ps := s.IOMMU.Table().PageSize()
 	for va := uint64(0); va < mapped; va += ps {
-		if err := s.IOMMU.Table().Map(va, va, pagetable.PermRW); err != nil {
+		if err := s.IOMMU.Table().Map(mem.IOVA(va), mem.HPA(va), pagetable.PermRW); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -64,7 +64,7 @@ func guardPoint(perJob uint64, disableGuard bool, window sim.Time) (float64, err
 		if err != nil {
 			return 0, err
 		}
-		tn.dev.RegWrite(accel.MBArgBase, buf.Addr)
+		tn.dev.RegWrite(accel.MBArgBase, uint64(buf.Addr))
 		tn.dev.RegWrite(accel.MBArgSize, perJob)
 		tn.dev.RegWrite(accel.MBArgBursts, 0)
 		tn.dev.RegWrite(accel.MBArgWritePct, 0)
@@ -134,7 +134,7 @@ func iommuPoint(ws uint64, integrated bool, window sim.Time) (float64, error) {
 		if err != nil {
 			return 0, err
 		}
-		tn.dev.RegWrite(accel.MBArgBase, buf.Addr)
+		tn.dev.RegWrite(accel.MBArgBase, uint64(buf.Addr))
 		tn.dev.RegWrite(accel.MBArgSize, perJob)
 		tn.dev.RegWrite(accel.MBArgBursts, 0)
 		tn.dev.RegWrite(accel.MBArgWritePct, 0)

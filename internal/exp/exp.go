@@ -21,6 +21,7 @@ import (
 	"optimus/internal/accel"
 	"optimus/internal/guest"
 	"optimus/internal/hv"
+	"optimus/internal/mem"
 	"optimus/internal/sim"
 )
 
@@ -146,8 +147,8 @@ func provisionJob(tn *tenant, app string, inputBytes uint64, seed uint64) (*job,
 		if err := fill(src, inputBytes); err != nil {
 			return nil, err
 		}
-		d.RegWrite(accel.XFArgSrc, src.Addr)
-		d.RegWrite(accel.XFArgDst, dst.Addr)
+		d.RegWrite(accel.XFArgSrc, uint64(src.Addr))
+		d.RegWrite(accel.XFArgDst, uint64(dst.Addr))
 		d.RegWrite(accel.XFArgLen, inputBytes)
 		switch app {
 		case "AES":
@@ -156,7 +157,7 @@ func provisionJob(tn *tenant, app string, inputBytes uint64, seed uint64) (*job,
 				return nil, err
 			}
 			fill(key, 64)
-			d.RegWrite(accel.XFArgParam, key.Addr)
+			d.RegWrite(accel.XFArgParam, uint64(key.Addr))
 		case "FIR":
 			d.RegWrite(accel.XFArgParam, 16)
 		}
@@ -165,7 +166,7 @@ func provisionJob(tn *tenant, app string, inputBytes uint64, seed uint64) (*job,
 		if err != nil {
 			return nil, err
 		}
-		d.RegWrite(accel.GRNArgDst, dst.Addr)
+		d.RegWrite(accel.GRNArgDst, uint64(dst.Addr))
 		d.RegWrite(accel.GRNArgBytes, inputBytes)
 		d.RegWrite(accel.GRNArgSeed, seed)
 		d.RegWrite(accel.GRNArgStddev, 1<<12)
@@ -186,8 +187,8 @@ func provisionJob(tn *tenant, app string, inputBytes uint64, seed uint64) (*job,
 		if err := writeCodewords(d, src, int(count), rng); err != nil {
 			return nil, err
 		}
-		d.RegWrite(accel.RSDArgSrc, src.Addr)
-		d.RegWrite(accel.RSDArgDst, dst.Addr)
+		d.RegWrite(accel.RSDArgSrc, uint64(src.Addr))
+		d.RegWrite(accel.RSDArgDst, uint64(dst.Addr))
 		d.RegWrite(accel.RSDArgCount, count)
 		j.work = count * accel.RSDSlot
 	case "SW":
@@ -206,9 +207,9 @@ func provisionJob(tn *tenant, app string, inputBytes uint64, seed uint64) (*job,
 		}
 		fill(a, pairs*seqLen)
 		fill(b, pairs*seqLen)
-		d.RegWrite(accel.SWArgSeqA, a.Addr)
+		d.RegWrite(accel.SWArgSeqA, uint64(a.Addr))
 		d.RegWrite(accel.SWArgLenA, seqLen)
-		d.RegWrite(accel.SWArgSeqB, b.Addr)
+		d.RegWrite(accel.SWArgSeqB, uint64(b.Addr))
 		d.RegWrite(accel.SWArgLenB, seqLen)
 		d.RegWrite(accel.SWArgPairs, pairs)
 		j.work = pairs // alignments
@@ -231,8 +232,8 @@ func provisionJob(tn *tenant, app string, inputBytes uint64, seed uint64) (*job,
 			return nil, err
 		}
 		fill(src, width*chans*height)
-		d.RegWrite(accel.ImgArgSrc, src.Addr)
-		d.RegWrite(accel.ImgArgDst, dst.Addr)
+		d.RegWrite(accel.ImgArgSrc, uint64(src.Addr))
+		d.RegWrite(accel.ImgArgDst, uint64(dst.Addr))
 		d.RegWrite(accel.ImgArgWidth, width)
 		d.RegWrite(accel.ImgArgHeight, height)
 		j.work = width * chans * height
@@ -260,8 +261,8 @@ func provisionJob(tn *tenant, app string, inputBytes uint64, seed uint64) (*job,
 		// Impossible target: scans the whole range (fixed work).
 		zero := make([]byte, 64)
 		d.Write(target, 0, zero)
-		d.RegWrite(accel.BTCArgHeader, header.Addr)
-		d.RegWrite(accel.BTCArgTarget, target.Addr)
+		d.RegWrite(accel.BTCArgHeader, uint64(header.Addr))
+		d.RegWrite(accel.BTCArgTarget, uint64(target.Addr))
 		d.RegWrite(accel.BTCArgStart, 0)
 		nonces := inputBytes / 8
 		if nonces < 4096 {
@@ -278,7 +279,7 @@ func provisionJob(tn *tenant, app string, inputBytes uint64, seed uint64) (*job,
 		if err != nil {
 			return nil, err
 		}
-		d.RegWrite(accel.MBArgBase, buf.Addr)
+		d.RegWrite(accel.MBArgBase, uint64(buf.Addr))
 		d.RegWrite(accel.MBArgSize, ws)
 		d.RegWrite(accel.MBArgBursts, 0) // until stopped
 		d.RegWrite(accel.MBArgWritePct, 0)
@@ -312,7 +313,7 @@ func buildGuestList(tn *tenant, buf guest.Buffer, n int, seed uint64) (uint64, u
 	order := rng.Perm(slots)[:n]
 	addrs := make([]uint64, n)
 	for i, s := range order {
-		addrs[i] = buf.Addr + uint64(s)*64
+		addrs[i] = uint64(buf.Addr) + uint64(s)*64
 	}
 	var sum uint64
 	for i := 0; i < n; i++ {
@@ -325,7 +326,7 @@ func buildGuestList(tn *tenant, buf guest.Buffer, n int, seed uint64) (uint64, u
 		sum += payload
 		binary.LittleEndian.PutUint64(node, next)
 		binary.LittleEndian.PutUint64(node[8:], payload)
-		tn.proc.Write(addrs[i], node)
+		tn.proc.Write(mem.GVA(addrs[i]), node)
 	}
 	return addrs[0], sum
 }

@@ -234,7 +234,7 @@ func SchedFairness(scale Scale) (*Table, error) {
 				return err
 			}
 			tn.dev.SetupStateBuffer()
-			tn.dev.RegWrite(accel.MBArgBase, buf.Addr)
+			tn.dev.RegWrite(accel.MBArgBase, uint64(buf.Addr))
 			tn.dev.RegWrite(accel.MBArgSize, buf.Size)
 			tn.dev.RegWrite(accel.MBArgBursts, 0)
 			tn.dev.RegWrite(accel.MBArgSeed, uint64(i))

@@ -213,7 +213,7 @@ func mbThroughputPoint(pageSize uint64, n int, ws uint64, writes bool, window si
 		if err != nil {
 			return 0, err
 		}
-		tn.dev.RegWrite(accel.MBArgBase, buf.Addr)
+		tn.dev.RegWrite(accel.MBArgBase, uint64(buf.Addr))
 		tn.dev.RegWrite(accel.MBArgSize, perJob)
 		tn.dev.RegWrite(accel.MBArgBursts, 0)
 		tn.dev.RegWrite(accel.MBArgWritePct, writePct)

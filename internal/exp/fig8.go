@@ -111,7 +111,7 @@ func fig8Point(app string, statePad int, n int, slice, window sim.Time) (float64
 			if err != nil {
 				return 0, err
 			}
-			tn.dev.RegWrite(accel.MBArgBase, buf.Addr)
+			tn.dev.RegWrite(accel.MBArgBase, uint64(buf.Addr))
 			tn.dev.RegWrite(accel.MBArgSize, buf.Size)
 			tn.dev.RegWrite(accel.MBArgBursts, 0)
 			tn.dev.RegWrite(accel.MBArgWritePct, 30)

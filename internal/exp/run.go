@@ -119,8 +119,8 @@ func layoutSSSPJob(tn *tenant, g *graph.CSR, source int) error {
 		v   uint64
 	}{
 		{0x00, uint64(g.NumVertices)}, {0x08, uint64(g.NumEdges())},
-		{0x10, rowBuf.Addr}, {0x18, colBuf.Addr}, {0x20, wBuf.Addr},
-		{0x28, distBuf.Addr}, {0x30, uint64(source)},
+		{0x10, uint64(rowBuf.Addr)}, {0x18, uint64(colBuf.Addr)}, {0x20, uint64(wBuf.Addr)},
+		{0x28, uint64(distBuf.Addr)}, {0x30, uint64(source)},
 	}
 	for _, f := range fields {
 		binary.LittleEndian.PutUint64(descBytes[f.off:], f.v)
@@ -128,7 +128,7 @@ func layoutSSSPJob(tn *tenant, g *graph.CSR, source int) error {
 	if err := d.Write(desc, 0, descBytes); err != nil {
 		return err
 	}
-	return d.RegWrite(accel.SSSPArgDesc, desc.Addr)
+	return d.RegWrite(accel.SSSPArgDesc, uint64(desc.Addr))
 }
 
 // spatialPlatform builds an OPTIMUS platform with n copies of app and one

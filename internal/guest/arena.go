@@ -3,6 +3,8 @@ package guest
 import (
 	"fmt"
 	"sort"
+
+	"optimus/internal/mem"
 )
 
 // Arena is the guest library's DMA-region allocator: a first-fit free-list
@@ -10,26 +12,30 @@ import (
 // over the reserved guest-virtual slice. All allocations are cache-line
 // aligned so they can be DMA targets directly.
 type Arena struct {
-	base, size uint64
-	free       []span // sorted by address, coalesced
-	allocated  map[uint64]uint64
+	base      mem.GVA
+	size      uint64
+	free      []span // sorted by address, coalesced
+	allocated map[mem.GVA]uint64
 }
 
-type span struct{ addr, size uint64 }
+type span struct {
+	addr mem.GVA
+	size uint64
+}
 
 const arenaAlign = 64
 
 // NewArena manages [base, base+size).
-func NewArena(base, size uint64) *Arena {
+func NewArena(base mem.GVA, size uint64) *Arena {
 	return &Arena{
 		base: base, size: size,
 		free:      []span{{addr: base, size: size}},
-		allocated: make(map[uint64]uint64),
+		allocated: make(map[mem.GVA]uint64),
 	}
 }
 
 // Alloc returns the address of n bytes (rounded up to the line size).
-func (a *Arena) Alloc(n uint64) (uint64, error) {
+func (a *Arena) Alloc(n uint64) (mem.GVA, error) {
 	if n == 0 {
 		return 0, fmt.Errorf("guest: zero-length allocation")
 	}
@@ -37,7 +43,7 @@ func (a *Arena) Alloc(n uint64) (uint64, error) {
 	for i := range a.free {
 		if a.free[i].size >= n {
 			addr := a.free[i].addr
-			a.free[i].addr += n
+			a.free[i].addr += mem.GVA(n)
 			a.free[i].size -= n
 			if a.free[i].size == 0 {
 				a.free = append(a.free[:i], a.free[i+1:]...)
@@ -50,7 +56,7 @@ func (a *Arena) Alloc(n uint64) (uint64, error) {
 }
 
 // Free returns an allocation to the arena, coalescing adjacent spans.
-func (a *Arena) Free(addr uint64) {
+func (a *Arena) Free(addr mem.GVA) {
 	n, ok := a.allocated[addr]
 	if !ok {
 		panic(fmt.Sprintf("guest: free of unallocated address %#x", addr))
@@ -61,11 +67,11 @@ func (a *Arena) Free(addr uint64) {
 	copy(a.free[i+1:], a.free[i:])
 	a.free[i] = span{addr: addr, size: n}
 	// Coalesce with successor, then predecessor.
-	if i+1 < len(a.free) && a.free[i].addr+a.free[i].size == a.free[i+1].addr {
+	if i+1 < len(a.free) && a.free[i].addr+mem.GVA(a.free[i].size) == a.free[i+1].addr {
 		a.free[i].size += a.free[i+1].size
 		a.free = append(a.free[:i+1], a.free[i+2:]...)
 	}
-	if i > 0 && a.free[i-1].addr+a.free[i-1].size == a.free[i].addr {
+	if i > 0 && a.free[i-1].addr+mem.GVA(a.free[i-1].size) == a.free[i].addr {
 		a.free[i-1].size += a.free[i].size
 		a.free = append(a.free[:i], a.free[i+1:]...)
 	}

@@ -3,6 +3,8 @@ package guest
 import (
 	"testing"
 	"testing/quick"
+
+	"optimus/internal/mem"
 )
 
 func TestArenaAllocAligned(t *testing.T) {
@@ -20,7 +22,10 @@ func TestArenaAllocAligned(t *testing.T) {
 
 func TestArenaNoOverlap(t *testing.T) {
 	a := NewArena(0, 1<<20)
-	type span struct{ addr, size uint64 }
+	type span struct {
+		addr mem.GVA
+		size uint64
+	}
 	var spans []span
 	sizes := []uint64{64, 100, 4096, 1, 65, 8192}
 	for _, n := range sizes {
@@ -30,7 +35,7 @@ func TestArenaNoOverlap(t *testing.T) {
 		}
 		rounded := (n + 63) &^ 63
 		for _, s := range spans {
-			if addr < s.addr+s.size && s.addr < addr+rounded {
+			if addr < s.addr+mem.GVA(s.size) && s.addr < addr+mem.GVA(rounded) {
 				t.Fatalf("overlap: %#x+%d with %#x+%d", addr, rounded, s.addr, s.size)
 			}
 		}
@@ -95,8 +100,11 @@ func TestArenaZeroAlloc(t *testing.T) {
 func TestArenaProperty(t *testing.T) {
 	f := func(ops []uint16) bool {
 		a := NewArena(0, 1<<20)
-		type span struct{ addr, size uint64 }
-		live := map[uint64]span{}
+		type span struct {
+			addr mem.GVA
+			size uint64
+		}
+		live := map[mem.GVA]span{}
 		for _, op := range ops {
 			if op%3 == 0 && len(live) > 0 {
 				// Free an arbitrary live allocation.
@@ -114,7 +122,7 @@ func TestArenaProperty(t *testing.T) {
 			}
 			rounded := (n + 63) &^ 63
 			for _, s := range live {
-				if addr < s.addr+s.size && s.addr < addr+rounded {
+				if addr < s.addr+mem.GVA(s.size) && s.addr < addr+mem.GVA(rounded) {
 					return false
 				}
 			}

@@ -10,6 +10,7 @@ import (
 
 	"optimus/internal/accel"
 	"optimus/internal/hv"
+	"optimus/internal/mem"
 )
 
 // Buffer is an allocation in the process's FPGA-shared DMA region. Addr is
@@ -17,7 +18,7 @@ import (
 // in the accelerator (through slicing + the IOMMU) — the unified address
 // space the shared-memory model provides.
 type Buffer struct {
-	Addr uint64
+	Addr mem.GVA
 	Size uint64
 }
 
@@ -32,7 +33,7 @@ type Device struct {
 // the stack. It reserves the DMA region (mmap MAP_NORESERVE in the real
 // system) and registers its base with the hypervisor via BAR2.
 func Open(proc *hv.Process, va *hv.VAccel) (*Device, error) {
-	if err := va.BAR2Write(hv.BAR2RegDMABase, proc.DMABase); err != nil {
+	if err := va.BAR2Write(hv.BAR2RegDMABase, uint64(proc.DMABase)); err != nil {
 		return nil, err
 	}
 	d := &Device{
@@ -65,20 +66,20 @@ func (d *Device) AllocDMA(n uint64) (Buffer, error) {
 }
 
 // registerRange faults in and hypercall-registers every page of a range.
-func (d *Device) registerRange(addr, n uint64) error {
+func (d *Device) registerRange(addr mem.GVA, n uint64) error {
 	ps := d.proc.VM().PageSize()
 	if err := d.proc.EnsureMapped(addr, n); err != nil {
 		return err
 	}
-	for base := addr &^ (ps - 1); base < addr+n; base += ps {
+	for base := mem.PageBase(addr, ps); base < addr+mem.GVA(n); base += mem.GVA(ps) {
 		gpa, err := d.proc.Translate(base)
 		if err != nil {
 			return err
 		}
-		if err := d.va.BAR2Write(hv.BAR2RegMapGVA, base); err != nil {
+		if err := d.va.BAR2Write(hv.BAR2RegMapGVA, uint64(base)); err != nil {
 			return err
 		}
-		if err := d.va.BAR2Write(hv.BAR2RegMapGPA, gpa&^(ps-1)); err != nil {
+		if err := d.va.BAR2Write(hv.BAR2RegMapGPA, uint64(mem.PageBase(gpa, ps))); err != nil {
 			return err
 		}
 	}
@@ -96,7 +97,7 @@ func (d *Device) Write(b Buffer, off uint64, data []byte) error {
 	if off+uint64(len(data)) > b.Size {
 		return fmt.Errorf("guest: write beyond buffer")
 	}
-	return d.proc.Write(b.Addr+off, data)
+	return d.proc.Write(b.Addr+mem.GVA(off), data)
 }
 
 // Read copies out of a DMA buffer.
@@ -104,7 +105,7 @@ func (d *Device) Read(b Buffer, off uint64, out []byte) error {
 	if off+uint64(len(out)) > b.Size {
 		return fmt.Errorf("guest: read beyond buffer")
 	}
-	return d.proc.Read(b.Addr+off, out)
+	return d.proc.Read(b.Addr+mem.GVA(off), out)
 }
 
 // RegWrite programs application register i (a trapped BAR0 access).
@@ -130,7 +131,7 @@ func (d *Device) SetupStateBuffer() (Buffer, error) {
 	if err != nil {
 		return Buffer{}, err
 	}
-	if err := d.va.BAR0Write(accel.RegStateAddr, buf.Addr); err != nil {
+	if err := d.va.BAR0Write(accel.RegStateAddr, uint64(buf.Addr)); err != nil {
 		return Buffer{}, err
 	}
 	return buf, nil

@@ -104,7 +104,7 @@ func TestSetupStateBufferPointsRegister(t *testing.T) {
 		t.Fatal(err)
 	}
 	got, err := dev.VAccel().BAR0Read(accel.RegStateAddr)
-	if err != nil || got != buf.Addr {
+	if err != nil || got != uint64(buf.Addr) {
 		t.Fatalf("state addr = %#x, want %#x", got, buf.Addr)
 	}
 	size, _ := dev.VAccel().BAR0Read(accel.RegStateSize)
@@ -121,7 +121,7 @@ func TestDeviceRunEndToEnd(t *testing.T) {
 		node := make([]byte, 64)
 		var next uint64
 		if j+1 < 16 {
-			next = buf.Addr + uint64(j+1)*64
+			next = uint64(buf.Addr) + uint64(j+1)*64
 		}
 		for b := 0; b < 8; b++ {
 			node[b] = byte(next >> (8 * b))
@@ -130,7 +130,7 @@ func TestDeviceRunEndToEnd(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	dev.RegWrite(accel.LLArgHead, buf.Addr)
+	dev.RegWrite(accel.LLArgHead, uint64(buf.Addr))
 	if err := dev.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +149,7 @@ func TestDeviceResetAbandonsJob(t *testing.T) {
 		node[b] = byte(buf.Addr >> (8 * b))
 	}
 	dev.Write(buf, 0, node)
-	dev.RegWrite(accel.LLArgHead, buf.Addr)
+	dev.RegWrite(accel.LLArgHead, uint64(buf.Addr))
 	if err := dev.Start(); err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +167,7 @@ func TestDeviceResetAbandonsJob(t *testing.T) {
 	// The device is reusable: run a terminating job.
 	buf2, _ := dev.AllocDMA(64)
 	dev.Write(buf2, 0, make([]byte, 64)) // next = 0 → 1 node
-	dev.RegWrite(accel.LLArgHead, buf2.Addr)
+	dev.RegWrite(accel.LLArgHead, uint64(buf2.Addr))
 	if err := dev.Run(); err != nil {
 		t.Fatal(err)
 	}

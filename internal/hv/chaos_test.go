@@ -51,7 +51,7 @@ func TestChaosSchedulerInvariants(t *testing.T) {
 			t.Fatal(err)
 		}
 		dev.SetupStateBuffer()
-		dev.RegWrite(accel.MBArgBase, buf.Addr)
+		dev.RegWrite(accel.MBArgBase, uint64(buf.Addr))
 		dev.RegWrite(accel.MBArgSize, buf.Size)
 		dev.RegWrite(accel.MBArgBursts, 0)
 		dev.RegWrite(accel.MBArgSeed, rng.Uint64())

@@ -262,8 +262,8 @@ func (h *Hypervisor) freeSlice(s int) { h.slicePool = append(h.slicePool, s) }
 // slices separated by the 128 MB guard that keeps different accelerators'
 // hot pages out of each other's IOTLB sets (§5, "IOTLB Conflict
 // Mitigation").
-func (h *Hypervisor) SliceIOVABase(s int) uint64 {
-	return uint64(s) * (h.cfg.SliceSize + h.cfg.SliceGuard)
+func (h *Hypervisor) SliceIOVABase(s int) mem.IOVA {
+	return mem.IOVA(s) * mem.IOVA(h.cfg.SliceSize+h.cfg.SliceGuard)
 }
 
 // Scheduler returns physical slot i's temporal-multiplexing scheduler

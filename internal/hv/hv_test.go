@@ -8,6 +8,7 @@ import (
 	"optimus/internal/accel"
 	"optimus/internal/guest"
 	"optimus/internal/hv"
+	"optimus/internal/mem"
 	"optimus/internal/sim"
 )
 
@@ -58,10 +59,10 @@ func TestFullStackAES(t *testing.T) {
 	dst, _ := d.AllocDMA(uint64(len(plain)))
 	d.Write(src, 0, plain)
 
-	d.RegWrite(accel.XFArgSrc, src.Addr)
-	d.RegWrite(accel.XFArgDst, dst.Addr)
+	d.RegWrite(accel.XFArgSrc, uint64(src.Addr))
+	d.RegWrite(accel.XFArgDst, uint64(dst.Addr))
 	d.RegWrite(accel.XFArgLen, uint64(len(plain)))
-	d.RegWrite(accel.XFArgParam, keyBuf.Addr)
+	d.RegWrite(accel.XFArgParam, uint64(keyBuf.Addr))
 	if err := d.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestSpatialIsolationTwoTenants(t *testing.T) {
 		t.Fatalf("expected identical GVAs (got %#x vs %#x) — the whole point of slicing", bufA.Addr, bufB.Addr)
 	}
 	for i, tn := range []*tenant{a, b} {
-		tn.dev.RegWrite(accel.GRNArgDst, bufA.Addr)
+		tn.dev.RegWrite(accel.GRNArgDst, uint64(bufA.Addr))
 		tn.dev.RegWrite(accel.GRNArgBytes, 1<<20)
 		tn.dev.RegWrite(accel.GRNArgSeed, uint64(100+i)) // different streams
 		tn.dev.RegWrite(accel.GRNArgStddev, 1<<12)
@@ -143,7 +144,7 @@ func TestTemporalMultiplexingMB(t *testing.T) {
 		if _, err := tn.dev.SetupStateBuffer(); err != nil {
 			t.Fatal(err)
 		}
-		tn.dev.RegWrite(accel.MBArgBase, buf.Addr)
+		tn.dev.RegWrite(accel.MBArgBase, uint64(buf.Addr))
 		tn.dev.RegWrite(accel.MBArgSize, buf.Size)
 		tn.dev.RegWrite(accel.MBArgBursts, 0) // run until preempted
 		tn.dev.RegWrite(accel.MBArgSeed, uint64(i))
@@ -211,7 +212,7 @@ func TestTemporalCorrectnessLL(t *testing.T) {
 		order := rng.Perm(nodes)
 		addrs := make([]uint64, nodes)
 		for j, slot := range order {
-			addrs[j] = buf.Addr + uint64(slot)*64
+			addrs[j] = uint64(buf.Addr) + uint64(slot)*64
 		}
 		var sum uint64
 		for j := 0; j < nodes; j++ {
@@ -226,7 +227,7 @@ func TestTemporalCorrectnessLL(t *testing.T) {
 				node[b] = byte(next >> (8 * b))
 				node[8+b] = byte(payload >> (8 * b))
 			}
-			tn.proc.Write(addrs[j], node)
+			tn.proc.Write(mem.GVA(addrs[j]), node)
 		}
 		tn.dev.RegWrite(accel.LLArgHead, addrs[0])
 		j := &job{tn: tn, sum: sum}
@@ -265,7 +266,7 @@ func TestForcedResetOnPreemptTimeout(t *testing.T) {
 	for i, tn := range []*tenant{a, b} {
 		buf, _ := tn.dev.AllocDMA(8 << 20)
 		tn.dev.SetupStateBuffer()
-		tn.dev.RegWrite(accel.MBArgBase, buf.Addr)
+		tn.dev.RegWrite(accel.MBArgBase, uint64(buf.Addr))
 		tn.dev.RegWrite(accel.MBArgSize, buf.Size)
 		tn.dev.RegWrite(accel.MBArgBursts, 0)
 		tn.dev.RegWrite(accel.MBArgSeed, uint64(i))
@@ -295,7 +296,7 @@ func TestWeightedScheduler(t *testing.T) {
 	for i, tn := range []*tenant{a, b} {
 		buf, _ := tn.dev.AllocDMA(8 << 20)
 		tn.dev.SetupStateBuffer()
-		tn.dev.RegWrite(accel.MBArgBase, buf.Addr)
+		tn.dev.RegWrite(accel.MBArgBase, uint64(buf.Addr))
 		tn.dev.RegWrite(accel.MBArgSize, buf.Size)
 		tn.dev.RegWrite(accel.MBArgBursts, 0)
 		tn.dev.RegWrite(accel.MBArgSeed, uint64(i))
@@ -327,7 +328,7 @@ func TestPriorityScheduler(t *testing.T) {
 	for i, tn := range []*tenant{lo, hi} {
 		buf, _ := tn.dev.AllocDMA(8 << 20)
 		tn.dev.SetupStateBuffer()
-		tn.dev.RegWrite(accel.MBArgBase, buf.Addr)
+		tn.dev.RegWrite(accel.MBArgBase, uint64(buf.Addr))
 		tn.dev.RegWrite(accel.MBArgSize, buf.Size)
 		tn.dev.RegWrite(accel.MBArgBursts, 0)
 		tn.dev.RegWrite(accel.MBArgSeed, uint64(i))
@@ -364,14 +365,14 @@ func TestPassThroughMode(t *testing.T) {
 		node := make([]byte, 64)
 		var next uint64
 		if j+1 < 10 {
-			next = buf.Addr + uint64(j+1)*64
+			next = uint64(buf.Addr) + uint64(j+1)*64
 		}
 		for b := 0; b < 8; b++ {
 			node[b] = byte(next >> (8 * b))
 		}
-		tn.proc.Write(buf.Addr+uint64(j)*64, node)
+		tn.proc.Write(buf.Addr+mem.GVA(j)*64, node)
 	}
-	tn.dev.RegWrite(accel.LLArgHead, buf.Addr)
+	tn.dev.RegWrite(accel.LLArgHead, uint64(buf.Addr))
 	if err := tn.dev.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -462,14 +463,14 @@ func TestMigrationIdleVAccel(t *testing.T) {
 		node := make([]byte, 64)
 		var next uint64
 		if j+1 < 10 {
-			next = buf.Addr + uint64(j+1)*64
+			next = uint64(buf.Addr) + uint64(j+1)*64
 		}
 		for b := 0; b < 8; b++ {
 			node[b] = byte(next >> (8 * b))
 		}
-		tn.proc.Write(buf.Addr+uint64(j)*64, node)
+		tn.proc.Write(buf.Addr+mem.GVA(j)*64, node)
 	}
-	tn.dev.RegWrite(accel.LLArgHead, buf.Addr)
+	tn.dev.RegWrite(accel.LLArgHead, uint64(buf.Addr))
 	if err := tn.dev.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -488,7 +489,7 @@ func TestMigrationRunningJob(t *testing.T) {
 	tn := newTenant(t, h, 0)
 	buf, _ := tn.dev.AllocDMA(8 << 20)
 	tn.dev.SetupStateBuffer()
-	tn.dev.RegWrite(accel.MBArgBase, buf.Addr)
+	tn.dev.RegWrite(accel.MBArgBase, uint64(buf.Addr))
 	tn.dev.RegWrite(accel.MBArgSize, buf.Size)
 	tn.dev.RegWrite(accel.MBArgBursts, 0)
 	tn.dev.RegWrite(accel.MBArgSeed, 1)
@@ -516,7 +517,7 @@ func TestMigrationRunningJob(t *testing.T) {
 	// The source slot is free for new work.
 	tn2 := newTenant(t, h, 0)
 	buf2, _ := tn2.dev.AllocDMA(4 << 20)
-	tn2.dev.RegWrite(accel.MBArgBase, buf2.Addr)
+	tn2.dev.RegWrite(accel.MBArgBase, uint64(buf2.Addr))
 	tn2.dev.RegWrite(accel.MBArgSize, buf2.Size)
 	tn2.dev.RegWrite(accel.MBArgBursts, 100)
 	if err := tn2.dev.Run(); err != nil {

@@ -2,9 +2,11 @@ package hv
 
 import (
 	"fmt"
+	"slices"
 
 	"optimus/internal/accel"
 	"optimus/internal/hwmon"
+	"optimus/internal/mem"
 	"optimus/internal/pagetable"
 	"optimus/internal/sim"
 )
@@ -30,7 +32,7 @@ type VAccel struct {
 
 	// dmaBase is the guest-virtual base of the process's reserved DMA
 	// region, written by the guest library to BAR2 (§5).
-	dmaBase uint64
+	dmaBase mem.GVA
 
 	// Job lifecycle.
 	jobActive     bool
@@ -44,10 +46,10 @@ type VAccel struct {
 	weight   int
 	priority int
 	runTime  sim.Time
-	mapped   map[uint64]bool // registered GVA pages
+	mapped   map[mem.GVA]bool // registered GVA pages
 
 	// pendingMapGVA buffers the first half of the two-register hypercall.
-	pendingMapGVA uint64
+	pendingMapGVA mem.GVA
 }
 
 // BAR2 register offsets (hypervisor MMIO space).
@@ -74,7 +76,7 @@ func (h *Hypervisor) NewVAccel(proc *Process, slot int) (*VAccel, error) {
 		slice:   h.allocSlice(),
 		vstatus: accel.StatusIdle,
 		weight:  1,
-		mapped:  make(map[uint64]bool),
+		mapped:  make(map[mem.GVA]bool),
 		dmaBase: proc.DMABase,
 	}
 	pa.sched.attach(va)
@@ -85,13 +87,20 @@ func (h *Hypervisor) NewVAccel(proc *Process, slot int) (*VAccel, error) {
 func (va *VAccel) Close() {
 	va.phys.sched.detach(va)
 	va.hv.freeSlice(va.slice)
-	// Unpin and unmap the slice's IOPT entries.
+	// Unpin and unmap the slice's IOPT entries. Walk the registered pages
+	// in sorted order: teardown mutates the frame allocator's free lists,
+	// so iteration order is simulation-visible state (detwall).
 	iopt := va.hv.Shell.IOMMU.Table()
 	ps := va.hv.cfg.PageSize
+	gvas := make([]mem.GVA, 0, len(va.mapped))
 	for gva := range va.mapped {
+		gvas = append(gvas, gva)
+	}
+	slices.Sort(gvas)
+	for _, gva := range gvas {
 		iova := va.iovaFor(gva)
 		if e, ok := iopt.Lookup(iova); ok {
-			va.hv.frames.Unpin(e.PA &^ (ps - 1))
+			va.hv.frames.Unpin(mem.PageBase(e.PA, ps))
 			iopt.Unmap(iova)
 			va.hv.Shell.IOMMU.Invalidate(iova)
 		}
@@ -131,12 +140,17 @@ func (va *VAccel) Scheduled() bool { return va.scheduled }
 // Failed returns the job's terminal error, if any.
 func (va *VAccel) Failed() error { return va.failure }
 
-// iovaFor maps a DMA-region GVA into the vaccel's IOVA slice.
-func (va *VAccel) iovaFor(gva uint64) uint64 {
+// iovaFor maps a DMA-region GVA into the vaccel's IOVA slice. This is the
+// hypervisor-side sanctioned GVA→IOVA crossing point — the shadow-page
+// installer's linear rebase into the slice (§5) — mirroring the hardware
+// monitor's offset-table rewrite.
+//
+//optimus:addrspace-rewrite
+func (va *VAccel) iovaFor(gva mem.GVA) mem.IOVA {
 	if va.hv.cfg.Mode == ModePassThrough {
-		return gva // vIOMMU: GVA == IOVA
+		return mem.IOVA(gva) // vIOMMU: GVA == IOVA
 	}
-	return gva - va.dmaBase + va.hv.SliceIOVABase(va.slice)
+	return va.hv.SliceIOVABase(va.slice) + mem.IOVA(gva-va.dmaBase)
 }
 
 // BAR2Write handles hypervisor-page MMIO (always trapped).
@@ -144,13 +158,13 @@ func (va *VAccel) BAR2Write(reg uint64, val uint64) error {
 	va.hv.stats.MMIOTraps++
 	switch reg {
 	case BAR2RegDMABase:
-		va.dmaBase = val
+		va.dmaBase = mem.GVA(val)
 		return nil
 	case BAR2RegMapGVA:
-		va.pendingMapGVA = val
+		va.pendingMapGVA = mem.GVA(val)
 		return nil
 	case BAR2RegMapGPA:
-		return va.mapPage(va.pendingMapGVA, val)
+		return va.mapPage(va.pendingMapGVA, mem.GPA(val))
 	default:
 		return fmt.Errorf("hv: unknown BAR2 register %#x", reg)
 	}
@@ -161,9 +175,9 @@ func (va *VAccel) BAR2Read(reg uint64) (uint64, error) {
 	va.hv.stats.MMIOTraps++
 	switch reg {
 	case BAR2RegSlice:
-		return va.hv.SliceIOVABase(va.slice), nil
+		return uint64(va.hv.SliceIOVABase(va.slice)), nil
 	case BAR2RegDMABase:
-		return va.dmaBase, nil
+		return uint64(va.dmaBase), nil
 	default:
 		return 0, fmt.Errorf("hv: unknown BAR2 register %#x", reg)
 	}
@@ -173,20 +187,20 @@ func (va *VAccel) BAR2Read(reg uint64) (uint64, error) {
 // hypervisor of a GVA→GPA pair for a page it wants FPGA-accessible. The
 // hypervisor checks permissions, resolves and pins the host frame, and
 // installs IOVA→HPA in the IO page table.
-func (va *VAccel) MapPage(gva, gpa uint64) error {
+func (va *VAccel) MapPage(gva mem.GVA, gpa mem.GPA) error {
 	va.hv.stats.MMIOTraps++
 	return va.mapPage(gva, gpa)
 }
 
-func (va *VAccel) mapPage(gva, gpa uint64) error {
+func (va *VAccel) mapPage(gva mem.GVA, gpa mem.GPA) error {
 	h := va.hv
 	h.stats.Hypercalls++
 	ps := h.cfg.PageSize
-	if gva%ps != 0 || gpa%ps != 0 {
+	if !mem.Aligned(gva, ps) || !mem.Aligned(gpa, ps) {
 		return fmt.Errorf("hv: misaligned hypercall gva=%#x gpa=%#x", gva, gpa)
 	}
 	if h.cfg.Mode == ModeOptimus {
-		if gva < va.dmaBase || gva+ps > va.dmaBase+h.cfg.SliceSize {
+		if gva < va.dmaBase || gva+mem.GVA(ps) > va.dmaBase+mem.GVA(h.cfg.SliceSize) {
 			return fmt.Errorf("hv: gva %#x outside the vaccel's DMA region", gva)
 		}
 	}
@@ -207,11 +221,12 @@ func (va *VAccel) mapPage(gva, gpa uint64) error {
 	}
 	// Pin: the IOMMU cannot take page faults, so device-visible frames
 	// must stay resident (§5, "Huge Pages").
-	h.frames.Pin(hpa &^ (ps - 1))
+	frame := mem.PageBase(hpa, ps)
+	h.frames.Pin(frame)
 	h.stats.PagesPinned++
 	iova := va.iovaFor(gva)
-	if err := h.Shell.IOMMU.Table().Map(iova, hpa&^(ps-1), pagetable.PermRW); err != nil {
-		h.frames.Unpin(hpa &^ (ps - 1))
+	if err := h.Shell.IOMMU.Table().Map(iova, frame, pagetable.PermRW); err != nil {
+		h.frames.Unpin(frame)
 		return fmt.Errorf("hv: iopt: %w", err)
 	}
 	va.mapped[gva] = true

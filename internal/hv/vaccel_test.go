@@ -5,6 +5,7 @@ import (
 
 	"optimus/internal/accel"
 	"optimus/internal/hv"
+	"optimus/internal/mem"
 	"optimus/internal/sim"
 )
 
@@ -47,7 +48,7 @@ func TestVirtualStatusHidesHardware(t *testing.T) {
 	for i, tn := range []*tenant{a, b} {
 		buf, _ := tn.dev.AllocDMA(4 << 20)
 		tn.dev.SetupStateBuffer()
-		tn.dev.RegWrite(accel.MBArgBase, buf.Addr)
+		tn.dev.RegWrite(accel.MBArgBase, uint64(buf.Addr))
 		tn.dev.RegWrite(accel.MBArgSize, buf.Size)
 		tn.dev.RegWrite(accel.MBArgBursts, 0)
 		tn.dev.RegWrite(accel.MBArgSeed, uint64(i))
@@ -80,7 +81,7 @@ func TestArgRegistersCachedWhileDescheduled(t *testing.T) {
 	// to reads while descheduled.
 	bufA, _ := a.dev.AllocDMA(4 << 20)
 	a.dev.SetupStateBuffer()
-	a.dev.RegWrite(accel.MBArgBase, bufA.Addr)
+	a.dev.RegWrite(accel.MBArgBase, uint64(bufA.Addr))
 	a.dev.RegWrite(accel.MBArgSize, bufA.Size)
 	a.dev.RegWrite(accel.MBArgBursts, 0)
 	a.dev.Start()
@@ -120,7 +121,7 @@ func TestProcessReadWriteAcrossPages(t *testing.T) {
 	proc := vm.NewProcess()
 	ps := vm.PageSize()
 	// Straddle a page boundary.
-	addr := proc.DMABase + ps - 100
+	addr := proc.DMABase + mem.GVA(ps) - 100
 	data := make([]byte, 300)
 	for i := range data {
 		data[i] = byte(i)
@@ -190,7 +191,7 @@ func TestDoubleStartRejected(t *testing.T) {
 	h, _ := hv.New(hv.Config{Accels: []string{"MB"}})
 	tn := newTenant(t, h, 0)
 	buf, _ := tn.dev.AllocDMA(4 << 20)
-	tn.dev.RegWrite(accel.MBArgBase, buf.Addr)
+	tn.dev.RegWrite(accel.MBArgBase, uint64(buf.Addr))
 	tn.dev.RegWrite(accel.MBArgSize, buf.Size)
 	tn.dev.RegWrite(accel.MBArgBursts, 0)
 	if err := tn.dev.Start(); err != nil {

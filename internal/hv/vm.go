@@ -3,6 +3,7 @@ package hv
 import (
 	"fmt"
 
+	"optimus/internal/mem"
 	"optimus/internal/pagetable"
 )
 
@@ -14,8 +15,8 @@ type VM struct {
 	Name string
 
 	memBytes uint64
-	ept      *pagetable.Table // GPA → HPA
-	gpaNext  uint64
+	ept      *pagetable.Table[mem.GPA, mem.HPA]
+	gpaNext  mem.GPA
 
 	procs []*Process
 }
@@ -35,7 +36,7 @@ func (h *Hypervisor) NewVM(name string, memBytes uint64) (*VM, error) {
 		ID:       h.nextVMID,
 		Name:     name,
 		memBytes: memBytes,
-		ept:      pagetable.New(h.cfg.PageSize, levels),
+		ept:      pagetable.New[mem.GPA, mem.HPA](h.cfg.PageSize, levels),
 	}
 	h.nextVMID++
 	h.vms = append(h.vms, vm)
@@ -46,13 +47,13 @@ func (h *Hypervisor) NewVM(name string, memBytes uint64) (*VM, error) {
 func (vm *VM) PageSize() uint64 { return vm.hv.cfg.PageSize }
 
 // allocGPA hands out a fresh guest-physical page backed by a host frame.
-func (vm *VM) allocGPA() (uint64, error) {
+func (vm *VM) allocGPA() (mem.GPA, error) {
 	ps := vm.hv.cfg.PageSize
-	if vm.gpaNext+ps > vm.memBytes {
+	if uint64(vm.gpaNext)+ps > vm.memBytes {
 		return 0, fmt.Errorf("hv: vm %q out of guest memory (%d bytes)", vm.Name, vm.memBytes)
 	}
 	gpa := vm.gpaNext
-	vm.gpaNext += ps
+	vm.gpaNext += mem.GPA(ps)
 	hpa, err := vm.hv.frames.Alloc(ps)
 	if err != nil {
 		return 0, err
@@ -64,7 +65,7 @@ func (vm *VM) allocGPA() (uint64, error) {
 }
 
 // TranslateGPA resolves a guest-physical address to host-physical.
-func (vm *VM) TranslateGPA(gpa uint64) (uint64, error) {
+func (vm *VM) TranslateGPA(gpa mem.GPA) (mem.HPA, error) {
 	return vm.ept.Translate(gpa, pagetable.PermRead)
 }
 
@@ -72,11 +73,11 @@ func (vm *VM) TranslateGPA(gpa uint64) (uint64, error) {
 // region the process shares with its accelerator lives at DMABase.
 type Process struct {
 	vm *VM
-	pt *pagetable.Table // GVA → GPA
+	pt *pagetable.Table[mem.GVA, mem.GPA]
 
 	// DMABase is where the guest library mmap()s its MAP_NORESERVE slice
 	// reservation (§5, "Page Table Slicing").
-	DMABase uint64
+	DMABase mem.GVA
 }
 
 // DefaultDMABase is the guest-virtual base of the reserved DMA region.
@@ -90,7 +91,7 @@ func (vm *VM) NewProcess() *Process {
 	}
 	return &Process{
 		vm:      vm,
-		pt:      pagetable.New(vm.hv.cfg.PageSize, levels),
+		pt:      pagetable.New[mem.GVA, mem.GPA](vm.hv.cfg.PageSize, levels),
 		DMABase: DefaultDMABase,
 	}
 }
@@ -100,9 +101,9 @@ func (p *Process) VM() *VM { return p.vm }
 
 // EnsureMapped demand-allocates guest pages covering [gva, gva+size) —
 // the guest OS page-faulting in anonymous memory.
-func (p *Process) EnsureMapped(gva, size uint64) error {
+func (p *Process) EnsureMapped(gva mem.GVA, size uint64) error {
 	ps := p.vm.PageSize()
-	for base := gva &^ (ps - 1); base < gva+size; base += ps {
+	for base := mem.PageBase(gva, ps); base < gva+mem.GVA(size); base += mem.GVA(ps) {
 		if _, ok := p.pt.Lookup(base); ok {
 			continue
 		}
@@ -118,12 +119,12 @@ func (p *Process) EnsureMapped(gva, size uint64) error {
 }
 
 // Translate resolves GVA → GPA (the guest MMU's job).
-func (p *Process) Translate(gva uint64) (uint64, error) {
+func (p *Process) Translate(gva mem.GVA) (mem.GPA, error) {
 	return p.pt.Translate(gva, pagetable.PermRead)
 }
 
 // TranslateToHPA resolves GVA → GPA → HPA.
-func (p *Process) TranslateToHPA(gva uint64) (uint64, error) {
+func (p *Process) TranslateToHPA(gva mem.GVA) (mem.HPA, error) {
 	gpa, err := p.pt.Translate(gva, pagetable.PermRead)
 	if err != nil {
 		return 0, err
@@ -133,7 +134,7 @@ func (p *Process) TranslateToHPA(gva uint64) (uint64, error) {
 
 // Write copies data into the process's address space (mapping pages on
 // demand), crossing page boundaries as needed.
-func (p *Process) Write(gva uint64, data []byte) error {
+func (p *Process) Write(gva mem.GVA, data []byte) error {
 	if err := p.EnsureMapped(gva, uint64(len(data))); err != nil {
 		return err
 	}
@@ -143,38 +144,38 @@ func (p *Process) Write(gva uint64, data []byte) error {
 		if err != nil {
 			return err
 		}
-		n := ps - gva%ps
+		n := ps - mem.PageOff(gva, ps)
 		if n > uint64(len(data)) {
 			n = uint64(len(data))
 		}
 		p.vm.hv.Mem.Write(hpa, data[:n])
 		data = data[n:]
-		gva += n
+		gva += mem.GVA(n)
 	}
 	return nil
 }
 
 // Read copies from the process's address space into b.
-func (p *Process) Read(gva uint64, b []byte) error {
+func (p *Process) Read(gva mem.GVA, b []byte) error {
 	ps := p.vm.PageSize()
 	for len(b) > 0 {
 		hpa, err := p.TranslateToHPA(gva)
 		if err != nil {
 			return err
 		}
-		n := ps - gva%ps
+		n := ps - mem.PageOff(gva, ps)
 		if n > uint64(len(b)) {
 			n = uint64(len(b))
 		}
 		p.vm.hv.Mem.Read(hpa, b[:n])
 		b = b[n:]
-		gva += n
+		gva += mem.GVA(n)
 	}
 	return nil
 }
 
 // WriteU64 writes one little-endian word at gva.
-func (p *Process) WriteU64(gva uint64, v uint64) error {
+func (p *Process) WriteU64(gva mem.GVA, v uint64) error {
 	var b [8]byte
 	for i := range b {
 		b[i] = byte(v >> (8 * i))
@@ -183,7 +184,7 @@ func (p *Process) WriteU64(gva uint64, v uint64) error {
 }
 
 // ReadU64 reads one little-endian word at gva.
-func (p *Process) ReadU64(gva uint64) (uint64, error) {
+func (p *Process) ReadU64(gva mem.GVA) (uint64, error) {
 	var b [8]byte
 	if err := p.Read(gva, b[:]); err != nil {
 		return 0, err

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"optimus/internal/ccip"
+	"optimus/internal/mem"
 	"optimus/internal/sim"
 )
 
@@ -26,8 +27,8 @@ type Auditor struct {
 	reset   func()
 
 	// Slicing window, programmed through the VCU offset table.
-	gvaBase    uint64
-	iovaBase   uint64
+	gvaBase    mem.GVA
+	iovaBase   mem.IOVA
 	windowSize uint64
 
 	// generation fences responses issued before a reset.
@@ -50,7 +51,7 @@ func newAuditor(m *Monitor, id int) *Auditor {
 func (a *Auditor) ID() int { return a.id }
 
 // Window returns the currently programmed slicing window.
-func (a *Auditor) Window() (gvaBase, iovaBase, size uint64) {
+func (a *Auditor) Window() (gvaBase mem.GVA, iovaBase mem.IOVA, size uint64) {
 	return a.gvaBase, a.iovaBase, a.windowSize
 }
 
@@ -68,11 +69,18 @@ func (a *Auditor) ResponsesDropped() uint64 { return a.respDropped }
 
 // Translate applies the slicing rewrite to a GVA, reporting whether it is
 // inside the window. Exposed for property tests and diagnostics.
-func (a *Auditor) Translate(gva uint64, bytes uint64) (iova uint64, ok bool) {
-	if gva < a.gvaBase || gva+bytes > a.gvaBase+a.windowSize || gva+bytes < gva {
+//
+// This is one of the two sanctioned GVA→IOVA crossing points (the offset
+// table of §4.1); the explicit conversion below is what the hardware's
+// single-cycle adder performs.
+//
+//optimus:addrspace-rewrite
+//optimus:hotpath
+func (a *Auditor) Translate(gva mem.GVA, bytes uint64) (iova mem.IOVA, ok bool) {
+	if gva < a.gvaBase || gva+mem.GVA(bytes) > a.gvaBase+mem.GVA(a.windowSize) || gva+mem.GVA(bytes) < gva {
 		return 0, false
 	}
-	return gva - a.gvaBase + a.iovaBase, true
+	return a.iovaBase + mem.IOVA(gva-a.gvaBase), true
 }
 
 // Issue implements ccip.Port for the accelerator: requests carry guest
@@ -85,7 +93,7 @@ func (a *Auditor) Issue(req ccip.Request) {
 	m := a.m
 	m.stats.DMARequests++
 
-	iova, ok := a.Translate(req.Addr, req.Bytes())
+	iova, ok := a.Translate(mem.GVA(req.Addr), req.Bytes())
 	if !ok {
 		m.stats.RangeViolations++
 		done := req.Done
@@ -103,7 +111,7 @@ func (a *Auditor) Issue(req ccip.Request) {
 	a.txn++
 
 	inner := req
-	inner.Addr = iova
+	inner.Addr = uint64(iova)
 	inner.Tag = tag
 	origDone := req.Done
 	gva := req.Addr

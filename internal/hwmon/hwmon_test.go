@@ -21,7 +21,7 @@ func rig(t testing.TB, numAccels int, mapped uint64) (*sim.Kernel, *ccip.Shell, 
 	shell := ccip.NewShell(k, m, ccip.DefaultConfig())
 	ps := shell.IOMMU.Table().PageSize()
 	for va := uint64(0); va < mapped; va += ps {
-		if err := shell.IOMMU.Table().Map(va, va, pagetable.PermRW); err != nil {
+		if err := shell.IOMMU.Table().Map(mem.IOVA(va), mem.HPA(va), pagetable.PermRW); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -124,11 +124,11 @@ func issueRead(k *sim.Kernel, port ccip.Port, addr uint64, lines int, done func(
 func TestSlicingTranslation(t *testing.T) {
 	k, shell, mon := rig(t, 2, 0)
 	// Accel 0: GVA window [0, 4M) → IOVA [64G, 64G+4M).
-	const slice = uint64(64) << 30
+	const slice = mem.IOVA(64) << 30
 	mon.SetWindow(0, 0, slice, 4<<20)
 	ps := shell.IOMMU.Table().PageSize()
 	for va := uint64(0); va < 4<<20; va += ps {
-		shell.IOMMU.Table().Map(slice+va, 0x1000_0000+va, pagetable.PermRW)
+		shell.IOMMU.Table().Map(slice+mem.IOVA(va), mem.HPA(0x1000_0000+va), pagetable.PermRW)
 	}
 	// Write a marker at HPA 0x1000_0040, read GVA 0x40 through the auditor.
 	shell.Mem.Write(0x1000_0040, []byte("sliced!"))
@@ -167,12 +167,12 @@ func TestRangeViolationDiscarded(t *testing.T) {
 // never produce the same IOVA for in-window GVAs (isolation invariant).
 func TestSliceIsolationProperty(t *testing.T) {
 	_, _, mon := rig(t, 2, 0)
-	const sliceSize = uint64(1) << 30
-	mon.SetWindow(0, 0x10000000, 0*sliceSize, sliceSize)
-	mon.SetWindow(1, 0x10000000, 1*sliceSize, sliceSize)
+	const sliceSize = mem.IOVA(1) << 30
+	mon.SetWindow(0, 0x10000000, 0*sliceSize, uint64(sliceSize))
+	mon.SetWindow(1, 0x10000000, 1*sliceSize, uint64(sliceSize))
 	f := func(off0, off1 uint32) bool {
-		a0, ok0 := mon.Auditor(0).Translate(0x10000000+uint64(off0), 64)
-		a1, ok1 := mon.Auditor(1).Translate(0x10000000+uint64(off1), 64)
+		a0, ok0 := mon.Auditor(0).Translate(0x10000000+mem.GVA(off0), 64)
+		a1, ok1 := mon.Auditor(1).Translate(0x10000000+mem.GVA(off1), 64)
 		if !ok0 || !ok1 {
 			return true // out of window is fine; it gets discarded
 		}
@@ -270,7 +270,7 @@ func TestInjectionPacingHalvesPeakRate(t *testing.T) {
 		}())
 		ps := shell.IOMMU.Table().PageSize()
 		for va := uint64(0); va < 8<<20; va += ps {
-			shell.IOMMU.Table().Map(va, va, pagetable.PermRW)
+			shell.IOMMU.Table().Map(mem.IOVA(va), mem.HPA(va), pagetable.PermRW)
 		}
 		mon, _ := New(k, shell, Config{NumAccels: 1, InjectionCycles: injCycles})
 		mon.SetWindow(0, 0, 0, 8<<20)
@@ -339,7 +339,7 @@ func TestEightAccelFairness(t *testing.T) {
 	stop := sim.Time(300 * sim.Microsecond)
 	for id := 0; id < 8; id++ {
 		id := id
-		mon.SetWindow(id, 0, uint64(id)*window, window)
+		mon.SetWindow(id, 0, mem.IOVA(id)*mem.IOVA(window), window)
 		var issue func(addr uint64)
 		issue = func(addr uint64) {
 			if k.Now() > stop {
@@ -401,7 +401,7 @@ func TestSubtreeBandwidthShaping(t *testing.T) {
 	k, _, mon := rig(t, 4, 4*window)
 	stop := sim.Time(400 * sim.Microsecond)
 	hammer := func(id int) {
-		mon.SetWindow(id, 0, uint64(id)*window, window)
+		mon.SetWindow(id, 0, mem.IOVA(id)*mem.IOVA(window), window)
 		var issue func(addr uint64)
 		issue = func(addr uint64) {
 			if k.Now() > stop {
@@ -434,7 +434,7 @@ func TestSubtreeBandwidthShaping(t *testing.T) {
 func BenchmarkTreeThroughput(b *testing.B) {
 	k, _, mon := rig(b, 8, 64<<20)
 	for id := 0; id < 8; id++ {
-		mon.SetWindow(id, 0, uint64(id)*(8<<20), 8<<20)
+		mon.SetWindow(id, 0, mem.IOVA(id)*(8<<20), 8<<20)
 	}
 	n := 0
 	var issue func(id int, addr uint64)

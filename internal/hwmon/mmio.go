@@ -9,6 +9,8 @@ package hwmon
 import (
 	"errors"
 	"fmt"
+
+	"optimus/internal/mem"
 )
 
 // MMIO layout (§5, "MMIO Slicing"): the first portion of the MMIO space is
@@ -133,9 +135,9 @@ func (m *Monitor) vcuRead(off uint64) (uint64, error) {
 			a := m.auditors[idx]
 			switch reg {
 			case VCUOffGVABase:
-				return a.gvaBase, nil
+				return uint64(a.gvaBase), nil
 			case VCUOffIOVABase:
-				return a.iovaBase, nil
+				return uint64(a.iovaBase), nil
 			case VCUOffWindowSize:
 				return a.windowSize, nil
 			}
@@ -156,9 +158,9 @@ func (m *Monitor) vcuWrite(off uint64, val uint64) error {
 	a := m.auditors[idx]
 	switch reg {
 	case VCUOffGVABase:
-		a.gvaBase = val
+		a.gvaBase = mem.GVA(val)
 	case VCUOffIOVABase:
-		a.iovaBase = val
+		a.iovaBase = mem.IOVA(val)
 	case VCUOffWindowSize:
 		a.windowSize = val
 	case VCUOffReset:

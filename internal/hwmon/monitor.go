@@ -5,6 +5,7 @@ import (
 
 	"optimus/internal/ccip"
 	"optimus/internal/fpga"
+	"optimus/internal/mem"
 	"optimus/internal/sim"
 )
 
@@ -165,12 +166,12 @@ func (m *Monitor) Auditor(i int) *Auditor { return m.auditors[i] }
 // guest-virtual [gvaBase, gvaBase+size) are rewritten to IO-virtual
 // [iovaBase, iovaBase+size). This is the typed equivalent of the three VCU
 // register writes the hypervisor performs.
-func (m *Monitor) SetWindow(i int, gvaBase, iovaBase, size uint64) error {
+func (m *Monitor) SetWindow(i int, gvaBase mem.GVA, iovaBase mem.IOVA, size uint64) error {
 	base := VCUBase + uint64(VCUAccelBlockBase) + uint64(i)*VCUAccelBlockSize
-	if err := m.MMIOWrite(base+VCUOffGVABase, gvaBase); err != nil {
+	if err := m.MMIOWrite(base+VCUOffGVABase, uint64(gvaBase)); err != nil {
 		return err
 	}
-	if err := m.MMIOWrite(base+VCUOffIOVABase, iovaBase); err != nil {
+	if err := m.MMIOWrite(base+VCUOffIOVABase, uint64(iovaBase)); err != nil {
 		return err
 	}
 	return m.MMIOWrite(base+VCUOffWindowSize, size)

@@ -24,6 +24,12 @@ func newMuxNode(m *Monitor, children int, out func(ccip.Request)) *muxNode {
 	return &muxNode{m: m, out: out, queues: make([][]ccip.Request, children)}
 }
 
+// accept enqueues one request from a child port. Queue slots are reused
+// across requests (amortized growth), so steady-state acceptance is
+// allocation-free; the completion closures are built once per request in
+// kick/Issue, which are deliberately outside the hotpath contract.
+//
+//optimus:hotpath
 func (n *muxNode) accept(child int, req ccip.Request) {
 	n.queues[child] = append(n.queues[child], req)
 	n.kick()

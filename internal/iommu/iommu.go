@@ -18,6 +18,7 @@ package iommu
 import (
 	"fmt"
 
+	"optimus/internal/mem"
 	"optimus/internal/pagetable"
 	"optimus/internal/sim"
 )
@@ -54,8 +55,8 @@ func (c Config) withDefaults() Config {
 
 type tlbEntry struct {
 	valid bool
-	vpn   uint64 // full virtual page number (tag includes set index bits)
-	pa    uint64 // physical page base
+	vpn   uint64  // full virtual page number (tag includes set index bits)
+	pa    mem.HPA // physical page base
 	perm  pagetable.Perm
 }
 
@@ -81,23 +82,23 @@ func (s Stats) HitRate() float64 {
 // table — the platform constraint that motivates page table slicing.
 type IOMMU struct {
 	cfg   Config
-	iopt  *pagetable.Table
+	iopt  *pagetable.Table[mem.IOVA, mem.HPA]
 	sets  []tlbEntry
 	stats Stats
 
 	lastRegion     uint64 // last translated 2 MB-aligned region base + 1 (0 = none)
-	lastRegionPA   uint64
+	lastRegionPA   mem.HPA
 	lastRegionPerm pagetable.Perm
 }
 
 // New returns an IOMMU using the given IO page table.
-func New(cfg Config, iopt *pagetable.Table) *IOMMU {
+func New(cfg Config, iopt *pagetable.Table[mem.IOVA, mem.HPA]) *IOMMU {
 	cfg = cfg.withDefaults()
 	return &IOMMU{cfg: cfg, iopt: iopt, sets: make([]tlbEntry, cfg.Sets)}
 }
 
 // Table returns the active IO page table.
-func (u *IOMMU) Table() *pagetable.Table { return u.iopt }
+func (u *IOMMU) Table() *pagetable.Table[mem.IOVA, mem.HPA] { return u.iopt }
 
 // Integrated reports whether the IOMMU walker is CPU-integrated — its page
 // walks then use the CPU cache hierarchy instead of crossing the system
@@ -128,23 +129,23 @@ func (u *IOMMU) walkCost() sim.Time {
 // Translate translates iova for an access requiring perm. It returns the
 // host physical address, the added translation latency (zero on a TLB hit),
 // and whether the speculative same-region fast path applied.
-func (u *IOMMU) Translate(iova uint64, perm pagetable.Perm) (hpa uint64, delay sim.Time, spec bool, err error) {
+func (u *IOMMU) Translate(iova mem.IOVA, perm pagetable.Perm) (hpa mem.HPA, delay sim.Time, spec bool, err error) {
 	const regionBits = 21 // 2 MB speculative region
-	region := iova>>regionBits + 1
+	region := uint64(iova)>>regionBits + 1
 	if u.cfg.SpeculativeRegion && region == u.lastRegion && u.lastRegionPerm&perm == perm {
 		// Same 2 MB region as the previous access: the pipeline's
 		// speculation holds and translation costs nothing. Only exact for
 		// 2 MB pages; for 4 KB pages the region may span many pages, so the
 		// fast path applies only when the containing page is the same one
 		// cached by the region register.
-		if u.iopt.PageSize() >= 2<<20 || (iova&^(u.iopt.PageSize()-1)) == u.lastRegionCachedVA() {
+		if u.iopt.PageSize() >= 2<<20 || mem.PageBase(iova, u.iopt.PageSize()) == u.lastRegionCachedVA() {
 			u.stats.SpecHits++
-			return u.lastRegionPA + iova&(u.iopt.PageSize()-1), 0, true, nil
+			return u.lastRegionPA + mem.HPA(mem.PageOff(iova, u.iopt.PageSize())), 0, true, nil
 		}
 	}
 
 	ps := u.iopt.PageSize()
-	vpn := iova / ps
+	vpn := uint64(iova) / ps
 	set := u.setIndex(vpn)
 	e := &u.sets[set]
 	if e.valid && e.vpn == vpn {
@@ -154,7 +155,7 @@ func (u *IOMMU) Translate(iova uint64, perm pagetable.Perm) (hpa uint64, delay s
 		}
 		u.stats.Hits++
 		u.noteRegion(iova, e.pa, e.perm)
-		return e.pa + iova%ps, 0, false, nil
+		return e.pa + mem.HPA(mem.PageOff(iova, ps)), 0, false, nil
 	}
 
 	// Miss: walk the IO page table across the interconnect.
@@ -173,29 +174,29 @@ func (u *IOMMU) Translate(iova uint64, perm pagetable.Perm) (hpa uint64, delay s
 	return pa, u.walkCost(), false, nil
 }
 
-func (u *IOMMU) noteRegion(iova, pageBase uint64, perm pagetable.Perm) {
+func (u *IOMMU) noteRegion(iova mem.IOVA, pageBase mem.HPA, perm pagetable.Perm) {
 	const regionBits = 21
-	u.lastRegion = iova>>regionBits + 1
+	u.lastRegion = uint64(iova)>>regionBits + 1
 	u.lastRegionPA = pageBase
 	u.lastRegionPerm = perm
 }
 
 // lastRegionCachedVA reconstructs the page VA backing the cached region
 // pointer for sub-2M page sizes.
-func (u *IOMMU) lastRegionCachedVA() uint64 {
+func (u *IOMMU) lastRegionCachedVA() mem.IOVA {
 	// For 4 KB pages the region register effectively caches one page; the
 	// translation held in lastRegionPA corresponds to the page of the last
 	// access, whose VA page base we recover from the region and PA is not
 	// enough — so we conservatively disable the fast path by returning an
 	// impossible address unless page size covers the region.
-	return ^uint64(0)
+	return ^mem.IOVA(0)
 }
 
 // Invalidate drops any IOTLB entry covering iova; the hypervisor issues it
 // after unmapping or remapping an IOPT entry. The speculative region
 // register is also cleared.
-func (u *IOMMU) Invalidate(iova uint64) {
-	vpn := iova / u.iopt.PageSize()
+func (u *IOMMU) Invalidate(iova mem.IOVA) {
+	vpn := uint64(iova) / u.iopt.PageSize()
 	e := &u.sets[u.setIndex(vpn)]
 	if e.valid && e.vpn == vpn {
 		e.valid = false
@@ -214,9 +215,9 @@ func (u *IOMMU) FlushAll() {
 // Conflicts reports whether two IO virtual addresses map to the same IOTLB
 // set — the predicate behind the paper's slice-gap mitigation (two pages
 // conflict iff their page numbers are congruent mod 2^9).
-func (u *IOMMU) Conflicts(iovaA, iovaB uint64) bool {
+func (u *IOMMU) Conflicts(iovaA, iovaB mem.IOVA) bool {
 	ps := u.iopt.PageSize()
-	return u.setIndex(iovaA/ps) == u.setIndex(iovaB/ps)
+	return u.setIndex(uint64(iovaA)/ps) == u.setIndex(uint64(iovaB)/ps)
 }
 
 // Reach returns the bytes of address space the IOTLB can hold without

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"optimus/internal/mem"
 	"optimus/internal/pagetable"
 	"optimus/internal/sim"
 )
@@ -14,8 +15,8 @@ const (
 	page4K = 4 << 10
 )
 
-func newIOMMU2M(cfg Config) (*IOMMU, *pagetable.Table) {
-	iopt := pagetable.New(page2M, 3)
+func newIOMMU2M(cfg Config) (*IOMMU, *pagetable.Table[mem.IOVA, mem.HPA]) {
+	iopt := pagetable.New[mem.IOVA, mem.HPA](page2M, 3)
 	return New(cfg, iopt), iopt
 }
 
@@ -69,8 +70,8 @@ func TestPermissionFaultOnTLBHit(t *testing.T) {
 func TestConflictPredicate(t *testing.T) {
 	u, _ := newIOMMU2M(Config{})
 	f := func(p1, p2 uint32) bool {
-		a := uint64(p1) * page2M
-		b := uint64(p2) * page2M
+		a := mem.IOVA(p1) * page2M
+		b := mem.IOVA(p2) * page2M
 		want := uint64(p1)%512 == uint64(p2)%512
 		return u.Conflicts(a, b) == want
 	}
@@ -83,11 +84,11 @@ func TestSetIndexBits21to29(t *testing.T) {
 	u, iopt := newIOMMU2M(Config{})
 	// Two IOVAs whose bits 21-29 match but differ above bit 29 must evict
 	// each other; two that differ in bits 21-29 must coexist.
-	conflictA := uint64(0)
-	conflictB := uint64(512) * page2M // bit 30 set, same set index
-	disjoint := uint64(1) * page2M    // different set index
-	for _, va := range []uint64{conflictA, conflictB, disjoint} {
-		iopt.Map(va, 0x1_0000_0000+va, pagetable.PermRW)
+	conflictA := mem.IOVA(0)
+	conflictB := mem.IOVA(512) * page2M // bit 30 set, same set index
+	disjoint := mem.IOVA(1) * page2M    // different set index
+	for _, va := range []mem.IOVA{conflictA, conflictB, disjoint} {
+		iopt.Map(va, 0x1_0000_0000+mem.HPA(va), pagetable.PermRW)
 	}
 	u.Translate(conflictA, pagetable.PermRead)
 	u.Translate(disjoint, pagetable.PermRead)
@@ -112,7 +113,7 @@ func TestReach(t *testing.T) {
 	if u2m.Reach() != 1<<30 {
 		t.Fatalf("2M reach = %d, want 1 GB", u2m.Reach())
 	}
-	iopt4k := pagetable.New(page4K, 4)
+	iopt4k := pagetable.New[mem.IOVA, mem.HPA](page4K, 4)
 	u4k := New(Config{}, iopt4k)
 	if u4k.Reach() != 2<<20 {
 		t.Fatalf("4K reach = %d, want 2 MB", u4k.Reach())
@@ -124,15 +125,15 @@ func TestNoThrashingWithinReach(t *testing.T) {
 	u, iopt := newIOMMU2M(Config{})
 	const pages = 512
 	for i := uint64(0); i < pages; i++ {
-		iopt.Map(i*page2M, 0x1_0000_0000+i*page2M, pagetable.PermRW)
+		iopt.Map(mem.IOVA(i*page2M), mem.HPA(0x1_0000_0000+i*page2M), pagetable.PermRW)
 	}
 	for i := uint64(0); i < pages; i++ { // warm every page once
-		u.Translate(i*page2M, pagetable.PermRead)
+		u.Translate(mem.IOVA(i*page2M), pagetable.PermRead)
 	}
 	rng := sim.NewRand(1)
 	u.ResetStats()
 	for i := 0; i < 10000; i++ {
-		va := rng.Uint64n(pages) * page2M
+		va := mem.IOVA(rng.Uint64n(pages)) * page2M
 		if _, d, _, err := u.Translate(va, pagetable.PermRead); err != nil || d != 0 {
 			t.Fatalf("steady-state miss at %#x (err=%v)", va, err)
 		}
@@ -147,11 +148,11 @@ func TestThrashingBeyondReach(t *testing.T) {
 	u, iopt := newIOMMU2M(Config{SpeculativeRegion: false})
 	const pages = 2048 // 4 GB working set
 	for i := uint64(0); i < pages; i++ {
-		iopt.Map(i*page2M, 0x2_0000_0000+i*page2M, pagetable.PermRW)
+		iopt.Map(mem.IOVA(i*page2M), mem.HPA(0x2_0000_0000+i*page2M), pagetable.PermRW)
 	}
 	rng := sim.NewRand(2)
 	for i := 0; i < 20000; i++ {
-		u.Translate(rng.Uint64n(pages)*page2M, pagetable.PermRead)
+		u.Translate(mem.IOVA(rng.Uint64n(pages))*page2M, pagetable.PermRead)
 	}
 	hr := u.Stats().HitRate()
 	// 512 sets / 2048 pages → expected hit rate ~ 1/4.
@@ -174,13 +175,13 @@ func TestInvalidate(t *testing.T) {
 func TestFlushAll(t *testing.T) {
 	u, iopt := newIOMMU2M(Config{})
 	for i := uint64(0); i < 4; i++ {
-		iopt.Map(i*page2M, 0x8000_0000+i*page2M, pagetable.PermRW)
-		u.Translate(i*page2M, pagetable.PermRead)
+		iopt.Map(mem.IOVA(i*page2M), mem.HPA(0x8000_0000+i*page2M), pagetable.PermRW)
+		u.Translate(mem.IOVA(i*page2M), pagetable.PermRead)
 	}
 	u.FlushAll()
 	u.ResetStats()
 	for i := uint64(0); i < 4; i++ {
-		if _, d, _, _ := u.Translate(i*page2M, pagetable.PermRead); d == 0 {
+		if _, d, _, _ := u.Translate(mem.IOVA(i*page2M), pagetable.PermRead); d == 0 {
 			t.Fatal("hit after FlushAll")
 		}
 	}
@@ -217,8 +218,8 @@ func TestSpeculativeRegionBrokenByInterleaving(t *testing.T) {
 func TestIntegratedIOMMUFasterWalks(t *testing.T) {
 	soft, ioptA := newIOMMU2M(Config{})
 	ioptA.Map(0, 0x8000_0000, pagetable.PermRW)
-	integrated := New(Config{Integrated: true}, func() *pagetable.Table {
-		p := pagetable.New(page2M, 3)
+	integrated := New(Config{Integrated: true}, func() *pagetable.Table[mem.IOVA, mem.HPA] {
+		p := pagetable.New[mem.IOVA, mem.HPA](page2M, 3)
 		p.Map(0, 0x8000_0000, pagetable.PermRW)
 		return p
 	}())
@@ -230,10 +231,10 @@ func TestIntegratedIOMMUFasterWalks(t *testing.T) {
 }
 
 func TestWalkCostScalesWithLevels(t *testing.T) {
-	iopt4 := pagetable.New(page4K, 4)
+	iopt4 := pagetable.New[mem.IOVA, mem.HPA](page4K, 4)
 	iopt4.Map(0, 0x8000_0000, pagetable.PermRW)
 	u4 := New(Config{}, iopt4)
-	iopt3 := pagetable.New(page2M, 3)
+	iopt3 := pagetable.New[mem.IOVA, mem.HPA](page2M, 3)
 	iopt3.Map(0, 0x8000_0000, pagetable.PermRW)
 	u3 := New(Config{}, iopt3)
 	_, d4, _, _ := u4.Translate(0, pagetable.PermRead)
@@ -256,7 +257,7 @@ func BenchmarkTranslateHit(b *testing.B) {
 	u.Translate(0, pagetable.PermRead)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		u.Translate(uint64(i%1024)*64, pagetable.PermRead)
+		u.Translate(mem.IOVA(i%1024)*64, pagetable.PermRead)
 	}
 }
 
@@ -264,11 +265,11 @@ func BenchmarkTranslateThrash(b *testing.B) {
 	u, iopt := newIOMMU2M(Config{SpeculativeRegion: false})
 	const pages = 2048
 	for i := uint64(0); i < pages; i++ {
-		iopt.Map(i*page2M, 0x2_0000_0000+i*page2M, pagetable.PermRW)
+		iopt.Map(mem.IOVA(i*page2M), mem.HPA(0x2_0000_0000+i*page2M), pagetable.PermRW)
 	}
 	rng := sim.NewRand(3)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		u.Translate(rng.Uint64n(pages)*page2M, pagetable.PermRead)
+		u.Translate(mem.IOVA(rng.Uint64n(pages))*page2M, pagetable.PermRead)
 	}
 }

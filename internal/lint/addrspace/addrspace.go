@@ -1,0 +1,181 @@
+// Package addrspace implements the optimuslint analyzer that enforces the
+// platform's four-address-space discipline (GVA, GPA, IOVA, HPA — §5 of
+// the paper). The typed-address refactor makes confusing two spaces a
+// compile error when no conversion is written; this analyzer closes the
+// remaining hole: explicit conversions that *launder* an address from one
+// space into another, and function parameters that smuggle addresses
+// around as raw uint64.
+//
+// Cross-space conversions are legal only inside functions annotated
+// //optimus:addrspace-rewrite — reserved for the two sanctioned rewrite
+// points, the hardware monitor's offset-table translation
+// (hwmon.Auditor.Translate) and the hypervisor's shadow-page installer
+// (hv.VAccel.iovaFor). Converting untyped or uint64 values *into* a space
+// (wire formats, sizes, literals) is always allowed, as is converting any
+// space *out* to uint64 at a wire boundary (ccip.Request.Addr, MMIO
+// register values).
+package addrspace
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"optimus/internal/lint"
+)
+
+// scopePkgs are the package basenames the paper's address-space invariant
+// covers (matched by basename so analyzer fixtures under testdata/src/<name>
+// behave like the real internal/<name> packages).
+var scopePkgs = map[string]bool{
+	"pagetable": true,
+	"iommu":     true,
+	"hwmon":     true,
+	"hv":        true,
+	"guest":     true,
+	"accel":     true,
+}
+
+// Analyzer is the addrspace check.
+var Analyzer = &lint.Analyzer{
+	Name:  "addrspace",
+	Doc:   "flag cross-address-space conversions outside sanctioned rewrite points and raw-uint64 address parameters",
+	Scope: func(pkgPath string) bool { return scopePkgs[lint.PathBase(pkgPath)] },
+	Run:   run,
+}
+
+// addrSpace returns the space name ("GVA", "GPA", "IOVA", "HPA") if t is
+// one of the typed addresses from internal/mem, or "" otherwise.
+func addrSpace(t types.Type) string {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || lint.PathBase(obj.Pkg().Path()) != "mem" {
+		return ""
+	}
+	switch obj.Name() {
+	case "GVA", "GPA", "IOVA", "HPA":
+		return obj.Name()
+	}
+	return ""
+}
+
+// uint64AddrParam matches parameter names that denote an address in a
+// specific space: "gva", "iovaBase", "pendingMapGVA", … Deliberately NOT
+// matched: "addr"/"off" — MMIO and CCI-P wire addresses are their own
+// (fifth) namespace and stay uint64 by design.
+var uint64AddrParam = regexp.MustCompile(`^(gva|gpa|iova|hpa)([A-Z_][A-Za-z0-9_]*)?$|(GVA|GPA|IOVA|HPA)$`)
+
+func run(pass *lint.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkParams(pass, fn)
+			if lint.FuncHasDirective(fn, "optimus:addrspace-rewrite") {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				tv, ok := pass.Info.Types[call.Fun]
+				if !ok || !tv.IsType() || len(call.Args) != 1 {
+					return true
+				}
+				target := addrSpace(tv.Type)
+				if target == "" {
+					return true
+				}
+				if src := foreignSpace(pass, call.Args[0], target); src != "" {
+					pass.Reportf(call.Pos(),
+						"conversion from %s to %s crosses address spaces; only the hardware monitor's offset table and the hypervisor's shadow-page installer may rewrite addresses (annotate //optimus:addrspace-rewrite if this is a third sanctioned point)",
+						src, target)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkParams flags uint64 parameters whose names claim a specific address
+// space.
+func checkParams(pass *lint.Pass, fn *ast.FuncDecl) {
+	if fn.Type.Params == nil {
+		return
+	}
+	for _, field := range fn.Type.Params.List {
+		t := pass.Info.Types[field.Type].Type
+		if t == nil {
+			continue
+		}
+		basic, ok := t.(*types.Basic)
+		if !ok || basic.Kind() != types.Uint64 {
+			continue
+		}
+		for _, name := range field.Names {
+			if uint64AddrParam.MatchString(name.Name) {
+				pass.Reportf(name.Pos(),
+					"parameter %q is a raw uint64 but names a %s-space address; use the typed addresses from internal/mem",
+					name.Name, spaceOf(name.Name))
+			}
+		}
+	}
+}
+
+func spaceOf(name string) string {
+	m := uint64AddrParam.FindStringSubmatch(name)
+	if m == nil {
+		return "?"
+	}
+	if m[1] != "" {
+		return map[string]string{"gva": "GVA", "gpa": "GPA", "iova": "IOVA", "hpa": "HPA"}[m[1]]
+	}
+	return m[3]
+}
+
+// foreignSpace walks expr looking for a sub-expression typed in an address
+// space other than target. It does not descend into non-conversion calls:
+// a real function application (mem.PageOff(gva, ps) → uint64) legitimately
+// erases the space of its operands, whereas a chain of conversions
+// (IOVA(uint64(gva))) merely launders it.
+func foreignSpace(pass *lint.Pass, expr ast.Expr, target string) string {
+	found := ""
+	var walk func(e ast.Expr)
+	walk = func(e ast.Expr) {
+		if found != "" || e == nil {
+			return
+		}
+		if tv, ok := pass.Info.Types[e]; ok {
+			if s := addrSpace(tv.Type); s != "" && s != target {
+				found = s
+				return
+			}
+		}
+		switch e := e.(type) {
+		case *ast.CallExpr:
+			if tv, ok := pass.Info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+				walk(e.Args[0]) // conversion: keep looking through it
+			}
+			// Real call: its result type was already checked above; the
+			// operands' spaces are consumed by the callee.
+		case *ast.ParenExpr:
+			walk(e.X)
+		case *ast.UnaryExpr:
+			walk(e.X)
+		case *ast.BinaryExpr:
+			walk(e.X)
+			walk(e.Y)
+		case *ast.SelectorExpr, *ast.Ident, *ast.IndexExpr, *ast.StarExpr, *ast.BasicLit:
+			// Leaves (or handled by the type check above).
+		}
+	}
+	walk(expr)
+	return found
+}

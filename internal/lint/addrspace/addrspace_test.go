@@ -1,0 +1,11 @@
+package addrspace
+
+import (
+	"testing"
+
+	"optimus/internal/lint/linttest"
+)
+
+func TestAddrspace(t *testing.T) {
+	linttest.Run(t, Analyzer, "hv")
+}

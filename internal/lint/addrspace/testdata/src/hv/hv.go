@@ -1,0 +1,59 @@
+// Fixture for the addrspace analyzer. The directory is named hv so the
+// analyzer's package scope matches it like the real internal/hv.
+package hv
+
+import "optimus/internal/mem"
+
+// launder converts directly between two address spaces.
+func launder(gva mem.GVA) mem.IOVA {
+	return mem.IOVA(gva) // want "conversion from GVA to IOVA crosses address spaces"
+}
+
+// launder2 hides the crossing behind an intermediate uint64 conversion.
+func launder2(gva mem.GVA) mem.IOVA {
+	return mem.IOVA(uint64(gva)) // want "conversion from GVA to IOVA crosses address spaces"
+}
+
+// launderArith crosses spaces inside address arithmetic.
+func launderArith(hpa mem.HPA, gpa mem.GPA) mem.HPA {
+	return hpa + mem.HPA(gpa) // want "conversion from GPA to HPA crosses address spaces"
+}
+
+// rawParam smuggles a GVA around as a bare uint64.
+func rawParam(gvaBase uint64, size uint64) uint64 { // want "parameter \"gvaBase\" is a raw uint64 but names a GVA-space address"
+	return gvaBase + size
+}
+
+// rawParamSuffix names the space as a suffix.
+func rawParamSuffix(stateGVA uint64) uint64 { // want "parameter \"stateGVA\" is a raw uint64 but names a GVA-space address"
+	return stateGVA
+}
+
+// sanctioned is a rewrite point: the annotation licenses the crossing.
+//
+//optimus:addrspace-rewrite
+func sanctioned(gva, base mem.GVA, iovaBase mem.IOVA) mem.IOVA {
+	return iovaBase + mem.IOVA(gva-base)
+}
+
+// sameSpace converts a size into a space — always fine.
+func sameSpace(gva mem.GVA, n uint64) mem.GVA {
+	return gva + mem.GVA(n)
+}
+
+// viaCall: a real function application erases its operands' spaces, so
+// converting its uint64 result into a space is fine.
+func viaCall(iova mem.IOVA, ps uint64) mem.HPA {
+	return mem.HPA(mem.PageOff(iova, ps))
+}
+
+// toWire converts out to uint64 at a wire boundary — always fine.
+func toWire(iova mem.IOVA) uint64 {
+	return uint64(iova)
+}
+
+// mmioParam: "addr" is deliberately not treated as space-specific (MMIO
+// and CCI-P wire addresses stay uint64).
+func mmioParam(addr uint64) uint64 {
+	return addr
+}

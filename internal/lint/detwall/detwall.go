@@ -1,0 +1,189 @@
+// Package detwall implements the optimuslint analyzer guarding the
+// simulator's determinism wall. The experiment harness's contract is that
+// every table and figure is byte-identical across runs and across
+// parallelism levels (-par 1 vs -par 8); three things silently break that:
+// wall-clock reads, math/rand's globally seeded state, and Go's randomized
+// map iteration order feeding simulation state.
+//
+// Scope: internal/sim, internal/hv, internal/exp — the packages between
+// the event kernel and the rendered tables. cmd/ is deliberately outside
+// the wall: the CLI prints wall-time lines that the artifact-check scripts
+// strip before diffing.
+package detwall
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"optimus/internal/lint"
+)
+
+var scopePkgs = map[string]bool{
+	"sim": true,
+	"hv":  true,
+	"exp": true,
+}
+
+// Analyzer is the detwall check.
+var Analyzer = &lint.Analyzer{
+	Name:  "detwall",
+	Doc:   "forbid wall-clock time, global math/rand, and unordered map iteration inside the determinism wall (internal/sim, internal/hv, internal/exp)",
+	Scope: func(pkgPath string) bool { return scopePkgs[lint.PathBase(pkgPath)] },
+	Run:   run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, file := range pass.Files {
+		checkImports(pass, file)
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, file, fn)
+		}
+	}
+	return nil
+}
+
+func checkImports(pass *lint.Pass, file *ast.File) {
+	for _, imp := range file.Imports {
+		path, _ := strconv.Unquote(imp.Path.Value)
+		switch path {
+		case "math/rand", "math/rand/v2":
+			pass.Reportf(imp.Pos(),
+				"%s is wall-clock-seeded global state and breaks run-to-run reproducibility; use sim.NewRand(seed) instead", path)
+		}
+	}
+}
+
+// pkgOf resolves a selector's receiver to the imported package path, or ""
+// if the receiver is not a package name.
+func pkgOf(pass *lint.Pass, x ast.Expr) string {
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if pn, ok := pass.Info.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Path()
+	}
+	return ""
+}
+
+func checkFunc(pass *lint.Pass, file *ast.File, fn *ast.FuncDecl) {
+	// A sort call anywhere in the function licenses the collect-and-sort
+	// pattern for its map ranges (append keys to a slice, sort, iterate).
+	hasSort := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			switch pkgOf(pass, sel.X) {
+			case "sort":
+				hasSort = true
+			case "slices":
+				if strings.HasPrefix(sel.Sel.Name, "Sort") {
+					hasSort = true
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok &&
+				pkgOf(pass, sel.X) == "time" && sel.Sel.Name == "Now" {
+				pass.Reportf(n.Pos(),
+					"time.Now reads the wall clock inside the determinism wall; simulated time comes from the event kernel (sim.Time)")
+			}
+		case *ast.RangeStmt:
+			tv, ok := pass.Info.Types[n.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if lint.StmtHasDirective(pass.Fset, file, n.Pos(), "optimus:unordered-ok") {
+				return true
+			}
+			if bodyOrderInsensitive(n.Body, hasSort) {
+				return true
+			}
+			pass.Reportf(n.Pos(),
+				"map iteration order is randomized and this loop's effects look order-sensitive; collect the keys into a slice and sort (or annotate //optimus:unordered-ok if order provably cannot reach simulation state)")
+		}
+		return true
+	})
+}
+
+// bodyOrderInsensitive reports whether every statement in a map-range body
+// is insensitive to iteration order: commutative accumulation (+=, counters),
+// delete from the ranged map, or — when the surrounding function sorts —
+// collecting into a slice via append.
+func bodyOrderInsensitive(body *ast.BlockStmt, hasSort bool) bool {
+	ok := true
+	var check func(stmts []ast.Stmt)
+	check = func(stmts []ast.Stmt) {
+		for _, s := range stmts {
+			if !ok {
+				return
+			}
+			switch s := s.(type) {
+			case *ast.IncDecStmt:
+				// counters commute
+			case *ast.AssignStmt:
+				if !assignOrderInsensitive(s, hasSort) {
+					ok = false
+				}
+			case *ast.ExprStmt:
+				if call, isCall := s.X.(*ast.CallExpr); isCall {
+					if id, isIdent := call.Fun.(*ast.Ident); isIdent && id.Name == "delete" {
+						continue // deleting while ranging is well-defined and commutes
+					}
+				}
+				ok = false
+			case *ast.IfStmt:
+				check(s.Body.List)
+				if b, isBlock := s.Else.(*ast.BlockStmt); isBlock {
+					check(b.List)
+				} else if s.Else != nil {
+					ok = false
+				}
+			case *ast.BlockStmt:
+				check(s.List)
+			case *ast.BranchStmt:
+				// continue/break don't introduce order dependence themselves
+			default:
+				ok = false
+			}
+		}
+	}
+	check(body.List)
+	return ok
+}
+
+func assignOrderInsensitive(s *ast.AssignStmt, hasSort bool) bool {
+	switch s.Tok.String() {
+	case "+=", "-=", "|=", "&=", "^=", "*=":
+		return true // commutative (or treated as such) accumulation
+	case "=", ":=":
+		// Collecting for a later sort: x = append(x, ...).
+		if !hasSort || len(s.Rhs) != 1 {
+			return false
+		}
+		call, ok := s.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "append"
+	}
+	return false
+}

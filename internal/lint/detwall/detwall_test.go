@@ -1,0 +1,11 @@
+package detwall
+
+import (
+	"testing"
+
+	"optimus/internal/lint/linttest"
+)
+
+func TestDetwall(t *testing.T) {
+	linttest.Run(t, Analyzer, "sim")
+}

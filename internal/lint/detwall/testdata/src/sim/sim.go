@@ -1,0 +1,70 @@
+// Fixture for the detwall analyzer. The directory is named sim so the
+// analyzer's package scope matches it like the real internal/sim.
+package sim
+
+import (
+	"math/rand" // want "math/rand is wall-clock-seeded global state and breaks run-to-run reproducibility; use sim.NewRand\\(seed\\) instead"
+	"sort"
+	"time"
+)
+
+// wallClock reads the host clock.
+func wallClock() int64 {
+	return time.Now().UnixNano() // want "time.Now reads the wall clock inside the determinism wall"
+}
+
+// globalRand consumes math/rand's global, wall-seeded stream.
+func globalRand() int {
+	return rand.Intn(8)
+}
+
+// unorderedFeed lets map order reach state that a later reader observes.
+func unorderedFeed(m map[uint64]uint64) []uint64 {
+	var out []uint64
+	for k := range m { // want "map iteration order is randomized and this loop's effects look order-sensitive"
+		out = append(out, k)
+	}
+	return out
+}
+
+// collectAndSort is the sanctioned pattern: order is erased by the sort.
+func collectAndSort(m map[uint64]uint64) []uint64 {
+	out := make([]uint64, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// accumulate only folds commutatively, so order cannot matter.
+func accumulate(m map[uint64]uint64) (sum uint64, n int) {
+	for _, v := range m {
+		sum += v
+		n++
+	}
+	return sum, n
+}
+
+// drain deletes from the ranged map — well-defined and order-free.
+func drain(m map[uint64]uint64) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// suppressed carries the explicit annotation.
+func suppressed(m map[uint64]uint64, sink func(uint64)) {
+	//optimus:unordered-ok — sink is order-insensitive by contract
+	for k := range m {
+		sink(k)
+	}
+}
+
+// sliceRange iterates a slice: ordered, never flagged.
+func sliceRange(s []uint64) (sum uint64) {
+	for _, v := range s {
+		sum += v
+	}
+	return sum
+}

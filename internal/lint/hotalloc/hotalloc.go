@@ -1,0 +1,190 @@
+// Package hotalloc implements the optimuslint analyzer that keeps the
+// simulator's hot paths allocation-free. The event kernel's scheduling
+// loop and the hardware monitor's per-request path run hundreds of
+// millions of times per experiment sweep; a single heap allocation per
+// event would dominate wall time (the AllocsPerRun == 0 benchmarks in
+// internal/sim enforce the same property dynamically — this check
+// enforces it statically and points at the offending expression).
+//
+// Only functions annotated //optimus:hotpath are checked. Within them the
+// analyzer flags the constructs that defeat escape analysis or allocate
+// by construction: variable-capturing closures, boxing a concrete
+// non-pointer value into an interface argument, make/new, and append to a
+// function-local slice (append to a long-lived struct field is amortized
+// reuse and allowed). Everything under a panic(...) call is exempt —
+// dying is not a hot path.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/types"
+
+	"optimus/internal/lint"
+)
+
+// Analyzer is the hotalloc check. It is scoped by annotation, not by
+// package, so it runs everywhere.
+var Analyzer = &lint.Analyzer{
+	Name: "hotalloc",
+	Doc:  "flag heap-allocating constructs inside //optimus:hotpath functions",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !lint.FuncHasDirective(fn, "optimus:hotpath") {
+				continue
+			}
+			checkHot(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkHot(pass *lint.Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isBuiltin(pass, n.Fun, "panic") {
+				return false // error paths may allocate freely
+			}
+			return checkCall(pass, fn, n)
+		case *ast.FuncLit:
+			reportCaptures(pass, fn, n)
+			return true
+		case *ast.AssignStmt:
+			checkAppend(pass, fn, n)
+			return true
+		}
+		return true
+	})
+}
+
+func isBuiltin(pass *lint.Pass, fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pass.Info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// checkCall flags make/new and interface boxing in call arguments. The
+// return value feeds ast.Inspect (false stops descent).
+func checkCall(pass *lint.Pass, fn *ast.FuncDecl, call *ast.CallExpr) bool {
+	if isBuiltin(pass, call.Fun, "make") || isBuiltin(pass, call.Fun, "new") {
+		pass.Reportf(call.Pos(),
+			"%s allocates on every call; hoist the allocation into the constructor and reuse it (//optimus:hotpath)",
+			call.Fun.(*ast.Ident).Name)
+		return true
+	}
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return true // conversion, or untyped — nothing to box
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return true
+	}
+	for i, arg := range call.Args {
+		pt := paramType(sig, i)
+		if pt == nil {
+			break
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at := pass.Info.Types[arg].Type
+		if at == nil || types.IsInterface(at) {
+			continue
+		}
+		if boxes(at) {
+			pass.Reportf(arg.Pos(),
+				"passing %s by value into interface parameter %s boxes it on the heap (//optimus:hotpath)",
+				types.TypeString(at, types.RelativeTo(pass.Pkg)), pt.String())
+		}
+	}
+	return true
+}
+
+// paramType resolves the static parameter type for argument index i,
+// unrolling variadics.
+func paramType(sig *types.Signature, i int) types.Type {
+	n := sig.Params().Len()
+	if sig.Variadic() {
+		if i < n-1 {
+			return sig.Params().At(i).Type()
+		}
+		last := sig.Params().At(n - 1).Type()
+		if sl, ok := last.(*types.Slice); ok {
+			return sl.Elem()
+		}
+		return last
+	}
+	if i < n {
+		return sig.Params().At(i).Type()
+	}
+	return nil
+}
+
+// boxes reports whether storing a value of concrete type t into an
+// interface heap-allocates: true for non-pointer concrete values (pointers,
+// channels, maps and funcs fit in the interface data word).
+func boxes(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature, *types.Interface:
+		return false
+	}
+	return true
+}
+
+// reportCaptures flags closures that capture variables declared in the
+// enclosing function — those captures force the variable (and usually the
+// closure header) onto the heap.
+func reportCaptures(pass *lint.Pass, fn *ast.FuncDecl, lit *ast.FuncLit) {
+	seen := map[*types.Var]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.Info.Uses[id].(*types.Var)
+		if !ok || seen[v] || v.IsField() {
+			return true
+		}
+		// Captured = declared inside the enclosing function but before the
+		// closure literal (package-level vars don't count).
+		if v.Pos() > fn.Pos() && v.Pos() < lit.Pos() {
+			seen[v] = true
+			pass.Reportf(id.Pos(),
+				"closure captures %q, forcing it onto the heap (//optimus:hotpath)", v.Name())
+		}
+		return true
+	})
+}
+
+// checkAppend flags append whose destination is a function-local slice.
+// Appending to a struct field is the sanctioned amortized-growth pattern
+// (the event kernel's heap array) and is allowed.
+func checkAppend(pass *lint.Pass, fn *ast.FuncDecl, as *ast.AssignStmt) {
+	for _, rhs := range as.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || !isBuiltin(pass, call.Fun, "append") || len(call.Args) == 0 {
+			continue
+		}
+		id, ok := call.Args[0].(*ast.Ident)
+		if !ok {
+			continue // x.field = append(x.field, ...) — amortized, allowed
+		}
+		v, ok := pass.Info.Uses[id].(*types.Var)
+		if !ok {
+			continue
+		}
+		if v.Pos() > fn.Pos() && v.Pos() < fn.End() {
+			pass.Reportf(call.Pos(),
+				"append to function-local slice %q allocates as it grows; reuse a struct-field buffer (//optimus:hotpath)", v.Name())
+		}
+	}
+}

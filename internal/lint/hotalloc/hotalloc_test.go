@@ -1,0 +1,11 @@
+package hotalloc
+
+import (
+	"testing"
+
+	"optimus/internal/lint/linttest"
+)
+
+func TestHotalloc(t *testing.T) {
+	linttest.Run(t, Analyzer, "sim")
+}

@@ -1,0 +1,61 @@
+// Fixture for the hotalloc analyzer. hotalloc is gated by the
+// //optimus:hotpath annotation rather than by package, but the fixture
+// lives under src/sim to mirror where the real hot paths are.
+package sim
+
+import "fmt"
+
+type kernel struct {
+	heap    []uint64
+	scratch []uint64
+}
+
+func sink(v any) { _ = v }
+
+// step is a hot path with every flagged construct.
+//
+//optimus:hotpath
+func (k *kernel) step(t uint64) {
+	buf := make([]uint64, 8) // want "make allocates on every call"
+	_ = buf
+
+	var local []uint64
+	local = append(local, t) // want "append to function-local slice \"local\" allocates as it grows"
+	_ = local
+
+	sink(t) // want "passing uint64 by value into interface parameter .* boxes it on the heap"
+
+	f := func() uint64 { return t } // want "closure captures \"t\", forcing it onto the heap"
+	_ = f()
+}
+
+// push appends to a struct field: amortized reuse, allowed.
+//
+//optimus:hotpath
+func (k *kernel) push(v uint64) {
+	k.heap = append(k.heap, v)
+}
+
+// guarded may allocate on its panic path — dying is not a hot path.
+//
+//optimus:hotpath
+func (k *kernel) guarded(t uint64) {
+	if t == 0 {
+		panic(fmt.Sprintf("bad time %d", t))
+	}
+	k.heap = k.heap[:0]
+}
+
+// ptrArg passes a pointer into an interface: fits the data word, allowed.
+//
+//optimus:hotpath
+func (k *kernel) ptrArg() {
+	sink(k)
+}
+
+// cold is unannotated: allocations are fine off the hot path.
+func (k *kernel) cold() []uint64 {
+	out := make([]uint64, 0, len(k.heap))
+	out = append(out, k.heap...)
+	return out
+}

@@ -1,0 +1,145 @@
+// Package lint is a dependency-free miniature of the golang.org/x/tools
+// go/analysis framework, built on the standard library's go/ast, go/types,
+// and go/importer so the repository's analyzers (cmd/optimuslint) run
+// offline with no third-party modules.
+//
+// The shape mirrors go/analysis deliberately — an Analyzer owns a Run
+// function over a Pass carrying the parsed files and type information — so
+// the four OPTIMUS analyzers (addrspace, detwall, hotalloc, locksafe) port
+// to the real framework mechanically if x/tools ever becomes available.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics (e.g. "addrspace").
+	Name string
+	// Doc is a one-paragraph description shown by the driver's -help.
+	Doc string
+	// Scope reports whether the analyzer applies to a package import
+	// path. A nil Scope means every package.
+	Scope func(pkgPath string) bool
+	// Run inspects one package and reports findings through pass.Report.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one package's syntax and types to an Analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies each analyzer to each loaded package and returns the
+// findings sorted by file position.
+func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if a.Scope != nil && !a.Scope(pkg.Path) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// PathBase returns the last element of an import path — the unit the
+// analyzers' Scope functions match on, so fixture packages under
+// testdata/src/<name> are treated like the real internal/<name> package.
+func PathBase(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// FuncHasDirective reports whether the function declaration carries the
+// given //optimus:<name> directive in its doc comment.
+func FuncHasDirective(fn *ast.FuncDecl, directive string) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.HasPrefix(c.Text, "//"+directive) {
+			return true
+		}
+	}
+	return false
+}
+
+// StmtHasDirective reports whether any comment in the file directly
+// precedes pos's line (or sits on it) with the given //optimus:<name>
+// directive — used for statement-level suppressions like
+// //optimus:unordered-ok.
+func StmtHasDirective(fset *token.FileSet, file *ast.File, pos token.Pos, directive string) bool {
+	line := fset.Position(pos).Line
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, "//"+directive) {
+				continue
+			}
+			cl := fset.Position(c.Pos()).Line
+			if cl == line || cl == line-1 {
+				return true
+			}
+		}
+	}
+	return false
+}

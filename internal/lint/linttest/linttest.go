@@ -1,0 +1,97 @@
+// Package linttest runs an analyzer over a fixture package and checks its
+// diagnostics against `// want "regex"` comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest for the in-tree lint
+// framework.
+//
+// Fixtures live under the analyzer package's testdata/src/<name> directory
+// (testdata is invisible to ./... patterns, so fixtures never enter normal
+// builds) and are named so the analyzer's Scope matches them — e.g. a
+// fixture for a check scoped to internal/hv sits in testdata/src/hv.
+package linttest
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"optimus/internal/lint"
+)
+
+// wantRe extracts the quoted expectations from a `// want "..." "..."`
+// comment.
+var wantRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads testdata/src/<fixture> relative to the calling test's package
+// directory, applies the analyzer, and fails the test on any mismatch
+// between reported diagnostics and // want comments.
+func Run(t *testing.T, a *lint.Analyzer, fixture string) {
+	t.Helper()
+	pkgs, err := lint.Load("./testdata/src/" + fixture)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+	diags, err := lint.Run([]*lint.Analyzer{a}, pkgs)
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					idx := strings.Index(c.Text, "// want ")
+					if idx < 0 {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					for _, m := range wantRe.FindAllStringSubmatch(c.Text[idx:], -1) {
+						pat, err := strconv.Unquote(m[0])
+						if err != nil {
+							t.Fatalf("%s: bad want literal %s: %v", pos, m[0], err)
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+						}
+						wants = append(wants, &expectation{
+							file:    pos.Filename,
+							line:    pos.Line,
+							pattern: re,
+						})
+					}
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		ok := false
+		for _, w := range wants {
+			if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.pattern.MatchString(d.Message) {
+				w.matched = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}

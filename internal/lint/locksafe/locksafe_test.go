@@ -1,0 +1,11 @@
+package locksafe
+
+import (
+	"testing"
+
+	"optimus/internal/lint/linttest"
+)
+
+func TestLocksafe(t *testing.T) {
+	linttest.Run(t, Analyzer, "hv")
+}

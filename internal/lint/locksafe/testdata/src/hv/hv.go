@@ -1,0 +1,64 @@
+// Fixture for the locksafe analyzer.
+package hv
+
+import "sync"
+
+type table struct {
+	mu      sync.RWMutex
+	entries map[uint64]uint64
+}
+
+type wrapper struct {
+	inner table // mutex nested one level down
+}
+
+// byValueParam copies the lock into the callee.
+func byValueParam(t table) int { // want "parameter passes table by value, copying its mutex"
+	return len(t.entries)
+}
+
+// byValueAssign copies an existing (possibly locked) value.
+func byValueAssign(p *table) {
+	cp := *p // want "assignment copies table, which contains a mutex"
+	_ = cp
+}
+
+// nestedCopy copies a struct whose field contains the mutex.
+func nestedCopy(w *wrapper, ws []wrapper) {
+	v := w.inner // want "assignment copies table, which contains a mutex"
+	_ = v
+	for _, x := range ws { // want "range copies wrapper elements by value, copying their mutex"
+		_ = x
+	}
+}
+
+// leak acquires without releasing on the early-return path.
+func leak(t *table, k uint64) uint64 {
+	t.mu.Lock() // want "t.mu.Lock acquired 1 time\\(s\\) but released 0 time\\(s\\)"
+	return t.entries[k]
+}
+
+// balanced uses the canonical defer pairing.
+func balanced(t *table, k uint64) uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.entries[k]
+}
+
+// manual is balanced without defer.
+func manual(t *table, k, v uint64) {
+	t.mu.Lock()
+	t.entries[k] = v
+	t.mu.Unlock()
+}
+
+// construct initializes fresh values — not a copy of a used lock.
+func construct() *table {
+	t := table{entries: map[uint64]uint64{}}
+	return &t
+}
+
+// pointerUse moves the lock by pointer everywhere.
+func pointerUse(t *table) *sync.RWMutex {
+	return &t.mu
+}

@@ -1,0 +1,54 @@
+// Address-space types. OPTIMUS's correctness hinges on four distinct
+// address spaces never being confused (§5): an accelerator issues guest
+// virtual addresses (GVA), the hardware monitor's auditors rewrite them to
+// IO virtual addresses (IOVA) inside the accelerator's slice, the IOMMU
+// translates IOVA to host physical addresses (HPA) through the single IO
+// page table, and the hypervisor resolves guest physical addresses (GPA)
+// through the extended page table when installing those IOVA→HPA mappings.
+//
+// Each space is a distinct defined type over uint64 so the compiler — and
+// the addrspace analyzer in cmd/optimuslint — rejects handing an address in
+// one space to code expecting another. Converting uint64 literals or sizes
+// *into* an address space is always fine; converting *between* two spaces
+// is flagged unless the enclosing function carries the
+// //optimus:addrspace-rewrite annotation, reserved for the two sanctioned
+// rewrite points: the hardware monitor's offset-table translation
+// (hwmon.Auditor.Translate) and the hypervisor's shadow-page installer
+// (hv.VAccel.iovaFor).
+package mem
+
+// GVA is a guest-virtual address: what a guest process — and, through the
+// shared-memory model, its accelerator — uses.
+type GVA uint64
+
+// GPA is a guest-physical address: the guest OS's view of "physical"
+// memory, translated to host-physical by the extended page table.
+type GPA uint64
+
+// IOVA is an IO-virtual address: the device-side address inside a virtual
+// accelerator's slice of the single IO page table.
+type IOVA uint64
+
+// HPA is a host-physical address: a real DRAM location.
+type HPA uint64
+
+// Addr constrains a type parameter to exactly one of the platform's four
+// address spaces.
+type Addr interface {
+	GVA | GPA | IOVA | HPA
+}
+
+// PageBase returns the base address of the page containing a.
+func PageBase[A Addr](a A, pageSize uint64) A {
+	return a &^ A(pageSize-1)
+}
+
+// PageOff returns a's offset within its page.
+func PageOff[A Addr](a A, pageSize uint64) uint64 {
+	return uint64(a) & (pageSize - 1)
+}
+
+// Aligned reports whether a is a multiple of align.
+func Aligned[A Addr](a A, align uint64) bool {
+	return uint64(a)%align == 0
+}

@@ -26,7 +26,7 @@ const frameSize = PageSize4K
 // without the host allocating them.
 type PhysMem struct {
 	size   uint64
-	frames map[uint64][]byte
+	frames map[HPA][]byte
 	// discardWrites drops write data instead of materializing frames.
 	// Bandwidth experiments (MemBench over multi-GB working sets) enable
 	// it: timing is unaffected, only content fidelity is sacrificed.
@@ -35,7 +35,7 @@ type PhysMem struct {
 
 // NewPhysMem returns a physical memory of the given size in bytes.
 func NewPhysMem(size uint64) *PhysMem {
-	return &PhysMem{size: size, frames: make(map[uint64][]byte)}
+	return &PhysMem{size: size, frames: make(map[HPA][]byte)}
 }
 
 // Size returns the physical memory size in bytes.
@@ -44,18 +44,18 @@ func (m *PhysMem) Size() uint64 { return m.size }
 // ResidentBytes returns the number of bytes actually backed by storage.
 func (m *PhysMem) ResidentBytes() uint64 { return uint64(len(m.frames)) * frameSize }
 
-func (m *PhysMem) check(pa uint64, n int) {
-	if pa+uint64(n) > m.size || pa+uint64(n) < pa {
-		panic(fmt.Sprintf("mem: access [%#x,%#x) beyond physical memory size %#x", pa, pa+uint64(n), m.size))
+func (m *PhysMem) check(pa HPA, n int) {
+	if uint64(pa)+uint64(n) > m.size || pa+HPA(n) < pa {
+		panic(fmt.Sprintf("mem: access [%#x,%#x) beyond physical memory size %#x", pa, pa+HPA(n), m.size))
 	}
 }
 
 // Read copies len(b) bytes starting at physical address pa into b.
-func (m *PhysMem) Read(pa uint64, b []byte) {
+func (m *PhysMem) Read(pa HPA, b []byte) {
 	m.check(pa, len(b))
 	for len(b) > 0 {
 		base := pa &^ (frameSize - 1)
-		off := pa - base
+		off := uint64(pa - base)
 		n := frameSize - off
 		if n > uint64(len(b)) {
 			n = uint64(len(b))
@@ -68,7 +68,7 @@ func (m *PhysMem) Read(pa uint64, b []byte) {
 			}
 		}
 		b = b[n:]
-		pa += n
+		pa += HPA(n)
 	}
 }
 
@@ -78,11 +78,11 @@ func (m *PhysMem) Read(pa uint64, b []byte) {
 func (m *PhysMem) SetDiscardWrites(v bool) { m.discardWrites = v }
 
 // Write copies b into physical memory starting at pa.
-func (m *PhysMem) Write(pa uint64, b []byte) {
+func (m *PhysMem) Write(pa HPA, b []byte) {
 	m.check(pa, len(b))
 	for len(b) > 0 {
 		base := pa &^ (frameSize - 1)
-		off := pa - base
+		off := uint64(pa - base)
 		n := frameSize - off
 		if n > uint64(len(b)) {
 			n = uint64(len(b))
@@ -91,7 +91,7 @@ func (m *PhysMem) Write(pa uint64, b []byte) {
 		if !ok {
 			if m.discardWrites {
 				b = b[n:]
-				pa += n
+				pa += HPA(n)
 				continue
 			}
 			f = make([]byte, frameSize)
@@ -99,12 +99,12 @@ func (m *PhysMem) Write(pa uint64, b []byte) {
 		}
 		copy(f[off:off+n], b[:n])
 		b = b[n:]
-		pa += n
+		pa += HPA(n)
 	}
 }
 
 // ReadU64 reads a little-endian uint64 at pa.
-func (m *PhysMem) ReadU64(pa uint64) uint64 {
+func (m *PhysMem) ReadU64(pa HPA) uint64 {
 	var b [8]byte
 	m.Read(pa, b[:])
 	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
@@ -112,7 +112,7 @@ func (m *PhysMem) ReadU64(pa uint64) uint64 {
 }
 
 // WriteU64 writes a little-endian uint64 at pa.
-func (m *PhysMem) WriteU64(pa uint64, v uint64) {
+func (m *PhysMem) WriteU64(pa HPA, v uint64) {
 	var b [8]byte
 	for i := range b {
 		b[i] = byte(v >> (8 * i))
@@ -124,31 +124,31 @@ func (m *PhysMem) WriteU64(pa uint64, v uint64) {
 // of physical memory. It supports both page sizes; 2 MB allocations are
 // naturally aligned, as the IOMMU requires.
 type FrameAllocator struct {
-	base, limit uint64
-	next        uint64
-	free4k      []uint64
-	free2m      []uint64
-	pinned      map[uint64]int // frame base -> pin count
-	allocated   map[uint64]uint64
+	base, limit HPA
+	next        HPA
+	free4k      []HPA
+	free2m      []HPA
+	pinned      map[HPA]int    // frame base -> pin count
+	allocated   map[HPA]uint64 // frame base -> page size
 }
 
 // NewFrameAllocator manages [base, base+size).
-func NewFrameAllocator(base, size uint64) *FrameAllocator {
-	if base%PageSize4K != 0 {
+func NewFrameAllocator(base HPA, size uint64) *FrameAllocator {
+	if !Aligned(base, PageSize4K) {
 		panic("mem: allocator base must be 4K-aligned")
 	}
 	return &FrameAllocator{
 		base:      base,
-		limit:     base + size,
+		limit:     base + HPA(size),
 		next:      base,
-		pinned:    make(map[uint64]int),
-		allocated: make(map[uint64]uint64),
+		pinned:    make(map[HPA]int),
+		allocated: make(map[HPA]uint64),
 	}
 }
 
 // Alloc returns the base physical address of a naturally aligned free frame
 // of the given page size.
-func (a *FrameAllocator) Alloc(pageSize uint64) (uint64, error) {
+func (a *FrameAllocator) Alloc(pageSize uint64) (HPA, error) {
 	switch pageSize {
 	case PageSize4K:
 		if n := len(a.free4k); n > 0 {
@@ -167,22 +167,22 @@ func (a *FrameAllocator) Alloc(pageSize uint64) (uint64, error) {
 	default:
 		return 0, fmt.Errorf("mem: unsupported page size %d", pageSize)
 	}
-	pa := (a.next + pageSize - 1) &^ (pageSize - 1)
+	pa := (a.next + HPA(pageSize) - 1) &^ HPA(pageSize-1)
 	// Return alignment slack to the 4K free list rather than leaking it.
 	for slack := a.next; slack < pa; slack += PageSize4K {
 		a.free4k = append(a.free4k, slack)
 	}
-	if pa+pageSize > a.limit {
+	if pa+HPA(pageSize) > a.limit {
 		return 0, fmt.Errorf("mem: out of physical frames (want %d bytes, %d left)", pageSize, a.limit-a.next)
 	}
-	a.next = pa + pageSize
+	a.next = pa + HPA(pageSize)
 	a.allocated[pa] = pageSize
 	return pa, nil
 }
 
 // Free returns a frame to the allocator. Freeing a pinned frame panics: it
 // is the simulated equivalent of a use-after-free visible to a DMA device.
-func (a *FrameAllocator) Free(pa uint64) {
+func (a *FrameAllocator) Free(pa HPA) {
 	size, ok := a.allocated[pa]
 	if !ok {
 		panic(fmt.Sprintf("mem: free of unallocated frame %#x", pa))
@@ -199,7 +199,7 @@ func (a *FrameAllocator) Free(pa uint64) {
 }
 
 // Pin marks a frame as DMA-pinned. Pins nest.
-func (a *FrameAllocator) Pin(pa uint64) {
+func (a *FrameAllocator) Pin(pa HPA) {
 	if _, ok := a.allocated[pa]; !ok {
 		panic(fmt.Sprintf("mem: pin of unallocated frame %#x", pa))
 	}
@@ -207,7 +207,7 @@ func (a *FrameAllocator) Pin(pa uint64) {
 }
 
 // Unpin releases one pin on a frame.
-func (a *FrameAllocator) Unpin(pa uint64) {
+func (a *FrameAllocator) Unpin(pa HPA) {
 	if a.pinned[pa] <= 0 {
 		panic(fmt.Sprintf("mem: unpin of unpinned frame %#x", pa))
 	}
@@ -218,11 +218,11 @@ func (a *FrameAllocator) Unpin(pa uint64) {
 }
 
 // Pinned reports whether a frame is currently pinned.
-func (a *FrameAllocator) Pinned(pa uint64) bool { return a.pinned[pa] > 0 }
+func (a *FrameAllocator) Pinned(pa HPA) bool { return a.pinned[pa] > 0 }
 
 // AllocatedFrames returns the sorted list of allocated frame bases.
-func (a *FrameAllocator) AllocatedFrames() []uint64 {
-	out := make([]uint64, 0, len(a.allocated))
+func (a *FrameAllocator) AllocatedFrames() []HPA {
+	out := make([]HPA, 0, len(a.allocated))
 	for pa := range a.allocated {
 		out = append(out, pa)
 	}

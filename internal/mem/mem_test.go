@@ -24,7 +24,7 @@ func TestPhysMemRoundTrip(t *testing.T) {
 	m := NewPhysMem(1 << 24)
 	data := []byte("the quick brown fox jumps over the lazy dog")
 	// Cross a frame boundary deliberately.
-	pa := uint64(frameSize - 10)
+	pa := HPA(frameSize - 10)
 	m.Write(pa, data)
 	got := make([]byte, len(data))
 	m.Read(pa, got)
@@ -39,7 +39,7 @@ func TestPhysMemRoundTripProperty(t *testing.T) {
 		if len(data) == 0 {
 			return true
 		}
-		pa := uint64(off)
+		pa := HPA(off)
 		m.Write(pa, data)
 		got := make([]byte, len(data))
 		m.Read(pa, got)
@@ -94,7 +94,10 @@ func TestFrameAllocatorAlignment(t *testing.T) {
 
 func TestFrameAllocatorNoOverlap(t *testing.T) {
 	a := NewFrameAllocator(PageSize2M, 32<<20)
-	type span struct{ base, size uint64 }
+	type span struct {
+		base HPA
+		size uint64
+	}
 	var spans []span
 	for i := 0; i < 8; i++ {
 		p, err := a.Alloc(PageSize4K)
@@ -111,7 +114,7 @@ func TestFrameAllocatorNoOverlap(t *testing.T) {
 	for i := range spans {
 		for j := i + 1; j < len(spans); j++ {
 			a, b := spans[i], spans[j]
-			if a.base < b.base+b.size && b.base < a.base+a.size {
+			if a.base < b.base+HPA(b.size) && b.base < a.base+HPA(a.size) {
 				t.Fatalf("overlap: [%#x,+%#x) and [%#x,+%#x)", a.base, a.size, b.base, b.size)
 			}
 		}
@@ -205,7 +208,7 @@ func TestAllocSlackReturned(t *testing.T) {
 	_ = p0
 	_, _ = a.Alloc(PageSize2M) // forces alignment, creating 4K slack
 	// Slack frames should be reusable as 4K pages.
-	seen := map[uint64]bool{p0: true}
+	seen := map[HPA]bool{p0: true}
 	for i := 0; i < 100; i++ {
 		p, err := a.Alloc(PageSize4K)
 		if err != nil {
@@ -236,6 +239,6 @@ func BenchmarkPhysMemLineWrite(b *testing.B) {
 	line := make([]byte, LineSize)
 	b.SetBytes(LineSize)
 	for i := 0; i < b.N; i++ {
-		m.Write(uint64(i%(1<<24))*LineSize%(1<<30-LineSize), line)
+		m.Write(HPA(i%(1<<24))*LineSize%(1<<30-LineSize), line)
 	}
 }

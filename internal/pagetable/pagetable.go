@@ -7,12 +7,21 @@
 // with an explicit walk-depth cost, rather than as bytes in simulated
 // memory: what the evaluation depends on is mapping semantics, permission
 // checks, and the number of memory references a hardware walker performs.
+//
+// A Table is generic over the address space it translates from (V) and to
+// (P): the guest MMU is a Table[mem.GVA, mem.GPA], the EPT a
+// Table[mem.GPA, mem.HPA], and the IO page table a Table[mem.IOVA,
+// mem.HPA]. The type parameters make it a compile error to walk a table
+// with an address from the wrong space — the property the addrspace
+// analyzer extends to raw-uint64 leakage.
 package pagetable
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"optimus/internal/mem"
 )
 
 // Perm is a page permission bitmask.
@@ -49,9 +58,9 @@ var (
 	ErrMisaligned = errors.New("pagetable: misaligned address")
 )
 
-// Entry is one page mapping.
-type Entry struct {
-	PA       uint64
+// Entry is one page mapping into the P address space.
+type Entry[P mem.Addr] struct {
+	PA       P
 	Perm     Perm
 	PageSize uint64
 	// Accessed and Dirty mirror hardware A/D bits; the hypervisor's shadow
@@ -60,15 +69,15 @@ type Entry struct {
 	Dirty    bool
 }
 
-// Table maps virtual page numbers to Entries for a single page size.
-// A Table is safe for concurrent use; the simulated CPU side (guest
-// processes) and the device side (IOMMU walker) may race in tests even
-// though the DES itself is single-threaded.
-type Table struct {
+// Table maps virtual page numbers in the V space to Entries in the P space
+// for a single page size. A Table is safe for concurrent use; the simulated
+// CPU side (guest processes) and the device side (IOMMU walker) may race in
+// tests even though the DES itself is single-threaded.
+type Table[V, P mem.Addr] struct {
 	mu       sync.RWMutex
 	pageSize uint64
 	levels   int
-	entries  map[uint64]*Entry
+	entries  map[uint64]*Entry[P]
 	// epoch increments on any modification; the IOMMU uses it to know when
 	// cached IOTLB entries might be stale (simulating invalidation
 	// requirements).
@@ -79,43 +88,43 @@ type Table struct {
 // hardware walker traverses (4 for x86-64 4K pages, 3 for 2M pages); it is
 // exposed so the IOMMU can charge the correct number of memory references
 // per walk.
-func New(pageSize uint64, levels int) *Table {
+func New[V, P mem.Addr](pageSize uint64, levels int) *Table[V, P] {
 	if pageSize == 0 || pageSize&(pageSize-1) != 0 {
 		panic(fmt.Sprintf("pagetable: page size %d not a power of two", pageSize))
 	}
 	if levels <= 0 {
 		panic("pagetable: levels must be positive")
 	}
-	return &Table{pageSize: pageSize, levels: levels, entries: make(map[uint64]*Entry)}
+	return &Table[V, P]{pageSize: pageSize, levels: levels, entries: make(map[uint64]*Entry[P])}
 }
 
 // PageSize returns the table's page size.
-func (t *Table) PageSize() uint64 { return t.pageSize }
+func (t *Table[V, P]) PageSize() uint64 { return t.pageSize }
 
 // WalkLevels returns the radix depth of a hardware walk of this table.
-func (t *Table) WalkLevels() int { return t.levels }
+func (t *Table[V, P]) WalkLevels() int { return t.levels }
 
 // Epoch returns the modification epoch (increments on Map/Unmap/Protect).
-func (t *Table) Epoch() uint64 {
+func (t *Table[V, P]) Epoch() uint64 {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	return t.epoch
 }
 
 // Len returns the number of mapped pages.
-func (t *Table) Len() int {
+func (t *Table[V, P]) Len() int {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	return len(t.entries)
 }
 
-func (t *Table) vpn(va uint64) uint64 { return va / t.pageSize }
+func (t *Table[V, P]) vpn(va V) uint64 { return uint64(va) / t.pageSize }
 
 // Map installs va→pa with the given permissions. Both addresses must be
 // page-aligned. Mapping an already-mapped page returns ErrExists (callers
 // that want replace semantics unmap first — matching IOMMU driver rules).
-func (t *Table) Map(va, pa uint64, perm Perm) error {
-	if va%t.pageSize != 0 || pa%t.pageSize != 0 {
+func (t *Table[V, P]) Map(va V, pa P, perm Perm) error {
+	if !mem.Aligned(va, t.pageSize) || !mem.Aligned(pa, t.pageSize) {
 		return fmt.Errorf("%w: va=%#x pa=%#x pagesize=%#x", ErrMisaligned, va, pa, t.pageSize)
 	}
 	t.mu.Lock()
@@ -124,13 +133,13 @@ func (t *Table) Map(va, pa uint64, perm Perm) error {
 	if _, ok := t.entries[vpn]; ok {
 		return fmt.Errorf("%w: va=%#x", ErrExists, va)
 	}
-	t.entries[vpn] = &Entry{PA: pa, Perm: perm, PageSize: t.pageSize}
+	t.entries[vpn] = &Entry[P]{PA: pa, Perm: perm, PageSize: t.pageSize}
 	t.epoch++
 	return nil
 }
 
 // Unmap removes the mapping containing va.
-func (t *Table) Unmap(va uint64) error {
+func (t *Table[V, P]) Unmap(va V) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	vpn := t.vpn(va)
@@ -143,7 +152,7 @@ func (t *Table) Unmap(va uint64) error {
 }
 
 // Protect changes the permissions of the page containing va.
-func (t *Table) Protect(va uint64, perm Perm) error {
+func (t *Table[V, P]) Protect(va V, perm Perm) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	e, ok := t.entries[t.vpn(va)]
@@ -157,12 +166,12 @@ func (t *Table) Protect(va uint64, perm Perm) error {
 
 // Lookup returns the entry for the page containing va without touching
 // A/D bits (software inspection path).
-func (t *Table) Lookup(va uint64) (Entry, bool) {
+func (t *Table[V, P]) Lookup(va V) (Entry[P], bool) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	e, ok := t.entries[t.vpn(va)]
 	if !ok {
-		return Entry{}, false
+		return Entry[P]{}, false
 	}
 	return *e, true
 }
@@ -170,7 +179,7 @@ func (t *Table) Lookup(va uint64) (Entry, bool) {
 // Translate performs a hardware-style translation of va for an access with
 // the given required permissions, setting A/D bits. It returns the physical
 // address corresponding to va (page base plus offset).
-func (t *Table) Translate(va uint64, req Perm) (uint64, error) {
+func (t *Table[V, P]) Translate(va V, req Perm) (P, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	e, ok := t.entries[t.vpn(va)]
@@ -184,18 +193,19 @@ func (t *Table) Translate(va uint64, req Perm) (uint64, error) {
 	if req&PermWrite != 0 {
 		e.Dirty = true
 	}
-	return e.PA + va%t.pageSize, nil
+	return e.PA + P(mem.PageOff(va, t.pageSize)), nil
 }
 
 // PageBase returns the base virtual address of the page containing va.
-func (t *Table) PageBase(va uint64) uint64 { return va &^ (t.pageSize - 1) }
+func (t *Table[V, P]) PageBase(va V) V { return mem.PageBase(va, t.pageSize) }
 
 // ForEach calls fn for every mapping in unspecified order; fn must not
-// modify the table.
-func (t *Table) ForEach(fn func(vaBase uint64, e Entry)) {
+// modify the table. Callers that feed simulation state or output from the
+// walk must collect and sort first (see the detwall analyzer).
+func (t *Table[V, P]) ForEach(fn func(vaBase V, e Entry[P])) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	for vpn, e := range t.entries {
-		fn(vpn*t.pageSize, *e)
+		fn(V(vpn*t.pageSize), *e)
 	}
 }

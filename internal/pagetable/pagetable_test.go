@@ -4,10 +4,17 @@ import (
 	"errors"
 	"testing"
 	"testing/quick"
+
+	"optimus/internal/mem"
 )
 
+// newGVAGPA is the guest-MMU-shaped table used by most tests.
+func newGVAGPA(pageSize uint64, levels int) *Table[mem.GVA, mem.GPA] {
+	return New[mem.GVA, mem.GPA](pageSize, levels)
+}
+
 func TestMapTranslateRoundTrip(t *testing.T) {
-	pt := New(4096, 4)
+	pt := newGVAGPA(4096, 4)
 	if err := pt.Map(0x1000, 0x20000, PermRW); err != nil {
 		t.Fatal(err)
 	}
@@ -21,14 +28,14 @@ func TestMapTranslateRoundTrip(t *testing.T) {
 }
 
 func TestTranslateUnmapped(t *testing.T) {
-	pt := New(4096, 4)
+	pt := newGVAGPA(4096, 4)
 	if _, err := pt.Translate(0x1000, PermRead); !errors.Is(err, ErrNotMapped) {
 		t.Fatalf("err = %v, want ErrNotMapped", err)
 	}
 }
 
 func TestPermissionEnforcement(t *testing.T) {
-	pt := New(4096, 4)
+	pt := newGVAGPA(4096, 4)
 	pt.Map(0x1000, 0x2000, PermRead)
 	if _, err := pt.Translate(0x1000, PermWrite); !errors.Is(err, ErrPermission) {
 		t.Fatalf("write to read-only page: err = %v", err)
@@ -45,7 +52,7 @@ func TestPermissionEnforcement(t *testing.T) {
 }
 
 func TestDoubleMapRejected(t *testing.T) {
-	pt := New(4096, 4)
+	pt := newGVAGPA(4096, 4)
 	pt.Map(0x1000, 0x2000, PermRW)
 	if err := pt.Map(0x1000, 0x9000, PermRW); !errors.Is(err, ErrExists) {
 		t.Fatalf("err = %v, want ErrExists", err)
@@ -53,7 +60,7 @@ func TestDoubleMapRejected(t *testing.T) {
 }
 
 func TestMisalignedMapRejected(t *testing.T) {
-	pt := New(4096, 4)
+	pt := newGVAGPA(4096, 4)
 	if err := pt.Map(0x1001, 0x2000, PermRW); !errors.Is(err, ErrMisaligned) {
 		t.Fatalf("err = %v, want ErrMisaligned", err)
 	}
@@ -63,7 +70,7 @@ func TestMisalignedMapRejected(t *testing.T) {
 }
 
 func TestUnmap(t *testing.T) {
-	pt := New(4096, 4)
+	pt := newGVAGPA(4096, 4)
 	pt.Map(0x1000, 0x2000, PermRW)
 	if err := pt.Unmap(0x1000); err != nil {
 		t.Fatal(err)
@@ -77,7 +84,7 @@ func TestUnmap(t *testing.T) {
 }
 
 func TestAccessedDirtyBits(t *testing.T) {
-	pt := New(4096, 4)
+	pt := newGVAGPA(4096, 4)
 	pt.Map(0x1000, 0x2000, PermRW)
 	e, _ := pt.Lookup(0x1000)
 	if e.Accessed || e.Dirty {
@@ -96,7 +103,7 @@ func TestAccessedDirtyBits(t *testing.T) {
 }
 
 func TestEpochAdvances(t *testing.T) {
-	pt := New(4096, 4)
+	pt := newGVAGPA(4096, 4)
 	e0 := pt.Epoch()
 	pt.Map(0x1000, 0x2000, PermRW)
 	if pt.Epoch() == e0 {
@@ -110,7 +117,7 @@ func TestEpochAdvances(t *testing.T) {
 }
 
 func TestHugePageTranslation(t *testing.T) {
-	pt := New(2<<20, 3)
+	pt := newGVAGPA(2<<20, 3)
 	pt.Map(0, 0x40000000, PermRW)
 	pa, err := pt.Translate(0x12345, PermRead)
 	if err != nil {
@@ -128,11 +135,11 @@ func TestHugePageTranslation(t *testing.T) {
 // pa_of_page + offset for all offsets.
 func TestTranslateProperty(t *testing.T) {
 	f := func(pages []uint16, offset uint16) bool {
-		pt := New(4096, 4)
-		mapped := make(map[uint64]uint64)
+		pt := newGVAGPA(4096, 4)
+		mapped := make(map[mem.GVA]mem.GPA)
 		for i, p := range pages {
-			va := uint64(p) * 4096
-			pa := uint64(i+1) * 0x100000
+			va := mem.GVA(p) * 4096
+			pa := mem.GPA(i+1) * 0x100000
 			if _, ok := mapped[va]; ok {
 				continue
 			}
@@ -143,8 +150,8 @@ func TestTranslateProperty(t *testing.T) {
 		}
 		off := uint64(offset) % 4096
 		for va, pa := range mapped {
-			got, err := pt.Translate(va+off, PermRead)
-			if err != nil || got != pa+off {
+			got, err := pt.Translate(va+mem.GVA(off), PermRead)
+			if err != nil || got != pa+mem.GPA(off) {
 				return false
 			}
 		}
@@ -156,16 +163,16 @@ func TestTranslateProperty(t *testing.T) {
 }
 
 func TestForEachAndLen(t *testing.T) {
-	pt := New(4096, 4)
-	want := map[uint64]uint64{0x1000: 0xa000, 0x3000: 0xb000, 0x7000: 0xc000}
+	pt := newGVAGPA(4096, 4)
+	want := map[mem.GVA]mem.GPA{0x1000: 0xa000, 0x3000: 0xb000, 0x7000: 0xc000}
 	for va, pa := range want {
 		pt.Map(va, pa, PermRead)
 	}
 	if pt.Len() != 3 {
 		t.Fatalf("Len = %d", pt.Len())
 	}
-	got := make(map[uint64]uint64)
-	pt.ForEach(func(va uint64, e Entry) { got[va] = e.PA })
+	got := make(map[mem.GVA]mem.GPA)
+	pt.ForEach(func(va mem.GVA, e Entry[mem.GPA]) { got[va] = e.PA })
 	for va, pa := range want {
 		if got[va] != pa {
 			t.Fatalf("ForEach missing %#x→%#x", va, pa)
@@ -186,19 +193,19 @@ func TestPermString(t *testing.T) {
 }
 
 func TestPageBase(t *testing.T) {
-	pt := New(2<<20, 3)
+	pt := newGVAGPA(2<<20, 3)
 	if pt.PageBase(0x212345) != 0x200000 {
 		t.Fatalf("PageBase = %#x", pt.PageBase(0x212345))
 	}
 }
 
 func BenchmarkTranslate(b *testing.B) {
-	pt := New(4096, 4)
+	pt := newGVAGPA(4096, 4)
 	for i := uint64(0); i < 1024; i++ {
-		pt.Map(i*4096, 0x100000+i*4096, PermRW)
+		pt.Map(mem.GVA(i*4096), mem.GPA(0x100000+i*4096), PermRW)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		pt.Translate(uint64(i%1024)*4096, PermRead)
+		pt.Translate(mem.GVA(i%1024)*4096, PermRead)
 	}
 }

@@ -94,6 +94,8 @@ func eventLess(a, b event) bool {
 }
 
 // heapPush inserts e, sifting up through the 4-ary heap.
+//
+//optimus:hotpath
 func (k *Kernel) heapPush(e event) {
 	k.heap = append(k.heap, e)
 	i := len(k.heap) - 1
@@ -109,6 +111,8 @@ func (k *Kernel) heapPush(e event) {
 }
 
 // heapPop removes and returns the minimum event.
+//
+//optimus:hotpath
 func (k *Kernel) heapPop() event {
 	h := k.heap
 	top := h[0]
@@ -177,6 +181,8 @@ func (k *Kernel) flush() {
 // unnecessary for them. Heap events at time t were necessarily scheduled
 // while now < t — before any fast-lane event at t existed — so draining the
 // heap's t-events before the lane preserves global (time, insertion) order.
+//
+//optimus:hotpath
 func (k *Kernel) At(t Time, fn func()) {
 	if t <= k.now {
 		if t < k.now {
@@ -192,6 +198,8 @@ func (k *Kernel) At(t Time, fn func()) {
 // After schedules fn to run d after the current time. A non-positive delay
 // schedules for "immediately after the current event" (same timestamp,
 // later sequence number).
+//
+//optimus:hotpath
 func (k *Kernel) After(d Time, fn func()) {
 	if d <= 0 {
 		k.fifo = append(k.fifo, event{at: k.now, fn: fn})
@@ -201,6 +209,8 @@ func (k *Kernel) After(d Time, fn func()) {
 }
 
 // step executes the single next event without flushing the global counter.
+//
+//optimus:hotpath
 func (k *Kernel) step() bool {
 	var e event
 	if k.fifoHead < len(k.fifo) {
@@ -258,6 +268,8 @@ func (k *Kernel) RunWhile(cond func() bool) {
 // nextAt returns the timestamp of the next pending event, if any. While the
 // same-timestamp lane is non-empty the next event is at the current time by
 // construction (heap events are never earlier than now).
+//
+//optimus:hotpath
 func (k *Kernel) nextAt() (Time, bool) {
 	if k.fifoHead < len(k.fifo) {
 		return k.now, true

@@ -27,11 +27,20 @@ import (
 	"optimus/internal/exp"
 	"optimus/internal/guest"
 	"optimus/internal/hv"
+	"optimus/internal/mem"
 	"optimus/internal/sim"
 )
 
 // Core types.
 type (
+	// GVA is a guest-virtual address (what accelerators issue).
+	GVA = mem.GVA
+	// GPA is a guest-physical address (resolved by the extended page table).
+	GPA = mem.GPA
+	// IOVA is an IO-virtual address (a slice of the single IO page table).
+	IOVA = mem.IOVA
+	// HPA is a host-physical address.
+	HPA = mem.HPA
 	// Config assembles a simulated platform (see hv.Config).
 	Config = hv.Config
 	// Hypervisor owns the machine and its virtualization state.

@@ -42,8 +42,8 @@ func TestFacadeQuickstart(t *testing.T) {
 	if err := dev.Write(src, 0, msg); err != nil {
 		t.Fatal(err)
 	}
-	dev.RegWrite(accel.XFArgSrc, src.Addr)
-	dev.RegWrite(accel.XFArgDst, dst.Addr)
+	dev.RegWrite(accel.XFArgSrc, uint64(src.Addr))
+	dev.RegWrite(accel.XFArgDst, uint64(dst.Addr))
 	dev.RegWrite(accel.XFArgLen, 4096)
 	if err := dev.Run(); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,16 @@
+#!/bin/sh
+# Repository lint entry point: the OPTIMUS-specific analyzers always run
+# (stdlib-only, works offline); staticcheck runs only when installed, so
+# offline checkouts are not blocked (CI installs the pinned version).
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== optimuslint =="
+go run ./cmd/optimuslint ./...
+
+if command -v staticcheck >/dev/null 2>&1; then
+    echo "== staticcheck ($(staticcheck -version 2>/dev/null || echo unknown)) =="
+    staticcheck ./...
+else
+    echo "== staticcheck not installed; skipping (CI pins 2024.1.1) =="
+fi
