@@ -36,13 +36,18 @@ func benchTable(b *testing.B, run func() ([]*exp.Table, error)) []*exp.Table {
 	return tables
 }
 
-// cell parses a numeric table cell like "90.1" or "3.75x".
-func cell(t *exp.Table, row, col int) float64 {
+// cell parses a numeric table cell like "90.1" or "3.75x". A malformed cell
+// fails the benchmark — a silently-zero metric would mask a broken table.
+func cell(tb testing.TB, t *exp.Table, row, col int) float64 {
+	tb.Helper()
 	s := t.Rows[row][col]
 	if n := len(s); n > 0 && (s[n-1] == 'x' || s[n-1] == '%') {
 		s = s[:n-1]
 	}
-	v, _ := strconv.ParseFloat(s, 64)
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		tb.Fatalf("table cell [%d][%d] = %q is not numeric: %v", row, col, t.Rows[row][col], err)
+	}
 	return v
 }
 
@@ -56,7 +61,7 @@ func BenchmarkFig1SSSP(b *testing.B) {
 	// Headline: host-centric+Config / shared-memory at the largest size.
 	t := ts[0]
 	last := len(t.Rows) - 1
-	b.ReportMetric(cell(t, last, 2)/cell(t, last, 1), "hcConfig/sharedMem")
+	b.ReportMetric(cell(b, t, last, 2)/cell(b, t, last, 1), "hcConfig/sharedMem")
 }
 
 // BenchmarkTable2Resources regenerates Table 2: per-component FPGA
@@ -66,7 +71,7 @@ func BenchmarkTable2Resources(b *testing.B) {
 		t, err := exp.Table2()
 		return []*exp.Table{t}, err
 	})
-	b.ReportMetric(cell(ts[0], 1, 1), "monitorALMpct")
+	b.ReportMetric(cell(b, ts[0], 1, 1), "monitorALMpct")
 }
 
 // BenchmarkFig4Latency regenerates Figure 4a: LinkedList latency overhead
@@ -76,8 +81,8 @@ func BenchmarkFig4Latency(b *testing.B) {
 		t, err := exp.Fig4a(exp.ScaleQuick)
 		return []*exp.Table{t}, err
 	})
-	b.ReportMetric(cell(ts[0], 0, 3), "UPIpct")
-	b.ReportMetric(cell(ts[0], 1, 3), "PCIepct")
+	b.ReportMetric(cell(b, ts[0], 0, 3), "UPIpct")
+	b.ReportMetric(cell(b, ts[0], 1, 3), "PCIepct")
 }
 
 // BenchmarkFig4Throughput regenerates Figure 4b: per-benchmark throughput
@@ -87,7 +92,7 @@ func BenchmarkFig4Throughput(b *testing.B) {
 		t, err := exp.Fig4b(exp.ScaleQuick)
 		return []*exp.Table{t}, err
 	})
-	b.ReportMetric(cell(ts[0], 0, 3), "membenchPct")
+	b.ReportMetric(cell(b, ts[0], 0, 3), "membenchPct")
 }
 
 // BenchmarkFig5LLLatency regenerates Figure 5: LinkedList latency vs
@@ -145,9 +150,9 @@ func BenchmarkFig7Scalability(b *testing.B) {
 	for i, row := range t.Rows {
 		switch row[0] {
 		case "GAU":
-			b.ReportMetric(cell(t, i, 4), "GAUx8")
+			b.ReportMetric(cell(b, t, i, 4), "GAUx8")
 		case "MD5":
-			b.ReportMetric(cell(t, i, 4), "MD5x8")
+			b.ReportMetric(cell(b, t, i, 4), "MD5x8")
 		}
 	}
 }
@@ -159,7 +164,7 @@ func BenchmarkFig8Temporal(b *testing.B) {
 		t, err := exp.Fig8(exp.ScaleQuick)
 		return []*exp.Table{t}, err
 	})
-	b.ReportMetric(cell(ts[0], 0, 5), "LL16jobs")
+	b.ReportMetric(cell(b, ts[0], 0, 5), "LL16jobs")
 }
 
 // BenchmarkTable3Fairness regenerates Table 3: homogeneous spatial

@@ -1,0 +1,113 @@
+// Command perfdiff compares two optimus-bench -json artifacts and fails
+// (exit 1) when the newer one shows a performance regression: more than the
+// allowed percentage increase in ns/event for any experiment present in
+// both, or in total wall time. It is the gate scripts/perfdiff.sh runs in CI
+// after regenerating the current artifact.
+//
+// Usage:
+//
+//	perfdiff [-max-regress 15] OLD.json NEW.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type expRecord struct {
+	Exp          string  `json:"exp"`
+	WallMS       float64 `json:"wall_ms"`
+	Events       uint64  `json:"events_executed"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+type benchArtifact struct {
+	Scale      string      `json:"scale"`
+	Par        int         `json:"par"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	TotalMS    float64     `json:"total_wall_ms"`
+	Records    []expRecord `json:"experiments"`
+}
+
+func load(path string) (*benchArtifact, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var a benchArtifact
+	if err := json.Unmarshal(buf, &a); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &a, nil
+}
+
+// nsPerEvent is the comparison metric: host nanoseconds of wall time per
+// simulated event. Lower is better; it is robust to experiments simulating
+// different amounts of virtual time across commits.
+func nsPerEvent(r expRecord) float64 {
+	if r.Events == 0 {
+		return 0
+	}
+	return r.WallMS * 1e6 / float64(r.Events)
+}
+
+func main() {
+	maxRegress := flag.Float64("max-regress", 15, "allowed ns/event increase per experiment (percent)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: perfdiff [-max-regress pct] OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldArt, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfdiff:", err)
+		os.Exit(2)
+	}
+	newArt, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfdiff:", err)
+		os.Exit(2)
+	}
+	if oldArt.Scale != newArt.Scale || oldArt.Par != newArt.Par {
+		fmt.Fprintf(os.Stderr, "perfdiff: artifacts not comparable: scale/par %s/%d vs %s/%d\n",
+			oldArt.Scale, oldArt.Par, newArt.Scale, newArt.Par)
+		os.Exit(2)
+	}
+
+	prev := make(map[string]expRecord, len(oldArt.Records))
+	for _, r := range oldArt.Records {
+		prev[r.Exp] = r
+	}
+	failed := false
+	compared := 0
+	for _, r := range newArt.Records {
+		p, ok := prev[r.Exp]
+		if !ok {
+			fmt.Printf("  %-12s new experiment, no baseline\n", r.Exp)
+			continue
+		}
+		compared++
+		oldNS, newNS := nsPerEvent(p), nsPerEvent(r)
+		if oldNS == 0 || newNS == 0 {
+			continue
+		}
+		delta := (newNS - oldNS) / oldNS * 100
+		status := "ok"
+		if delta > *maxRegress {
+			status = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("  %-12s %8.1f -> %8.1f ns/event  %+6.1f%%  %s\n", r.Exp, oldNS, newNS, delta, status)
+	}
+	if compared == 0 {
+		fmt.Println("perfdiff: no common experiments to compare")
+		os.Exit(2)
+	}
+	if failed {
+		fmt.Printf("perfdiff: FAIL (> %.0f%% ns/event regression)\n", *maxRegress)
+		os.Exit(1)
+	}
+	fmt.Println("perfdiff: PASS")
+}

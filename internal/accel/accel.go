@@ -117,6 +117,90 @@ type Accel struct {
 
 	// savedInPlace holds preemption state when no DMA buffer was provided.
 	savedInPlace []byte
+
+	// opFree pools the per-DMA completion records (see dmaOp), making the
+	// framework's issue/complete cycle allocation-free in steady state.
+	opFree []*dmaOp
+}
+
+// dmaOp is the pooled per-request record of the framework's DMA/compute
+// completion path. It carries by value what the old wrapper closures in
+// Read/Write/Compute captured per request, implements ccip.Completer for the
+// DMA kinds, and recycles itself before invoking the logic callback so a
+// synchronous re-issue reuses it immediately.
+type dmaOp struct {
+	a    *Accel
+	fire func() // compute-completion event, built once per record
+
+	epoch uint64
+	n     uint64                       // write payload bytes
+	rdone func(data []byte, err error) // read completion (exactly one of
+	wdone func(err error)              // rdone/wdone/cfn is set)
+	cfn   func()                       // compute completion
+}
+
+//optimus:hotpath
+func (a *Accel) getOp() *dmaOp {
+	if n := len(a.opFree); n > 0 {
+		op := a.opFree[n-1]
+		a.opFree[n-1] = nil
+		a.opFree = a.opFree[:n-1]
+		return op
+	}
+	op := &dmaOp{a: a}
+	op.fire = op.computeDone
+	return op
+}
+
+//optimus:hotpath
+func (a *Accel) putOp(op *dmaOp) {
+	op.rdone = nil
+	op.wdone = nil
+	op.cfn = nil
+	a.opFree = append(a.opFree, op)
+}
+
+// Complete implements ccip.Completer for Read and Write: epoch fencing,
+// latency/byte accounting, the logic callback, then the preemption/pump hook.
+//
+//optimus:hotpath
+func (op *dmaOp) Complete(r ccip.Response) {
+	a := op.a
+	epoch, n := op.epoch, op.n
+	rdone, wdone := op.rdone, op.wdone
+	a.putOp(op)
+	if epoch != a.epoch {
+		return // reset happened while in flight
+	}
+	a.outstanding--
+	a.latency.Observe(r.Latency)
+	if rdone != nil {
+		if r.Err == nil {
+			a.bytesRead += uint64(len(r.Data))
+		}
+		rdone(r.Data, r.Err)
+	} else {
+		if r.Err == nil {
+			a.bytesWritten += n
+		}
+		wdone(r.Err)
+	}
+	a.afterCompletion()
+}
+
+// computeDone is the datapath-completion event scheduled by Compute.
+//
+//optimus:hotpath
+func (op *dmaOp) computeDone() {
+	a := op.a
+	epoch, cfn := op.epoch, op.cfn
+	a.putOp(op)
+	if epoch != a.epoch {
+		return
+	}
+	a.outstanding--
+	cfn()
+	a.afterCompletion()
 }
 
 // paddedLogic inflates a logic's preemption state footprint — used to
@@ -266,44 +350,45 @@ func (a *Accel) afterCompletion() {
 }
 
 // Read issues a DMA read of lines cache lines at GVA addr.
+//
+//optimus:hotpath
 func (a *Accel) Read(addr uint64, lines int, done func(data []byte, err error)) {
+	a.readInto(addr, lines, nil, done)
+}
+
+// ReadInto is Read with a caller-owned destination buffer (≥ lines*64 bytes):
+// the response data aliases dst instead of a fresh allocation. The caller
+// must not reuse dst until done fires.
+//
+//optimus:hotpath
+func (a *Accel) ReadInto(addr uint64, lines int, dst []byte, done func(data []byte, err error)) {
+	a.readInto(addr, lines, dst, done)
+}
+
+//optimus:hotpath
+func (a *Accel) readInto(addr uint64, lines int, dst []byte, done func(data []byte, err error)) {
 	a.outstanding++
-	epoch := a.epoch
+	op := a.getOp()
+	op.epoch = a.epoch
+	op.rdone = done
 	a.port.Issue(ccip.Request{
-		Kind: ccip.RdLine, Addr: addr, Lines: lines, VC: a.vc(), Issued: a.k.Now(),
-		Done: func(r ccip.Response) {
-			if !a.complete(epoch) {
-				return
-			}
-			a.latency.Observe(r.Latency)
-			if r.Err == nil {
-				a.bytesRead += uint64(len(r.Data))
-			}
-			done(r.Data, r.Err)
-			a.afterCompletion()
-		},
+		Kind: ccip.RdLine, Addr: addr, Lines: lines, Dst: dst,
+		VC: a.vc(), Issued: a.k.Now(), Comp: op,
 	})
 }
 
 // Write issues a DMA write at GVA addr; len(data) must be a multiple of 64.
+//
+//optimus:hotpath
 func (a *Accel) Write(addr uint64, data []byte, done func(err error)) {
 	a.outstanding++
-	epoch := a.epoch
-	n := uint64(len(data))
+	op := a.getOp()
+	op.epoch = a.epoch
+	op.n = uint64(len(data))
+	op.wdone = done
 	a.port.Issue(ccip.Request{
 		Kind: ccip.WrLine, Addr: addr, Lines: len(data) / ccip.LineSize, Data: data,
-		VC: a.vc(), Issued: a.k.Now(),
-		Done: func(r ccip.Response) {
-			if !a.complete(epoch) {
-				return
-			}
-			a.latency.Observe(r.Latency)
-			if r.Err == nil {
-				a.bytesWritten += n
-			}
-			done(r.Err)
-			a.afterCompletion()
-		},
+		VC: a.vc(), Issued: a.k.Now(), Comp: op,
 	})
 }
 
@@ -312,22 +397,20 @@ func (a *Accel) Write(addr uint64, data []byte, done func(err error)) {
 // its compute throughput is 1/cycles regardless of how many chunks are
 // buffered. Pending computation counts as outstanding work for preemption
 // draining.
+//
+//optimus:hotpath
 func (a *Accel) Compute(cycles int64, fn func()) {
 	a.outstanding++
-	epoch := a.epoch
+	op := a.getOp()
+	op.epoch = a.epoch
+	op.cfn = fn
 	start := a.k.Now()
 	if a.computeFree > start {
 		start = a.computeFree
 	}
 	end := start + a.clock.Cycles(cycles)
 	a.computeFree = end
-	a.k.At(end, func() {
-		if !a.complete(epoch) {
-			return
-		}
-		fn()
-		a.afterCompletion()
-	})
+	a.k.At(end, op.fire)
 }
 
 // channel preference: accelerators use automatic selection unless a test or

@@ -73,6 +73,16 @@ type Tag struct {
 	Txn     uint64
 }
 
+// Completer receives a request's response without a per-request closure.
+// Implementations are long-lived records (typically pooled): the pointer
+// travels with the request through the auditor, the multiplexer tree, and
+// the shell, and Complete is invoked exactly once when the response is
+// delivered. This is the allocation-free alternative to Done — the record
+// carries by value the state a Done closure would have captured.
+type Completer interface {
+	Complete(Response)
+}
+
 // Request is a DMA request packet. Addr is a virtual address: a guest
 // virtual address when leaving the accelerator, rewritten to an IO virtual
 // address by its auditor (page table slicing), and translated to a host
@@ -82,12 +92,20 @@ type Request struct {
 	Addr  uint64
 	Lines int    // burst length in cache lines (>= 1)
 	Data  []byte // write payload (Lines*LineSize bytes); nil for reads
-	VC    Channel
-	Tag   Tag
+	// Dst, if non-nil on a read, receives the read payload in place of a
+	// freshly allocated buffer (it must hold Lines*LineSize bytes). The
+	// response's Data aliases it, so the issuer must not reuse the buffer
+	// until the completion fires. Zero-copy opt-in for pooled issuers.
+	Dst []byte
+	VC  Channel
+	Tag Tag
 	// Issued is stamped by the issuing engine for latency accounting.
 	Issued sim.Time
-	// Done receives the response. It must be non-nil.
+	// Done receives the response. Exactly one completion target — Done or
+	// Comp — must be set.
 	Done func(Response)
+	// Comp receives the response when Done is nil (the pooled path).
+	Comp Completer
 }
 
 // Response is a DMA response packet.
@@ -123,8 +141,11 @@ func (r Request) Validate() error {
 	if r.Kind == WrLine && len(r.Data) != int(r.Bytes()) {
 		return fmt.Errorf("ccip: write with %d data bytes, want %d", len(r.Data), r.Bytes())
 	}
-	if r.Done == nil {
-		return fmt.Errorf("ccip: request without Done callback")
+	if r.Kind == RdLine && r.Dst != nil && len(r.Dst) < int(r.Bytes()) {
+		return fmt.Errorf("ccip: read destination holds %d bytes, want %d", len(r.Dst), r.Bytes())
+	}
+	if r.Done == nil && r.Comp == nil {
+		return fmt.Errorf("ccip: request without completion target")
 	}
 	return nil
 }

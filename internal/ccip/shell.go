@@ -139,6 +139,161 @@ type Shell struct {
 	links [3]*link // indexed by Channel-1
 	rng   *sim.Rand
 	stats ShellStats
+
+	// opFree is the completion-record freelist: records cycle from Issue to
+	// their scheduled completion event and back, so the steady-state packet
+	// path performs no heap allocation (hotalloc enforces this statically,
+	// BenchmarkPacketPath dynamically).
+	opFree []*shellOp
+}
+
+// hpaSeg is one physically-contiguous run of a request's cache lines:
+// lines [firstLine, nextSeg.firstLine) live at base + (i-firstLine)*64.
+// Contiguous bursts touch at most two pages, so two inline segments cover
+// every ordinary request; scattered multi-page DMAs (preemption state)
+// spill into a retained slice.
+type hpaSeg struct {
+	firstLine int
+	base      mem.HPA
+}
+
+// shellOp is the pooled per-request completion record: the state the old
+// completion closure captured, carried by value, plus a fire closure built
+// once per record (it captures only the record pointer) and reused across
+// recycles.
+type shellOp struct {
+	s    *Shell
+	fire func()
+
+	kind   Kind
+	addr   uint64
+	tag    Tag
+	vc     Channel
+	lines  int
+	issued sim.Time
+	data   []byte // write payload, borrowed from the request until completion
+	dst    []byte // caller-provided read destination (zero-copy opt-in)
+	done   func(Response)
+	comp   Completer
+	err    error // translation fault: deliver an error response, skip memory
+
+	segs     [2]hpaSeg
+	nsegs    int
+	segSpill []hpaSeg
+}
+
+func (s *Shell) getOp() *shellOp {
+	if n := len(s.opFree); n > 0 {
+		op := s.opFree[n-1]
+		s.opFree[n-1] = nil
+		s.opFree = s.opFree[:n-1]
+		return op
+	}
+	op := &shellOp{s: s}
+	op.fire = op.run
+	return op
+}
+
+func (s *Shell) putOp(op *shellOp) {
+	op.data, op.dst = nil, nil
+	op.done, op.comp = nil, nil
+	op.err = nil
+	op.nsegs = 0
+	op.segSpill = op.segSpill[:0]
+	s.opFree = append(s.opFree, op)
+}
+
+// addSeg records that the physically-contiguous run starting at line i is
+// based at hpa.
+func (op *shellOp) addSeg(i int, hpa mem.HPA) {
+	if op.nsegs < len(op.segs) {
+		op.segs[op.nsegs] = hpaSeg{firstLine: i, base: hpa}
+	} else {
+		op.segSpill = append(op.segSpill, hpaSeg{firstLine: i, base: hpa})
+	}
+	op.nsegs++
+}
+
+// seg returns segment i, transparently crossing from the inline array into
+// the spill slice.
+func (op *shellOp) seg(i int) hpaSeg {
+	if i < len(op.segs) {
+		return op.segs[i]
+	}
+	return op.segSpill[i-len(op.segs)]
+}
+
+// run is the completion event: perform the functional memory access,
+// assemble the response, recycle the record, and deliver. The record is
+// returned to the pool before delivery so a completion target that issues
+// a new request synchronously reuses it immediately.
+//
+//optimus:hotpath
+func (op *shellOp) run() {
+	s := op.s
+	resp := Response{Kind: op.kind, Addr: op.addr, Tag: op.tag, VC: op.vc,
+		Err: op.err, Latency: s.K.Now() - op.issued}
+	if op.err == nil {
+		switch op.kind {
+		case RdLine:
+			buf := op.readInto(op.dst)
+			resp.Data = buf
+			s.stats.Reads++
+			s.stats.BytesRead += uint64(op.lines) * LineSize
+		case WrLine:
+			op.writeLines()
+			s.stats.Writes++
+			s.stats.BytesWritten += uint64(op.lines) * LineSize
+		}
+	}
+	done, comp := op.done, op.comp
+	s.putOp(op)
+	if comp != nil {
+		comp.Complete(resp)
+	} else {
+		done(resp)
+	}
+}
+
+// readInto performs the functional line reads into dst (allocating a fresh
+// buffer when the issuer did not opt into zero-copy) and returns the filled
+// payload.
+func (op *shellOp) readInto(dst []byte) []byte {
+	n := op.lines * LineSize
+	if dst == nil {
+		dst = make([]byte, n)
+	} else {
+		dst = dst[:n]
+	}
+	for si := 0; si < op.nsegs; si++ {
+		seg := op.seg(si)
+		end := op.lines
+		if si+1 < op.nsegs {
+			end = op.seg(si + 1).firstLine
+		}
+		for i := seg.firstLine; i < end; i++ {
+			hpa := seg.base + mem.HPA(i-seg.firstLine)*LineSize
+			op.s.Mem.Read(hpa, dst[i*LineSize:(i+1)*LineSize])
+		}
+	}
+	return dst
+}
+
+// writeLines performs the functional line writes of the request payload.
+//
+//optimus:hotpath
+func (op *shellOp) writeLines() {
+	for si := 0; si < op.nsegs; si++ {
+		seg := op.seg(si)
+		end := op.lines
+		if si+1 < op.nsegs {
+			end = op.seg(si + 1).firstLine
+		}
+		for i := seg.firstLine; i < end; i++ {
+			hpa := seg.base + mem.HPA(i-seg.firstLine)*LineSize
+			op.s.Mem.Write(hpa, op.data[i*LineSize:(i+1)*LineSize])
+		}
+	}
 }
 
 // NewShell builds a shell over the given kernel and memory. The IO page
@@ -186,7 +341,12 @@ func (s *Shell) Stats() ShellStats {
 // selectChannel implements the throughput-optimized automatic selector: it
 // weights links by bandwidth and prefers the one with the shortest backlog,
 // breaking near-ties pseudo-randomly. Latency is not considered — which is
-// exactly why latency-sensitive workloads pin the channel.
+// exactly why latency-sensitive workloads pin the channel. The jitter draw
+// comes from the shell's own xorshift generator (sim.Rand, seeded from
+// Config.Seed at construction): one inlined xoshiro256** step per link, no
+// global RNG, no locking, no allocation.
+//
+//optimus:hotpath
 func (s *Shell) selectChannel(kind Kind, want Channel) Channel {
 	if want != VCAuto {
 		return want
@@ -215,6 +375,14 @@ func (s *Shell) selectChannel(kind Kind, want Channel) Channel {
 // Issue accepts a request at the shell boundary. Addr must already be an IO
 // virtual address (the hardware monitor's auditors rewrite GVAs before the
 // shell sees them; in pass-through mode GVA == IOVA).
+//
+// The lifecycle runs off a pooled completion record: translation results
+// are stored as contiguous-HPA segments on the record (no per-request hpas
+// slice), the single completion event is the record's pre-built fire
+// closure, and the fault path reuses the same record with err set — nothing
+// on this path captures variables or allocates in steady state.
+//
+//optimus:hotpath
 func (s *Shell) Issue(req Request) {
 	if err := req.Validate(); err != nil {
 		panic(err)
@@ -223,6 +391,12 @@ func (s *Shell) Issue(req Request) {
 	vc := s.selectChannel(req.Kind, req.VC)
 	l := s.links[vc-1]
 
+	op := s.getOp()
+	op.kind, op.addr, op.tag, op.vc = req.Kind, req.Addr, req.Tag, vc
+	op.lines, op.issued = req.Lines, req.Issued
+	op.data, op.dst = req.Data, req.Dst
+	op.done, op.comp = req.Done, req.Comp
+
 	// Translate each line; contiguous bursts touch at most two pages.
 	var xlat sim.Time
 	walkLines := 0
@@ -230,17 +404,14 @@ func (s *Shell) Issue(req Request) {
 	if req.Kind == WrLine {
 		perm = pagetable.PermWrite
 	}
-	hpas := make([]mem.HPA, req.Lines)
+	prev := mem.HPA(0)
 	for i := 0; i < req.Lines; i++ {
 		iova := mem.IOVA(req.Addr) + mem.IOVA(i)*LineSize
 		hpa, d, _, err := s.IOMMU.Translate(iova, perm)
 		if err != nil {
 			s.stats.Faults++
-			issued := req.Issued
-			s.K.After(d, func() {
-				req.Done(Response{Kind: req.Kind, Addr: req.Addr, Tag: req.Tag, Err: err, VC: vc,
-					Latency: s.K.Now() - issued})
-			})
+			op.err = err
+			s.K.After(d, op.fire)
 			return
 		}
 		if d > 0 {
@@ -251,33 +422,13 @@ func (s *Shell) Issue(req Request) {
 				walkLines += s.IOMMU.Table().WalkLevels()
 			}
 		}
-		hpas[i] = hpa
+		if i == 0 || hpa != prev+LineSize {
+			op.addSeg(i, hpa)
+		}
+		prev = hpa
 	}
 
 	// Occupy the link, then access memory functionally at completion.
 	completion := l.serve(now+xlat, req.Kind, req.Lines, walkLines)
-	kind, tag, addr, lines := req.Kind, req.Tag, req.Addr, req.Lines
-	data := req.Data
-	done := req.Done
-	issued := req.Issued
-	s.K.At(completion, func() {
-		resp := Response{Kind: kind, Addr: addr, Tag: tag, VC: vc, Latency: s.K.Now() - issued}
-		switch kind {
-		case RdLine:
-			buf := make([]byte, lines*LineSize)
-			for i := 0; i < lines; i++ {
-				s.Mem.Read(hpas[i], buf[i*LineSize:(i+1)*LineSize])
-			}
-			resp.Data = buf
-			s.stats.Reads++
-			s.stats.BytesRead += uint64(lines) * LineSize
-		case WrLine:
-			for i := 0; i < lines; i++ {
-				s.Mem.Write(hpas[i], data[i*LineSize:(i+1)*LineSize])
-			}
-			s.stats.Writes++
-			s.stats.BytesWritten += uint64(lines) * LineSize
-		}
-		done(resp)
-	})
+	s.K.At(completion, op.fire)
 }

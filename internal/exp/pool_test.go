@@ -119,9 +119,12 @@ func TestRSCodeConcurrentEncode(t *testing.T) {
 }
 
 // TestParallelDeterminism is the regression gate for the sweep pool: a
-// quick-scale fig5 + fig6 run must render byte-identical tables whether
-// points execute sequentially or on 8 workers. Every point owns a private
-// kernel and platform, so parallelism must not be observable in results.
+// quick-scale fig4a + fig5 + fig6 run must render byte-identical tables
+// whether points execute sequentially or on 8 workers. Every point owns a
+// private kernel and platform, so parallelism must not be observable in
+// results. Fig4a covers the full multiplexer-tree request path (auditor
+// rewrite, arbitration, credits, pooled completion records) so pooling
+// regressions that perturb event order show up here.
 func TestParallelDeterminism(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
@@ -129,6 +132,11 @@ func TestParallelDeterminism(t *testing.T) {
 	render := func(par int) string {
 		var buf bytes.Buffer
 		withParallelism(t, par, func() {
+			tab4, err := Fig4a(ScaleQuick)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tab4.Render(&buf)
 			tab5, err := Fig5(mem.PageSize4K, ccip.VCUPI, ScaleQuick)
 			if err != nil {
 				t.Fatal(err)

@@ -47,6 +47,109 @@ func newAuditor(m *Monitor, id int) *Auditor {
 	return &Auditor{m: m, id: id}
 }
 
+// inflight is the pooled per-request record of the audited DMA path: the
+// rewrite metadata, response routing state, and completion target that the
+// old closure chain captured per request, carried by value on a recycled
+// record. Records live on the monitor's freelist and cycle through
+// issue → paced injection → shell completion → downstream delivery; the
+// three fire closures are built once per record (capturing only the record
+// pointer) and reused forever, so the steady-state path allocates nothing.
+type inflight struct {
+	m           *Monitor
+	fireInject  func() // paced injection into the multiplexer tree
+	fireDeliver func() // downstream (response-side) delivery
+	fireFault   func() // range-violation error delivery
+
+	a           *Auditor
+	gen         uint64 // auditor generation at issue (reset fence)
+	gva         uint64 // original guest-virtual address, restored on delivery
+	issued      sim.Time
+	dataBytes   uint64
+	respLines   int // response size on the downstream wire
+	creditLines int // root-tree credits held (0 when pass-through)
+	done        func(ccip.Response)
+	comp        ccip.Completer
+
+	req  ccip.Request  // staged between issue and paced injection
+	resp ccip.Response // staged between shell completion and delivery
+}
+
+// inject is the paced-injection event: hand the rewritten request to the
+// accelerator's tree leaf.
+//
+//optimus:hotpath
+func (fl *inflight) inject() {
+	req := fl.req
+	fl.req = ccip.Request{} // the tree's queue copy owns the references now
+	fl.m.entries[fl.a.id](req)
+}
+
+// Complete implements ccip.Completer: the shell's completion event lands
+// here. Credits held at the tree root are released first (waking the root
+// arbiter exactly where the old closure chain did), then the response is
+// staged for the downstream tree crossing.
+//
+//optimus:hotpath
+func (fl *inflight) Complete(resp ccip.Response) {
+	m := fl.m
+	if fl.creditLines > 0 {
+		lines := fl.creditLines
+		fl.creditLines = 0
+		m.credits.release(lines)
+	}
+	fl.resp = resp
+	m.k.At(m.downstreamAt(fl.respLines), fl.fireDeliver)
+}
+
+// deliver is the downstream delivery event: lazy routing (tag check),
+// reset fencing, byte accounting, and the GVA/latency rewrite, then the
+// record recycles before the completion target runs so a synchronous
+// re-issue reuses it immediately.
+//
+//optimus:hotpath
+func (fl *inflight) deliver() {
+	m := fl.m
+	a := fl.a
+	resp := fl.resp
+	// Lazy routing: the auditor only forwards packets whose tag names its
+	// accelerator and whose generation predates no reset.
+	if resp.Tag.AccelID != a.id || fl.gen != a.generation {
+		a.respDropped++
+		m.stats.DMADropped++
+		m.putInflight(fl)
+		return
+	}
+	if resp.Err == nil {
+		switch resp.Kind {
+		case ccip.RdLine:
+			a.bytesRead += uint64(len(resp.Data))
+		case ccip.WrLine:
+			a.bytesWritten += fl.dataBytes
+		}
+	}
+	resp.Addr = fl.gva
+	resp.Latency = m.k.Now() - fl.issued
+	done, comp := fl.done, fl.comp
+	m.putInflight(fl)
+	if comp != nil {
+		comp.Complete(resp)
+	} else {
+		done(resp)
+	}
+}
+
+// fault delivers a range-violation response staged by rangeFault.
+func (fl *inflight) fault() {
+	resp := fl.resp
+	done, comp := fl.done, fl.comp
+	fl.m.putInflight(fl)
+	if comp != nil {
+		comp.Complete(resp)
+	} else {
+		done(resp)
+	}
+}
+
 // ID returns the physical accelerator slot this auditor guards.
 func (a *Auditor) ID() int { return a.id }
 
@@ -85,7 +188,9 @@ func (a *Auditor) Translate(gva mem.GVA, bytes uint64) (iova mem.IOVA, ok bool) 
 
 // Issue implements ccip.Port for the accelerator: requests carry guest
 // virtual addresses and are rewritten, tagged, paced, and injected into the
-// multiplexer tree.
+// multiplexer tree. All per-request state lives on a pooled inflight record.
+//
+//optimus:hotpath
 func (a *Auditor) Issue(req ccip.Request) {
 	if err := req.Validate(); err != nil {
 		panic(err)
@@ -95,54 +200,28 @@ func (a *Auditor) Issue(req ccip.Request) {
 
 	iova, ok := a.Translate(mem.GVA(req.Addr), req.Bytes())
 	if !ok {
-		m.stats.RangeViolations++
-		done := req.Done
-		kind, addr, tag := req.Kind, req.Addr, req.Tag
-		gvaBase, size := a.gvaBase, a.windowSize
-		m.k.After(0, func() {
-			done(ccip.Response{Kind: kind, Addr: addr, Tag: tag,
-				Err: fmt.Errorf("%w: gva=%#x window=[%#x,+%#x)", ErrRangeViolation, addr, gvaBase, size)})
-		})
+		a.rangeFault(req)
 		return
 	}
 
-	gen := a.generation
-	tag := ccip.Tag{AccelID: a.id, Txn: a.txn}
-	a.txn++
-
-	inner := req
-	inner.Addr = uint64(iova)
-	inner.Tag = tag
-	origDone := req.Done
-	gva := req.Addr
-	issued := req.Issued
-	dataBytes := req.Bytes()
-	respLines := req.Lines
+	fl := m.getInflight()
+	fl.a = a
+	fl.gen = a.generation
+	fl.gva = req.Addr
+	fl.issued = req.Issued
+	fl.dataBytes = req.Bytes()
+	fl.respLines = req.Lines
 	if req.Kind == ccip.WrLine {
-		respLines = 1 // write acknowledgements carry no data
+		fl.respLines = 1 // write acknowledgements carry no data
 	}
-	inner.Done = func(resp ccip.Response) {
-		m.deliverDownstream(respLines, func() {
-			// Lazy routing: the auditor only forwards packets whose tag
-			// names its accelerator and whose generation predates no reset.
-			if resp.Tag.AccelID != a.id || gen != a.generation {
-				a.respDropped++
-				m.stats.DMADropped++
-				return
-			}
-			if resp.Err == nil {
-				switch resp.Kind {
-				case ccip.RdLine:
-					a.bytesRead += uint64(len(resp.Data))
-				case ccip.WrLine:
-					a.bytesWritten += dataBytes
-				}
-			}
-			resp.Addr = gva
-			resp.Latency = m.k.Now() - issued
-			origDone(resp)
-		})
-	}
+	fl.done, fl.comp = req.Done, req.Comp
+
+	fl.req = req
+	fl.req.Addr = uint64(iova)
+	fl.req.Tag = ccip.Tag{AccelID: a.id, Txn: a.txn}
+	a.txn++
+	fl.req.Done = nil
+	fl.req.Comp = fl
 
 	// Injection pacing at the tree boundary.
 	start := m.k.Now()
@@ -151,8 +230,21 @@ func (a *Auditor) Issue(req ccip.Request) {
 	}
 	service := m.clock.Cycles(int64(req.Lines * m.cfg.InjectionCycles))
 	a.nextInjectFree = start + service
-	entry := m.entries[a.id]
-	m.k.At(start+service, func() { entry(inner) })
+	m.k.At(start+service, fl.fireInject)
+}
+
+// rangeFault completes a window-violating request with ErrRangeViolation.
+// The hardware silently discards the packet, so this is an error path, not
+// a hot path — the formatted error may allocate.
+func (a *Auditor) rangeFault(req ccip.Request) {
+	m := a.m
+	m.stats.RangeViolations++
+	fl := m.getInflight()
+	fl.a = a
+	fl.done, fl.comp = req.Done, req.Comp
+	fl.resp = ccip.Response{Kind: req.Kind, Addr: req.Addr, Tag: req.Tag,
+		Err: fmt.Errorf("%w: gva=%#x window=[%#x,+%#x)", ErrRangeViolation, req.Addr, a.gvaBase, a.windowSize)}
+	m.k.After(0, fl.fireFault)
 }
 
 // InjectForeignResponse delivers a spoofed response to this auditor's

@@ -111,7 +111,43 @@ type Monitor struct {
 
 	credits creditPool
 
+	// flFree is the freelist of pooled inflight records (the per-request
+	// state arena). Records are recycled as responses deliver, so the
+	// audited DMA path allocates only while the pool is still growing.
+	flFree []*inflight
+
 	stats Stats
+}
+
+// getInflight pops a pooled record (or grows the pool). Each record's fire
+// closures are built exactly once, capturing only the record pointer.
+//
+//optimus:hotpath
+func (m *Monitor) getInflight() *inflight {
+	if n := len(m.flFree); n > 0 {
+		fl := m.flFree[n-1]
+		m.flFree[n-1] = nil
+		m.flFree = m.flFree[:n-1]
+		return fl
+	}
+	fl := &inflight{m: m}
+	fl.fireInject = fl.inject
+	fl.fireDeliver = fl.deliver
+	fl.fireFault = fl.fault
+	return fl
+}
+
+// putInflight recycles a record, dropping every reference it carried.
+//
+//optimus:hotpath
+func (m *Monitor) putInflight(fl *inflight) {
+	fl.a = nil
+	fl.done = nil
+	fl.comp = nil
+	fl.creditLines = 0
+	fl.req = ccip.Request{}
+	fl.resp = ccip.Response{}
+	m.flFree = append(m.flFree, fl)
 }
 
 // New builds a monitor in front of shell.
@@ -198,11 +234,20 @@ func (m *Monitor) resetAccel(i int) {
 // the paper's "~100 ns on the path through the multiplexer tree" for three
 // levels.
 func (m *Monitor) deliverDownstream(lines int, fn func()) {
+	m.k.At(m.downstreamAt(lines), fn)
+}
+
+// downstreamAt reserves the downstream server for lines and returns the
+// delivery time. Split from deliverDownstream so the pooled response path can
+// schedule its prebuilt closure without wrapping.
+//
+//optimus:hotpath
+func (m *Monitor) downstreamAt(lines int) sim.Time {
 	start := m.k.Now()
 	if m.downstreamFree > start {
 		start = m.downstreamFree
 	}
 	busy := m.clock.Cycles(int64(lines))
 	m.downstreamFree = start + busy
-	m.k.At(start+busy, fn)
+	return start + busy
 }

@@ -7,10 +7,15 @@ import "optimus/internal/ccip"
 // one cache line per tree cycle; a traversal additionally costs the node's
 // pipeline latency (~33 ns per level, §6.3). The tree does not inspect
 // addresses — routing decisions are made lazily by the auditors (§4.1).
+//
+// A node holds at most one request in its serializer and any number in its
+// pipeline-latency stage; both are tracked in reused per-node storage and
+// driven by event closures built once at construction, so arbitration and
+// forwarding allocate nothing in steady state.
 type muxNode struct {
 	m      *Monitor
 	out    func(ccip.Request)
-	queues [][]ccip.Request
+	queues []childQ
 	busy   bool
 	rr     int
 	// root nodes additionally observe the shell's credit-based flow
@@ -18,23 +23,57 @@ type muxNode struct {
 	// per-node round-robin arbiters — not the link FIFOs — divide the
 	// bandwidth among accelerators.
 	root bool
+
+	inService ccip.Request   // request occupying the serializer
+	pipe      []ccip.Request // requests in the level-latency pipeline, FIFO
+	pipeHead  int
+	served    func() // serializer-drained event, built once
+	emit      func() // pipeline-emission event, built once
+	kickFn    func() // credit-waiter callback, built once
+}
+
+// childQ is a head-indexed FIFO of one child's pending requests. Popping
+// advances head instead of re-slicing the front, and the storage rewinds to
+// index zero whenever the queue drains, so the backing array is reused
+// forever instead of crawling forward and forcing append to reallocate.
+type childQ struct {
+	q    []ccip.Request
+	head int
+}
+
+func (c *childQ) empty() bool { return c.head == len(c.q) }
+
+//optimus:hotpath
+func (c *childQ) pop() ccip.Request {
+	req := c.q[c.head]
+	c.q[c.head] = ccip.Request{} // drop payload refs in the vacated slot
+	c.head++
+	if c.head == len(c.q) {
+		c.q = c.q[:0]
+		c.head = 0
+	}
+	return req
 }
 
 func newMuxNode(m *Monitor, children int, out func(ccip.Request)) *muxNode {
-	return &muxNode{m: m, out: out, queues: make([][]ccip.Request, children)}
+	n := &muxNode{m: m, out: out, queues: make([]childQ, children)}
+	n.served = n.onServed
+	n.emit = n.onEmit
+	n.kickFn = n.kick
+	return n
 }
 
 // accept enqueues one request from a child port. Queue slots are reused
 // across requests (amortized growth), so steady-state acceptance is
-// allocation-free; the completion closures are built once per request in
-// kick/Issue, which are deliberately outside the hotpath contract.
+// allocation-free.
 //
 //optimus:hotpath
 func (n *muxNode) accept(child int, req ccip.Request) {
-	n.queues[child] = append(n.queues[child], req)
+	n.queues[child].q = append(n.queues[child].q, req)
 	n.kick()
 }
 
+//optimus:hotpath
 func (n *muxNode) kick() {
 	if n.busy {
 		return
@@ -42,7 +81,7 @@ func (n *muxNode) kick() {
 	pick := -1
 	for i := 0; i < len(n.queues); i++ {
 		c := (n.rr + i) % len(n.queues)
-		if len(n.queues[c]) > 0 {
+		if !n.queues[c].empty() {
 			pick = c
 			break
 		}
@@ -50,29 +89,64 @@ func (n *muxNode) kick() {
 	if pick < 0 {
 		return
 	}
-	req := n.queues[pick][0]
+	cq := &n.queues[pick]
+	// Peek before popping: a credit stall must leave the request queued.
+	req := cq.q[cq.head]
 	if n.root {
 		if !n.m.credits.tryAcquire(req.Lines) {
-			n.m.credits.waiter = n.kick
+			n.m.credits.waiter = n.kickFn
 			return
 		}
-		lines := req.Lines
-		orig := req.Done
-		req.Done = func(r ccip.Response) {
-			n.m.credits.release(lines)
-			orig(r)
-		}
+		n.attachCreditRelease(&req)
 	}
-	n.queues[pick] = n.queues[pick][1:]
+	cq.pop()
 	n.rr = (pick + 1) % len(n.queues)
 	n.busy = true
-	service := n.m.clock.Cycles(int64(req.Lines))
-	latency := n.m.cfg.LevelLatency
-	n.m.k.After(service, func() {
-		n.busy = false
-		n.m.k.After(latency, func() { n.out(req) })
-		n.kick()
-	})
+	n.inService = req
+	n.m.k.After(n.m.clock.Cycles(int64(req.Lines)), n.served)
+}
+
+// attachCreditRelease arranges for the request's root credits to be given
+// back when its response returns. The audited path carries a pooled
+// inflight record, which releases in Complete; anything else (not reachable
+// from the auditors today) falls back to a wrapping closure.
+func (n *muxNode) attachCreditRelease(req *ccip.Request) {
+	if fl, ok := req.Comp.(*inflight); ok {
+		fl.creditLines = req.Lines
+		return
+	}
+	lines := req.Lines
+	orig := req.Done
+	req.Done = func(r ccip.Response) {
+		n.m.credits.release(lines)
+		orig(r)
+	}
+}
+
+// onServed fires when the serializer drains: free it, move the request into
+// the pipeline-latency stage, and arbitrate the next one. Emission times
+// strictly increase per node (service is ≥ one cycle), so the pipeline is
+// FIFO and one shared emit closure drains it in order.
+//
+//optimus:hotpath
+func (n *muxNode) onServed() {
+	n.busy = false
+	n.pipe = append(n.pipe, n.inService)
+	n.inService = ccip.Request{}
+	n.m.k.After(n.m.cfg.LevelLatency, n.emit)
+	n.kick()
+}
+
+//optimus:hotpath
+func (n *muxNode) onEmit() {
+	req := n.pipe[n.pipeHead]
+	n.pipe[n.pipeHead] = ccip.Request{}
+	n.pipeHead++
+	if n.pipeHead == len(n.pipe) {
+		n.pipe = n.pipe[:0]
+		n.pipeHead = 0
+	}
+	n.out(req)
 }
 
 // buildTree wires the upstream multiplexer tree for n accelerators and

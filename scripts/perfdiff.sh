@@ -1,0 +1,37 @@
+#!/bin/sh
+# Performance-regression gate: regenerate the current bench artifact and
+# compare it against the newest committed BENCH_<n>.json. Fails (exit 1) on
+# a >15% ns/event regression in any experiment. With no committed artifact
+# there is nothing to compare, which is a pass (the first artifact seeds the
+# trajectory).
+#
+# Usage: scripts/perfdiff.sh [current.json]
+#   current.json  an already-generated artifact; when omitted the script
+#                 runs `go run ./cmd/optimus-bench -exp all -json` itself.
+set -eu
+cd "$(dirname "$0")/.."
+
+current="${1:-}"
+if [ -z "$current" ]; then
+    current=$(mktemp /tmp/optimus-bench-XXXXXX.json)
+    trap 'rm -f "$current"' EXIT
+    echo "== generating current artifact =="
+    go run ./cmd/optimus-bench -exp all -json "$current" >/dev/null
+fi
+
+# Newest committed artifact by PR number.
+baseline=$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -1 || true)
+if [ -z "$baseline" ]; then
+    echo "perfdiff: no committed BENCH_<n>.json baseline; nothing to compare (pass)"
+    exit 0
+fi
+if [ "$baseline" = "$current" ]; then
+    baseline=$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -2 | head -1 || true)
+    if [ -z "$baseline" ] || [ "$baseline" = "$current" ]; then
+        echo "perfdiff: $current is the only committed artifact; nothing to compare (pass)"
+        exit 0
+    fi
+fi
+
+echo "== perfdiff: $baseline -> $current =="
+go run ./cmd/perfdiff "$baseline" "$current"
