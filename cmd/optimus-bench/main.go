@@ -18,6 +18,8 @@ import (
 	"time"
 
 	"optimus/internal/exp"
+	"optimus/internal/hv"
+	"optimus/internal/obs"
 	"optimus/internal/sim"
 )
 
@@ -45,6 +47,9 @@ func main() {
 	par := flag.Int("par", runtime.GOMAXPROCS(0),
 		"sweep points to run concurrently (1 = sequential)")
 	jsonPath := flag.String("json", "", "write a machine-readable perf artifact (wall time, events/sec per experiment) to this path")
+	traceOut := flag.String("trace", "", "write every sweep platform's trace as one Chrome trace-event JSON file (open in ui.perfetto.dev)")
+	traceCap := flag.Int("trace-cap", 8192, "per-platform trace ring capacity in records (with -trace)")
+	metrics := flag.Bool("metrics", false, "dump every sweep platform's metrics snapshot after the run")
 	flag.Parse()
 
 	scale := exp.ScaleQuick
@@ -68,6 +73,20 @@ func main() {
 		ids = exp.IDs()
 	}
 	exp.SetParallelism(*par)
+
+	// Experiments assemble their platforms deep inside figure code, so
+	// observability is collected through hv's auto-observe hook: each platform
+	// gets a private tracer (bounded ring — sweeps build many platforms) and
+	// metrics registry, gathered into one collector.
+	var coll *obs.Collector
+	if *traceOut != "" || *metrics {
+		coll = obs.NewCollector()
+		ringCap := *traceCap
+		if *traceOut == "" {
+			ringCap = -1 // metrics only: skip the rings
+		}
+		hv.ObserveAll(coll, ringCap)
+	}
 	art := benchArtifact{Scale: scaleName, Par: exp.Parallelism(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
 	suiteStart := time.Now()
 	for _, id := range ids {
@@ -102,5 +121,30 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote perf artifact to %s\n", *jsonPath)
+	}
+
+	if *metrics {
+		if err := coll.WriteMetrics(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "optimus-bench: metrics: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "optimus-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := coll.WriteChromeTrace(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "optimus-bench: writing %s: %v\n", *traceOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote trace of %d platforms to %s (open in ui.perfetto.dev)\n",
+			len(coll.Platforms()), *traceOut)
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"optimus/internal/guest"
 	"optimus/internal/hv"
 	"optimus/internal/mem"
+	"optimus/internal/obs"
 	"optimus/internal/sim"
 )
 
@@ -66,15 +67,17 @@ func main() {
 	sliceFlag := flag.String("slice", "10ms", "temporal multiplexing time slice")
 	policy := flag.String("policy", "rr", "temporal scheduler: rr, wrr, prio")
 	passthrough := flag.Bool("passthrough", false, "pass-through baseline instead of OPTIMUS")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file (open in ui.perfetto.dev)")
+	metrics := flag.Bool("metrics", false, "dump the unified metrics snapshot after the run")
 	flag.Parse()
 
-	if err := run(*app, *jobs, *temporal, *ws, *durFlag, *pages, *sliceFlag, *policy, *passthrough); err != nil {
+	if err := run(*app, *jobs, *temporal, *ws, *durFlag, *pages, *sliceFlag, *policy, *passthrough, *traceOut, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "optimus-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(app string, jobs int, temporal bool, wsFlag, durFlag, pages, sliceFlag, policy string, passthrough bool) error {
+func run(app string, jobs int, temporal bool, wsFlag, durFlag, pages, sliceFlag, policy string, passthrough bool, traceOut string, metrics bool) error {
 	wsBytes, err := parseBytes(wsFlag)
 	if err != nil {
 		return err
@@ -109,6 +112,14 @@ func run(app string, jobs int, temporal bool, wsFlag, durFlag, pages, sliceFlag,
 		if jobs > 1 {
 			return fmt.Errorf("pass-through supports a single job")
 		}
+	}
+	if traceOut != "" {
+		cfg.Trace = obs.NewTracer(0)
+	}
+	var reg *obs.Registry
+	if metrics {
+		reg = obs.NewRegistry()
+		cfg.Metrics = reg
 	}
 	h, err := hv.New(cfg)
 	if err != nil {
@@ -204,6 +215,28 @@ func run(app string, jobs int, temporal bool, wsFlag, durFlag, pages, sliceFlag,
 	hs := h.Stats()
 	fmt.Printf("hypervisor: traps=%d hypercalls=%d switches=%d forcedResets=%d pinned=%d\n",
 		hs.MMIOTraps, hs.Hypercalls, hs.ContextSwitches, hs.ForcedResets, hs.PagesPinned)
+	if reg != nil {
+		fmt.Println("metrics:")
+		if err := reg.WriteText(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		tr := h.Trace()
+		if err := tr.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace: %d events (%d dropped by ring wrap) -> %s (open in ui.perfetto.dev)\n",
+			tr.Len(), tr.Dropped(), traceOut)
+	}
 	return nil
 }
 

@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"optimus/internal/ccip"
+	"optimus/internal/obs"
 	"optimus/internal/sim"
 )
 
@@ -114,6 +115,8 @@ type Accel struct {
 	lastErr    error
 	statusHook func(uint64)
 	forcedVC   ccip.Channel
+	tr         *obs.Tracer // nil = tracing disabled
+	slot       int         // physical slot for trace actor identity
 
 	// savedInPlace holds preemption state when no DMA buffer was provided.
 	savedInPlace []byte
@@ -298,8 +301,18 @@ func (a *Accel) SetArg(i int, v uint64) { a.args[i] = v }
 // hypervisor uses it to wake schedulers instead of polling).
 func (a *Accel) OnStatusChange(fn func(uint64)) { a.statusHook = fn }
 
+// SetTracer attaches tr to the framework's status-transition path, reporting
+// events as physical slot `slot` (nil disables tracing).
+func (a *Accel) SetTracer(tr *obs.Tracer, slot int) {
+	a.tr = tr
+	a.slot = slot
+}
+
 func (a *Accel) setStatus(s uint64) {
 	a.status = s
+	if a.tr != nil && a.k != nil {
+		a.tr.Emit(a.k.Now(), obs.KindAccelStatus, obs.PA(a.slot), s, 0)
+	}
 	if a.statusHook != nil {
 		a.statusHook(s)
 	}

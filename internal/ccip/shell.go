@@ -3,6 +3,7 @@ package ccip
 import (
 	"optimus/internal/iommu"
 	"optimus/internal/mem"
+	"optimus/internal/obs"
 	"optimus/internal/pagetable"
 	"optimus/internal/sim"
 )
@@ -139,6 +140,7 @@ type Shell struct {
 	links [3]*link // indexed by Channel-1
 	rng   *sim.Rand
 	stats ShellStats
+	tr    *obs.Tracer // nil = tracing disabled
 
 	// opFree is the completion-record freelist: records cycle from Issue to
 	// their scheduled completion event and back, so the steady-state packet
@@ -326,6 +328,20 @@ func NewShell(k *sim.Kernel, m *mem.PhysMem, cfg Config) *Shell {
 // Config returns the shell configuration.
 func (s *Shell) Config() Config { return s.cfg }
 
+// SetTracer attaches tr to the shell's IOTLB classification path (nil
+// disables tracing).
+func (s *Shell) SetTracer(tr *obs.Tracer) { s.tr = tr }
+
+// ResetStats zeroes the shell counters, including the per-channel byte
+// counts, mirroring iommu.ResetStats so the metrics registry can scope a
+// snapshot to an experiment phase.
+func (s *Shell) ResetStats() {
+	s.stats = ShellStats{}
+	for _, l := range s.links {
+		l.bytesRd, l.bytesWr = 0, 0
+	}
+}
+
 // Stats returns a copy of the shell counters.
 func (s *Shell) Stats() ShellStats {
 	st := s.stats
@@ -405,14 +421,27 @@ func (s *Shell) Issue(req Request) {
 		perm = pagetable.PermWrite
 	}
 	prev := mem.HPA(0)
+	tr := s.tr // hoisted: one load, not one per translated line
 	for i := 0; i < req.Lines; i++ {
 		iova := mem.IOVA(req.Addr) + mem.IOVA(i)*LineSize
-		hpa, d, _, err := s.IOMMU.Translate(iova, perm)
+		hpa, d, spec, err := s.IOMMU.Translate(iova, perm)
 		if err != nil {
 			s.stats.Faults++
+			tr.Emit(now, obs.KindIOTLBFault, obs.Shell(), uint64(iova), 0)
 			op.err = err
 			s.K.After(d, op.fire)
 			return
+		}
+		if tr != nil {
+			// One classification record per line: the same hit/spec-hit/miss
+			// taxonomy the IOMMU counts, with the walk delay as payload.
+			k := obs.KindIOTLBHit
+			if spec {
+				k = obs.KindIOTLBSpecHit
+			} else if d > 0 {
+				k = obs.KindIOTLBMiss
+			}
+			tr.Emit(now, k, obs.Shell(), uint64(iova), uint64(d))
 		}
 		if d > 0 {
 			xlat += d

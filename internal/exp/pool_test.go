@@ -8,7 +8,9 @@ import (
 	"testing"
 
 	"optimus/internal/ccip"
+	"optimus/internal/hv"
 	"optimus/internal/mem"
+	"optimus/internal/obs"
 )
 
 // withParallelism runs body with the pool bound set to n, restoring the
@@ -157,6 +159,21 @@ func TestParallelDeterminism(t *testing.T) {
 	}
 	if len(seq) == 0 {
 		t.Fatal("empty render")
+	}
+
+	// Tracing must be invisible to results: arm auto-observation so every
+	// platform built by the sweep gets a private tracer ring and metrics
+	// registry, then re-render in parallel. A small ring forces wraparound,
+	// exercising the overwrite path mid-experiment.
+	coll := obs.NewCollector()
+	hv.ObserveAll(coll, 256)
+	defer hv.ObserveAll(nil, 0)
+	traced := render(8)
+	if traced != seq {
+		t.Fatalf("tables differ with tracing enabled:\n--- off ---\n%s\n--- on ---\n%s", seq, traced)
+	}
+	if len(coll.Platforms()) == 0 {
+		t.Fatal("auto-observe collected no platforms")
 	}
 }
 

@@ -11,12 +11,14 @@ package hv
 
 import (
 	"fmt"
+	"strings"
 
 	"optimus/internal/accel"
 	"optimus/internal/ccip"
 	"optimus/internal/fpga"
 	"optimus/internal/hwmon"
 	"optimus/internal/mem"
+	"optimus/internal/obs"
 	"optimus/internal/sim"
 )
 
@@ -75,6 +77,13 @@ type Config struct {
 	Monitor hwmon.Config
 	// Seed drives all platform randomness.
 	Seed uint64
+	// Trace, when non-nil, is attached to every instrumented component
+	// (shell, monitor, accelerators, schedulers). Tracing only copies
+	// scalars into the ring, so it never perturbs simulated behaviour.
+	Trace *obs.Tracer
+	// Metrics, when non-nil, receives the platform's counter, gauge, and
+	// histogram registrations (see RegisterMetrics).
+	Metrics *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -135,6 +144,7 @@ type Hypervisor struct {
 	slicePool []int
 	nextSlice int
 
+	tr    *obs.Tracer // nil = tracing disabled
 	stats Stats
 }
 
@@ -147,11 +157,40 @@ type Stats struct {
 	PagesPinned     uint64
 }
 
+// autoObserve, when armed via ObserveAll, makes every subsequently
+// assembled platform create a private tracer and metrics registry and
+// register them with a collector. It lets sweep drivers (cmd/optimus-bench)
+// observe platforms that are built deep inside experiment code without
+// threading handles through every figure function. Access is not locked:
+// arming happens once, before any sweep goroutine starts, and each platform
+// still owns a private tracer (obs.Collector.Add does its own locking).
+var autoObserve struct {
+	c        *obs.Collector
+	traceCap int
+}
+
+// ObserveAll directs every platform assembled after this call to attach a
+// fresh tracer (ring capacity traceCap; 0 selects obs.DefaultCapacity,
+// negative disables tracing) and metrics registry, both registered with c.
+// Pass a nil collector to stop. Config.Trace/Config.Metrics, when set, take
+// precedence over the collector's automatic handles.
+func ObserveAll(c *obs.Collector, traceCap int) {
+	autoObserve.c = c
+	autoObserve.traceCap = traceCap
+}
+
 // New assembles a platform per cfg.
 func New(cfg Config) (*Hypervisor, error) {
 	cfg = cfg.withDefaults()
 	if len(cfg.Accels) == 0 || len(cfg.Accels) > 8 {
 		return nil, fmt.Errorf("hv: %d accelerators (want 1–8)", len(cfg.Accels))
+	}
+	if c := autoObserve.c; c != nil && cfg.Trace == nil && cfg.Metrics == nil {
+		if autoObserve.traceCap >= 0 {
+			cfg.Trace = obs.NewTracer(autoObserve.traceCap)
+		}
+		cfg.Metrics = obs.NewRegistry()
+		c.Add(strings.Join(cfg.Accels, "+"), cfg.Trace, cfg.Metrics)
 	}
 	k := sim.NewKernel()
 	pm := mem.NewPhysMem(cfg.MemBytes)
@@ -169,7 +208,9 @@ func New(cfg Config) (*Hypervisor, error) {
 		Mem:    pm,
 		Shell:  shell,
 		frames: mem.NewFrameAllocator(0, cfg.MemBytes),
+		tr:     cfg.Trace,
 	}
+	shell.SetTracer(h.tr)
 
 	var ports []ccip.Port
 	if cfg.Mode == ModeOptimus {
@@ -183,6 +224,7 @@ func New(cfg Config) (*Hypervisor, error) {
 			return nil, err
 		}
 		h.Monitor = mon
+		mon.SetTracer(h.tr)
 		for i := range cfg.Accels {
 			ports = append(ports, mon.AccelPort(i))
 		}
@@ -198,6 +240,7 @@ func New(cfg Config) (*Hypervisor, error) {
 			return nil, err
 		}
 		a.Attach(k, ports[i])
+		a.SetTracer(h.tr, i)
 		if h.Monitor != nil {
 			if err := h.Monitor.RegisterAccel(i, a, a.Reset); err != nil {
 				return nil, err
@@ -208,8 +251,14 @@ func New(cfg Config) (*Hypervisor, error) {
 		a.OnStatusChange(pa.sched.onStatus)
 		h.Phys = append(h.Phys, pa)
 	}
+	if cfg.Metrics != nil {
+		h.RegisterMetrics(cfg.Metrics)
+	}
 	return h, nil
 }
+
+// Trace returns the platform's tracer (nil when tracing is off).
+func (h *Hypervisor) Trace() *obs.Tracer { return h.tr }
 
 // Config returns the (defaulted) configuration.
 func (h *Hypervisor) Config() Config { return h.cfg }
@@ -238,6 +287,7 @@ func (h *Hypervisor) ReplaceAccel(i int, a *accel.Accel) error {
 	} else {
 		a.Attach(h.K, h.Shell)
 	}
+	a.SetTracer(h.tr, i)
 	a.OnStatusChange(pa.sched.onStatus)
 	pa.Accel = a
 	pa.Name = a.Name()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"optimus/internal/accel"
+	"optimus/internal/obs"
 	"optimus/internal/sim"
 )
 
@@ -53,6 +54,16 @@ type scheduler struct {
 
 func newScheduler(h *Hypervisor, pa *PhysAccel) *scheduler {
 	return &scheduler{hv: h, pa: pa}
+}
+
+// emit traces a scheduler event on this slot's lane (no-op when tracing is
+// off). A is always the vaccel's slice id — the stable identity a trace
+// viewer can follow across slots and VMs.
+func (s *scheduler) emit(k obs.Kind, va *VAccel, b uint64) {
+	if s.hv.tr == nil {
+		return
+	}
+	s.hv.tr.Emit(s.hv.K.Now(), k, obs.Sched(s.pa.Slot), uint64(va.slice), b)
 }
 
 func (s *scheduler) attach(va *VAccel) { s.vaccels = append(s.vaccels, va) }
@@ -147,6 +158,7 @@ func (s *scheduler) beginPreempt() {
 	s.switching = true
 	s.preemptions++
 	va := s.current
+	s.emit(obs.KindPreemptBegin, va, 0)
 	epoch := s.epoch
 	s.hv.K.After(2*MMIODirectCost, func() {
 		if epoch != s.epoch {
@@ -188,6 +200,7 @@ func (s *scheduler) preemptTimeout(epoch uint64) {
 		return // the vaccel was detached mid-handshake
 	}
 	s.hv.stats.ForcedResets++
+	s.emit(obs.KindForcedReset, va, 0)
 	s.migrateHook = nil
 	va.failure = fmt.Errorf("hv: accelerator %s failed to cede control; forcibly reset", s.pa.Name)
 	va.jobActive = false
@@ -211,6 +224,7 @@ func (s *scheduler) finishPreempt() {
 	va := s.current
 	va.hasSavedState = true
 	va.pendingStart = false
+	s.emit(obs.KindPreemptSaved, va, 0)
 	s.descheduleCurrent(true)
 	s.hv.stats.ContextSwitches++
 	s.switches++
@@ -229,6 +243,7 @@ func (s *scheduler) finishPreempt() {
 // hardware and resets the physical accelerator for isolation (§4.1).
 func (s *scheduler) descheduleCurrent(snapshot bool) {
 	va := s.current
+	s.emit(obs.KindSliceEnd, va, uint64(va.proc.vm.ID))
 	if snapshot {
 		for i := 0; i < accel.NumArgRegs; i++ {
 			va.args[i] = s.pa.Accel.Arg(i)
@@ -351,6 +366,10 @@ func (s *scheduler) program(va *VAccel) {
 	va.scheduled = true
 	s.scheduledAt = s.hv.K.Now()
 	s.epoch++
+	s.emit(obs.KindSliceBegin, va, uint64(va.proc.vm.ID))
+	if va.hasSavedState {
+		s.emit(obs.KindPreemptRestore, va, 0)
+	}
 	if s.hv.Monitor != nil {
 		s.hv.Monitor.SetWindow(s.pa.Slot, va.dmaBase, s.hv.SliceIOVABase(va.slice), s.hv.cfg.SliceSize)
 	}
@@ -407,6 +426,7 @@ func (h *Hypervisor) Migrate(va *VAccel, toSlot int) error {
 	}
 	s.switching = true
 	s.preemptions++
+	s.emit(obs.KindPreemptBegin, va, 0)
 	epoch := s.epoch
 	s.migrateHook = move
 	h.K.After(2*MMIODirectCost, func() {

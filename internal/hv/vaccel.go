@@ -7,6 +7,7 @@ import (
 	"optimus/internal/accel"
 	"optimus/internal/hwmon"
 	"optimus/internal/mem"
+	"optimus/internal/obs"
 	"optimus/internal/pagetable"
 	"optimus/internal/sim"
 )
@@ -153,9 +154,16 @@ func (va *VAccel) iovaFor(gva mem.GVA) mem.IOVA {
 	return va.hv.SliceIOVABase(va.slice) + mem.IOVA(gva-va.dmaBase)
 }
 
+// trap accounts one trapped-and-emulated guest MMIO access and traces it on
+// the guest VM's lane.
+func (va *VAccel) trap(off, val uint64) {
+	va.hv.stats.MMIOTraps++
+	va.hv.tr.Emit(va.hv.K.Now(), obs.KindMMIOTrap, obs.VM(va.proc.vm.ID), off, val)
+}
+
 // BAR2Write handles hypervisor-page MMIO (always trapped).
 func (va *VAccel) BAR2Write(reg uint64, val uint64) error {
-	va.hv.stats.MMIOTraps++
+	va.trap(reg, val)
 	switch reg {
 	case BAR2RegDMABase:
 		va.dmaBase = mem.GVA(val)
@@ -172,7 +180,7 @@ func (va *VAccel) BAR2Write(reg uint64, val uint64) error {
 
 // BAR2Read handles hypervisor-page MMIO reads.
 func (va *VAccel) BAR2Read(reg uint64) (uint64, error) {
-	va.hv.stats.MMIOTraps++
+	va.trap(reg, 0)
 	switch reg {
 	case BAR2RegSlice:
 		return uint64(va.hv.SliceIOVABase(va.slice)), nil
@@ -188,7 +196,7 @@ func (va *VAccel) BAR2Read(reg uint64) (uint64, error) {
 // hypervisor checks permissions, resolves and pins the host frame, and
 // installs IOVA→HPA in the IO page table.
 func (va *VAccel) MapPage(gva mem.GVA, gpa mem.GPA) error {
-	va.hv.stats.MMIOTraps++
+	va.trap(BAR2RegMapGPA, uint64(gpa))
 	return va.mapPage(gva, gpa)
 }
 
@@ -235,7 +243,7 @@ func (va *VAccel) mapPage(gva mem.GVA, gpa mem.GPA) error {
 
 // BAR0Read is a trapped guest read of the accelerator MMIO page.
 func (va *VAccel) BAR0Read(off uint64) (uint64, error) {
-	va.hv.stats.MMIOTraps++
+	va.trap(off, 0)
 	switch {
 	case off == accel.RegStatus:
 		return va.virtualStatus(), nil
@@ -267,7 +275,7 @@ func (va *VAccel) BAR0Read(off uint64) (uint64, error) {
 // Control registers are emulated (§4.2); application registers are
 // forwarded when scheduled and cached otherwise.
 func (va *VAccel) BAR0Write(off uint64, val uint64) error {
-	va.hv.stats.MMIOTraps++
+	va.trap(off, val)
 	switch {
 	case off == accel.RegCtrl:
 		if val != accel.CmdStart {
@@ -333,7 +341,7 @@ func (va *VAccel) guestStart() error {
 // software register cache clears, and — if the vaccel currently holds the
 // physical accelerator — the hardware is reset and the slot freed.
 func (va *VAccel) GuestReset() {
-	va.hv.stats.MMIOTraps++
+	va.trap(accel.RegCtrl, 0)
 	va.jobActive = false
 	va.pendingStart = false
 	va.hasSavedState = false

@@ -6,6 +6,7 @@ import (
 
 	"optimus/internal/ccip"
 	"optimus/internal/mem"
+	"optimus/internal/obs"
 	"optimus/internal/sim"
 )
 
@@ -129,6 +130,13 @@ func (fl *inflight) deliver() {
 	}
 	resp.Addr = fl.gva
 	resp.Latency = m.k.Now() - fl.issued
+	if m.tr != nil {
+		bytes := uint64(len(resp.Data))
+		if resp.Kind == ccip.WrLine {
+			bytes = fl.dataBytes
+		}
+		m.tr.Emit(m.k.Now(), obs.KindDMAComplete, obs.PA(a.id), uint64(resp.Latency), bytes)
+	}
 	done, comp := fl.done, fl.comp
 	m.putInflight(fl)
 	if comp != nil {
@@ -197,6 +205,13 @@ func (a *Auditor) Issue(req ccip.Request) {
 	}
 	m := a.m
 	m.stats.DMARequests++
+	if m.tr != nil {
+		wb := uint64(req.Lines) << 1
+		if req.Kind == ccip.WrLine {
+			wb |= 1
+		}
+		m.tr.Emit(m.k.Now(), obs.KindDMAIssue, obs.PA(a.id), req.Addr, wb)
+	}
 
 	iova, ok := a.Translate(mem.GVA(req.Addr), req.Bytes())
 	if !ok {
@@ -239,6 +254,7 @@ func (a *Auditor) Issue(req ccip.Request) {
 func (a *Auditor) rangeFault(req ccip.Request) {
 	m := a.m
 	m.stats.RangeViolations++
+	m.tr.Emit(m.k.Now(), obs.KindDMAFault, obs.PA(a.id), req.Addr, uint64(req.Lines))
 	fl := m.getInflight()
 	fl.a = a
 	fl.done, fl.comp = req.Done, req.Comp

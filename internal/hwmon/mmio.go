@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"optimus/internal/mem"
+	"optimus/internal/obs"
 )
 
 // MMIO layout (§5, "MMIO Slicing"): the first portion of the MMIO space is
@@ -88,7 +89,11 @@ func (m *Monitor) MMIORead(addr uint64) (uint64, error) {
 		return 0, err
 	}
 	if r.vcu {
-		return m.vcuRead(r.off)
+		v, err := m.vcuRead(r.off)
+		if err == nil {
+			m.tr.Emit(m.k.Now(), obs.KindMMIORead, obs.Platform(), r.off, v)
+		}
+		return v, err
 	}
 	a := m.auditors[r.accel]
 	if a.handler == nil {
@@ -96,7 +101,9 @@ func (m *Monitor) MMIORead(addr uint64) (uint64, error) {
 		return 0, fmt.Errorf("%w: accelerator %d has no registered handler", ErrMMIODiscarded, r.accel)
 	}
 	m.stats.MMIOReads++
-	return a.handler.MMIORead(r.off), nil
+	v := a.handler.MMIORead(r.off)
+	m.tr.Emit(m.k.Now(), obs.KindMMIORead, obs.PA(r.accel), r.off, v)
+	return v, nil
 }
 
 // MMIOWrite performs a 64-bit MMIO write at a monitor-space address.
@@ -107,7 +114,11 @@ func (m *Monitor) MMIOWrite(addr uint64, val uint64) error {
 		return err
 	}
 	if r.vcu {
-		return m.vcuWrite(r.off, val)
+		if err := m.vcuWrite(r.off, val); err != nil {
+			return err
+		}
+		m.tr.Emit(m.k.Now(), obs.KindMMIOWrite, obs.Platform(), r.off, val)
+		return nil
 	}
 	a := m.auditors[r.accel]
 	if a.handler == nil {
@@ -115,6 +126,7 @@ func (m *Monitor) MMIOWrite(addr uint64, val uint64) error {
 		return fmt.Errorf("%w: accelerator %d has no registered handler", ErrMMIODiscarded, r.accel)
 	}
 	m.stats.MMIOWrites++
+	m.tr.Emit(m.k.Now(), obs.KindMMIOWrite, obs.PA(r.accel), r.off, val)
 	a.handler.MMIOWrite(r.off, val)
 	return nil
 }

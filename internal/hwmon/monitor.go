@@ -6,6 +6,7 @@ import (
 	"optimus/internal/ccip"
 	"optimus/internal/fpga"
 	"optimus/internal/mem"
+	"optimus/internal/obs"
 	"optimus/internal/sim"
 )
 
@@ -117,6 +118,7 @@ type Monitor struct {
 	flFree []*inflight
 
 	stats Stats
+	tr    *obs.Tracer // nil = tracing disabled
 }
 
 // getInflight pops a pooled record (or grows the pool). Each record's fire
@@ -174,6 +176,21 @@ func New(k *sim.Kernel, shell ccip.Port, cfg Config) (*Monitor, error) {
 // Stats returns a copy of the counters.
 func (m *Monitor) Stats() Stats { return m.stats }
 
+// SetTracer attaches tr to the monitor's DMA, MMIO, and arbitration paths
+// (nil disables tracing).
+func (m *Monitor) SetTracer(tr *obs.Tracer) { m.tr = tr }
+
+// ResetStats zeroes the monitor and per-auditor counters, mirroring
+// iommu.ResetStats so the metrics registry can scope a snapshot to an
+// experiment phase. Reset generations are preserved — they fence in-flight
+// responses and are not statistics.
+func (m *Monitor) ResetStats() {
+	m.stats = Stats{}
+	for _, a := range m.auditors {
+		a.bytesRead, a.bytesWritten, a.respDropped = 0, 0, 0
+	}
+}
+
 // TreeLevels returns the multiplexer tree depth.
 func (m *Monitor) TreeLevels() int { return m.treeLevels }
 
@@ -223,6 +240,7 @@ func (m *Monitor) resetAccel(i int) {
 	a := m.auditors[i]
 	a.generation++ // fences in-flight responses
 	m.stats.Resets++
+	m.tr.Emit(m.k.Now(), obs.KindAccelReset, obs.PA(i), a.generation, 0)
 	if a.reset != nil {
 		a.reset()
 	}

@@ -5,6 +5,7 @@ import (
 
 	"optimus/internal/ccip"
 	"optimus/internal/mem"
+	"optimus/internal/obs"
 	"optimus/internal/sim"
 )
 
@@ -97,6 +98,44 @@ func BenchmarkPacketPath(b *testing.B) {
 	run(b.N)
 }
 
+// BenchmarkPacketPathTraced is BenchmarkPacketPath with a live tracer on the
+// monitor and shell: the delta against the untraced benchmark is the per-
+// request cost of emitting DMA, IOTLB, and mux-stall records into the ring.
+func BenchmarkPacketPathTraced(b *testing.B) {
+	k, shell, mon := rig(b, ppAccels, uint64(ppAccels)*ppWindow)
+	tr := obs.NewTracer(1 << 16)
+	mon.SetTracer(tr)
+	shell.SetTracer(tr)
+
+	issuers := make([]*ppIssuer, ppAccels)
+	for id := 0; id < ppAccels; id++ {
+		mon.SetWindow(id, 0, mem.IOVA(id)*mem.IOVA(ppWindow), ppWindow)
+		issuers[id] = &ppIssuer{
+			b: b, k: k, port: mon.AccelPort(id), id: id, span: ppWindow,
+			wbuf: make([]byte, ppReqLines*ccip.LineSize),
+			rbuf: make([]byte, ppReqLines*ccip.LineSize),
+		}
+	}
+	run := func(requests int) {
+		per := requests / ppAccels
+		if per < 1 {
+			per = 1
+		}
+		for _, is := range issuers {
+			is.left += per
+			for j := 0; j < ppOuts; j++ {
+				is.issue()
+			}
+		}
+		k.Run()
+	}
+
+	run(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	run(b.N)
+}
+
 // TestPacketPathZeroAlloc is the enforced form of the benchmark's 0 allocs/op
 // claim: after a warmup that touches every frame of a small working set (so
 // the memory model's demand paging is done growing), driving requests through
@@ -130,5 +169,49 @@ func TestPacketPathZeroAlloc(t *testing.T) {
 	avg := testing.AllocsPerRun(4, func() { run(1024) })
 	if avg != 0 {
 		t.Fatalf("steady-state packet path allocated: %.2f allocs per 1024-request batch", avg)
+	}
+}
+
+// TestPacketPathZeroAllocTraced repeats the zero-alloc gate with tracing
+// enabled: once the ring is preallocated and warm (including wraparound),
+// emitting trace records on the packet path must not allocate either.
+func TestPacketPathZeroAllocTraced(t *testing.T) {
+	const span = uint64(256) << 10
+	k, shell, mon := rig(t, ppAccels, uint64(ppAccels)*ppWindow)
+	tr := obs.NewTracer(1 << 12) // small ring: the warmup wraps it many times
+	mon.SetTracer(tr)
+	shell.SetTracer(tr)
+
+	issuers := make([]*ppIssuer, ppAccels)
+	for id := 0; id < ppAccels; id++ {
+		if err := mon.SetWindow(id, 0, mem.IOVA(id)*mem.IOVA(ppWindow), ppWindow); err != nil {
+			t.Fatal(err)
+		}
+		issuers[id] = &ppIssuer{
+			b: t, k: k, port: mon.AccelPort(id), id: id, span: span,
+			wbuf: make([]byte, ppReqLines*ccip.LineSize),
+			rbuf: make([]byte, ppReqLines*ccip.LineSize),
+		}
+	}
+	run := func(requests int) {
+		for _, is := range issuers {
+			is.left += requests / ppAccels
+			for j := 0; j < ppOuts; j++ {
+				is.issue()
+			}
+		}
+		k.Run()
+	}
+
+	run(8192)
+	if tr.Dropped() == 0 {
+		t.Fatal("warmup did not wrap the trace ring; shrink the ring or drive more requests")
+	}
+	avg := testing.AllocsPerRun(4, func() { run(1024) })
+	if avg != 0 {
+		t.Fatalf("traced packet path allocated: %.2f allocs per 1024-request batch", avg)
+	}
+	if tr.Emitted() == 0 {
+		t.Fatal("tracer attached but no records emitted")
 	}
 }

@@ -1,6 +1,9 @@
 package hwmon
 
-import "optimus/internal/ccip"
+import (
+	"optimus/internal/ccip"
+	"optimus/internal/obs"
+)
 
 // muxNode is one multiplexer in the tree. Upstream (accelerator → shell)
 // requests from its children are arbitrated round-robin and serialized at
@@ -94,6 +97,10 @@ func (n *muxNode) kick() {
 	req := cq.q[cq.head]
 	if n.root {
 		if !n.m.credits.tryAcquire(req.Lines) {
+			if tr := n.m.tr; tr != nil {
+				tr.Emit(n.m.k.Now(), obs.KindMuxStall, obs.PA(req.Tag.AccelID),
+					uint64(req.Lines), uint64(n.m.credits.inflight))
+			}
 			n.m.credits.waiter = n.kickFn
 			return
 		}

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"testing"
+
+	"optimus/internal/sim"
+)
+
+func TestActorPacking(t *testing.T) {
+	cases := []struct {
+		a    Actor
+		c    Class
+		id   int
+		lane string
+	}{
+		{PA(3), ClassPA, 3, "pa3"},
+		{Sched(1), ClassSched, 1, "sched1"},
+		{VM(42), ClassVM, 42, "vm42"},
+		{Shell(), ClassShell, 0, "shell/iommu"},
+		{Platform(), ClassPlatform, 0, "platform"},
+		{MkActor(ClassVM, 0xFFFFFF), ClassVM, 0xFFFFFF, "vm16777215"},
+	}
+	for _, c := range cases {
+		if c.a.Class() != c.c || c.a.ID() != c.id {
+			t.Errorf("%v: got class=%v id=%d, want class=%v id=%d",
+				c.a, c.a.Class(), c.a.ID(), c.c, c.id)
+		}
+		if laneName(c.a) != c.lane {
+			t.Errorf("laneName(%v) = %q, want %q", c.a, laneName(c.a), c.lane)
+		}
+	}
+}
+
+func TestDisabledTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(100, KindDMAIssue, PA(0), 1, 2) // must not panic
+	tr.Reset()
+	if tr.Enabled() {
+		t.Error("nil tracer reports Enabled")
+	}
+	if tr.Len() != 0 || tr.Cap() != 0 || tr.Emitted() != 0 || tr.Dropped() != 0 {
+		t.Error("nil tracer reports non-zero sizes")
+	}
+	if tr.Records() != nil {
+		t.Error("nil tracer returned records")
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		tr.Emit(100, KindDMAIssue, PA(0), 1, 2)
+	}); avg != 0 {
+		t.Errorf("disabled Emit allocated %.2f per call", avg)
+	}
+}
+
+func TestTracerRecordsInOrder(t *testing.T) {
+	tr := NewTracer(8)
+	for i := 0; i < 5; i++ {
+		tr.Emit(sim.Time(i*10), KindIOTLBHit, Shell(), uint64(i), 0)
+	}
+	if tr.Len() != 5 || tr.Emitted() != 5 || tr.Dropped() != 0 {
+		t.Fatalf("len=%d emitted=%d dropped=%d, want 5/5/0",
+			tr.Len(), tr.Emitted(), tr.Dropped())
+	}
+	recs := tr.Records()
+	for i, r := range recs {
+		if r.At != sim.Time(i*10) || r.A != uint64(i) {
+			t.Fatalf("rec %d = %+v, want At=%d A=%d", i, r, i*10, i)
+		}
+	}
+}
+
+func TestTracerWraparoundOrdering(t *testing.T) {
+	const capacity = 4
+	tr := NewTracer(capacity)
+	const total = 11 // wraps the ring twice and lands mid-ring
+	for i := 0; i < total; i++ {
+		tr.Emit(sim.Time(i), KindMMIOWrite, PA(1), uint64(i), uint64(2*i))
+	}
+	if tr.Len() != capacity {
+		t.Fatalf("Len = %d, want %d", tr.Len(), capacity)
+	}
+	if tr.Emitted() != total {
+		t.Fatalf("Emitted = %d, want %d", tr.Emitted(), total)
+	}
+	if want := uint64(total - capacity); tr.Dropped() != want {
+		t.Fatalf("Dropped = %d, want %d", tr.Dropped(), want)
+	}
+	recs := tr.Records()
+	if len(recs) != capacity {
+		t.Fatalf("Records len = %d, want %d", len(recs), capacity)
+	}
+	// The ring must hold the newest `capacity` records, oldest first.
+	for i, r := range recs {
+		want := uint64(total - capacity + i)
+		if r.A != want || r.At != sim.Time(want) || r.B != 2*want {
+			t.Fatalf("rec %d = %+v, want A=%d", i, r, want)
+		}
+	}
+}
+
+func TestTracerReset(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 6; i++ {
+		tr.Emit(sim.Time(i), KindDMAIssue, PA(0), uint64(i), 0)
+	}
+	tr.Reset()
+	if tr.Len() != 0 || tr.Emitted() != 0 || tr.Dropped() != 0 {
+		t.Fatal("Reset did not clear the ring")
+	}
+	if tr.Cap() != 4 {
+		t.Fatal("Reset released ring storage")
+	}
+	tr.Emit(7, KindDMAIssue, PA(0), 7, 0)
+	if recs := tr.Records(); len(recs) != 1 || recs[0].A != 7 {
+		t.Fatalf("post-reset records = %+v", recs)
+	}
+}
+
+// TestEnabledEmitZeroAlloc is the dynamic form of the hotalloc guarantee: the
+// enabled emit path reuses ring slots and must never allocate, including
+// across wraparound.
+func TestEnabledEmitZeroAlloc(t *testing.T) {
+	tr := NewTracer(1024)
+	var i uint64
+	if avg := testing.AllocsPerRun(2000, func() {
+		i++
+		tr.Emit(sim.Time(i), KindDMAComplete, PA(2), i, 64)
+	}); avg != 0 {
+		t.Errorf("enabled Emit allocated %.2f per call", avg)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		if k.String() == "" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if Kind(200).String() != "kind?" {
+		t.Error("out-of-range kind did not fall back")
+	}
+}
+
+func TestCollector(t *testing.T) {
+	c := NewCollector()
+	if got := c.Add("p0", NewTracer(4), nil); got != 0 {
+		t.Fatalf("first Add seq = %d", got)
+	}
+	if got := c.Add("p1", nil, NewRegistry()); got != 1 {
+		t.Fatalf("second Add seq = %d", got)
+	}
+	ps := c.Platforms()
+	if len(ps) != 2 || ps[0].Label != "p0" || ps[1].Label != "p1" {
+		t.Fatalf("Platforms = %+v", ps)
+	}
+	if ps[0].Trace == nil || ps[1].Metrics == nil {
+		t.Fatal("handles not preserved")
+	}
+}

@@ -25,6 +25,11 @@ type LatencyStat struct {
 	reservoir []Time
 	resCap    int
 	rng       *Rand
+	// sortBuf caches the sorted reservoir for percentile queries; it is a
+	// separate buffer (never the reservoir itself) so that sorting cannot
+	// change which slot a later random eviction replaces.
+	sortBuf   []Time
+	sortValid bool
 }
 
 // NewLatencyStat returns a stat that keeps up to resCap reservoir samples
@@ -48,8 +53,10 @@ func (s *LatencyStat) Observe(d Time) {
 	if s.resCap > 0 {
 		if len(s.reservoir) < s.resCap {
 			s.reservoir = append(s.reservoir, d)
+			s.sortValid = false
 		} else if j := s.rng.Uint64n(s.n); j < uint64(s.resCap) {
 			s.reservoir[j] = d
+			s.sortValid = false
 		}
 	}
 }
@@ -89,14 +96,25 @@ func (s *LatencyStat) StdDev() float64 {
 	return math.Sqrt(v)
 }
 
-// Percentile estimates the p-th percentile (0–100) from the reservoir.
-func (s *LatencyStat) Percentile(p float64) Time {
-	if len(s.reservoir) == 0 {
-		return 0
+// sorted returns the reservoir in ascending order, re-sorting only when the
+// reservoir changed since the last query. The cached buffer is reused across
+// calls, so repeated percentile queries neither allocate nor re-sort.
+func (s *LatencyStat) sorted() []Time {
+	if s.sortValid {
+		return s.sortBuf
 	}
-	sorted := make([]Time, len(s.reservoir))
-	copy(sorted, s.reservoir)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if cap(s.sortBuf) < len(s.reservoir) {
+		s.sortBuf = make([]Time, len(s.reservoir))
+	}
+	s.sortBuf = s.sortBuf[:len(s.reservoir)]
+	copy(s.sortBuf, s.reservoir)
+	sort.Slice(s.sortBuf, func(i, j int) bool { return s.sortBuf[i] < s.sortBuf[j] })
+	s.sortValid = true
+	return s.sortBuf
+}
+
+// pick indexes a sorted reservoir at the p-th percentile (0–100).
+func pick(sorted []Time, p float64) Time {
 	idx := int(p / 100 * float64(len(sorted)-1))
 	if idx < 0 {
 		idx = 0
@@ -105,6 +123,28 @@ func (s *LatencyStat) Percentile(p float64) Time {
 		idx = len(sorted) - 1
 	}
 	return sorted[idx]
+}
+
+// Percentile estimates the p-th percentile (0–100) from the reservoir.
+func (s *LatencyStat) Percentile(p float64) Time {
+	if len(s.reservoir) == 0 {
+		return 0
+	}
+	return pick(s.sorted(), p)
+}
+
+// Percentiles estimates several percentiles in one pass over the (lazily
+// sorted) reservoir, returned in the order requested.
+func (s *LatencyStat) Percentiles(ps ...float64) []Time {
+	out := make([]Time, len(ps))
+	if len(s.reservoir) == 0 {
+		return out
+	}
+	sorted := s.sorted()
+	for i, p := range ps {
+		out[i] = pick(sorted, p)
+	}
+	return out
 }
 
 // String summarizes the stat.

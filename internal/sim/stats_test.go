@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestCounterAdd(t *testing.T) {
+	c := Counter{Name: "reqs"}
+	c.Add(3)
+	c.Add(4)
+	if c.Value != 7 {
+		t.Fatalf("Value = %d, want 7", c.Value)
+	}
+}
+
+func TestLatencyStatPercentileExact(t *testing.T) {
+	s := NewLatencyStat(256, 1)
+	for i := 1; i <= 100; i++ {
+		s.Observe(Time(i))
+	}
+	if got := s.Percentile(50); got != 50 {
+		t.Errorf("P50 = %v, want 50", got)
+	}
+	if got := s.Percentile(0); got != 1 {
+		t.Errorf("P0 = %v, want 1", got)
+	}
+	if got := s.Percentile(100); got != 100 {
+		t.Errorf("P100 = %v, want 100", got)
+	}
+}
+
+func TestLatencyStatPercentiles(t *testing.T) {
+	s := NewLatencyStat(256, 1)
+	for i := 1; i <= 100; i++ {
+		s.Observe(Time(i))
+	}
+	got := s.Percentiles(50, 95, 99)
+	want := []Time{50, 95, 99}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Percentiles[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Each element must match the single-percentile API.
+	for _, p := range []float64{50, 95, 99} {
+		if s.Percentiles(p)[0] != s.Percentile(p) {
+			t.Errorf("Percentiles(%v) disagrees with Percentile", p)
+		}
+	}
+}
+
+func TestLatencyStatPercentilesEmpty(t *testing.T) {
+	s := NewLatencyStat(16, 1)
+	if got := s.Percentile(50); got != 0 {
+		t.Errorf("empty P50 = %v", got)
+	}
+	got := s.Percentiles(50, 99)
+	if len(got) != 2 || got[0] != 0 || got[1] != 0 {
+		t.Errorf("empty Percentiles = %v", got)
+	}
+	none := NewLatencyStat(0, 1) // reservoir disabled
+	none.Observe(5)
+	if got := none.Percentile(50); got != 0 {
+		t.Errorf("reservoir-less P50 = %v", got)
+	}
+}
+
+// TestLatencyStatSortCacheInvalidation observes, queries, observes again, and
+// re-queries: the second query must see the new sample, i.e. the lazy sort
+// cache must invalidate on Observe.
+func TestLatencyStatSortCacheInvalidation(t *testing.T) {
+	s := NewLatencyStat(16, 1)
+	s.Observe(10)
+	s.Observe(20)
+	if got := s.Percentile(100); got != 20 {
+		t.Fatalf("max percentile = %v, want 20", got)
+	}
+	s.Observe(30)
+	if got := s.Percentile(100); got != 30 {
+		t.Fatalf("stale percentile after Observe: got %v, want 30", got)
+	}
+	// Full reservoir: replacement evictions must also invalidate. Drive enough
+	// samples of a new magnitude that at least one replacement happens.
+	big := NewLatencyStat(8, 2)
+	for i := 0; i < 8; i++ {
+		big.Observe(1)
+	}
+	if got := big.Percentile(100); got != 1 {
+		t.Fatalf("pre-fill percentile = %v", got)
+	}
+	for i := 0; i < 256; i++ {
+		big.Observe(1000)
+	}
+	if got := big.Percentile(100); got != 1000 {
+		t.Fatalf("percentile did not see reservoir replacement: %v", got)
+	}
+}
+
+// TestLatencyStatPercentileNoRealloc checks the satellite's perf claim:
+// repeated percentile queries on an unchanged reservoir reuse the cached sort
+// buffer and allocate nothing.
+func TestLatencyStatPercentileNoRealloc(t *testing.T) {
+	s := NewLatencyStat(1024, 1)
+	for i := 0; i < 1024; i++ {
+		s.Observe(Time(i))
+	}
+	s.Percentile(50) // populate the cache
+	if avg := testing.AllocsPerRun(100, func() {
+		s.Percentile(95)
+		s.Percentile(99)
+	}); avg != 0 {
+		t.Errorf("cached Percentile allocated %.2f per round", avg)
+	}
+}
+
+// TestLatencyStatReservoirUnperturbed pins down the determinism constraint
+// that forced the sort cache to be a separate buffer: percentile queries must
+// not reorder the reservoir itself, or later random evictions would replace
+// different elements and change downstream tables.
+func TestLatencyStatReservoirUnperturbed(t *testing.T) {
+	mk := func(query bool) []Time {
+		s := NewLatencyStat(8, 7)
+		for i := 0; i < 64; i++ {
+			s.Observe(Time(64 - i))
+			if query && i == 32 {
+				s.Percentile(50) // mid-stream query must not perturb eviction
+			}
+		}
+		out := make([]Time, len(s.reservoir))
+		copy(out, s.reservoir)
+		return out
+	}
+	a, b := mk(false), mk(true)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("mid-stream Percentile changed reservoir contents:\nwithout: %v\nwith:    %v", a, b)
+		}
+	}
+}
