@@ -17,6 +17,7 @@ import (
 	"runtime"
 	"time"
 
+	"optimus/internal/chaos"
 	"optimus/internal/exp"
 	"optimus/internal/hv"
 	"optimus/internal/obs"
@@ -50,7 +51,17 @@ func main() {
 	traceOut := flag.String("trace", "", "write every sweep platform's trace as one Chrome trace-event JSON file (open in ui.perfetto.dev)")
 	traceCap := flag.Int("trace-cap", 8192, "per-platform trace ring capacity in records (with -trace)")
 	metrics := flag.Bool("metrics", false, "dump every sweep platform's metrics snapshot after the run")
+	chaosSpec := flag.String("chaos", "", "arm seeded fault injection on every sweep platform, e.g. seed=7,rate=10000 (keys: seed,rate,xlat,corrupt,drop,dup,pin,retries; rates in ppm)")
 	flag.Parse()
+
+	if *chaosSpec != "" {
+		ccfg, err := chaos.ParseSpec(*chaosSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "optimus-bench:", err)
+			os.Exit(1)
+		}
+		hv.ChaosAll(&ccfg)
+	}
 
 	scale := exp.ScaleQuick
 	scaleName := "quick"

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"optimus/internal/accel"
+	"optimus/internal/chaos"
 	"optimus/internal/guest"
 	"optimus/internal/hv"
 	"optimus/internal/mem"
@@ -69,15 +70,16 @@ func main() {
 	passthrough := flag.Bool("passthrough", false, "pass-through baseline instead of OPTIMUS")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file (open in ui.perfetto.dev)")
 	metrics := flag.Bool("metrics", false, "dump the unified metrics snapshot after the run")
+	chaosSpec := flag.String("chaos", "", "seeded fault injection, e.g. seed=7,rate=10000 (keys: seed,rate,xlat,corrupt,drop,dup,pin,retries; rates in ppm)")
 	flag.Parse()
 
-	if err := run(*app, *jobs, *temporal, *ws, *durFlag, *pages, *sliceFlag, *policy, *passthrough, *traceOut, *metrics); err != nil {
+	if err := run(*app, *jobs, *temporal, *ws, *durFlag, *pages, *sliceFlag, *policy, *passthrough, *traceOut, *metrics, *chaosSpec); err != nil {
 		fmt.Fprintln(os.Stderr, "optimus-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(app string, jobs int, temporal bool, wsFlag, durFlag, pages, sliceFlag, policy string, passthrough bool, traceOut string, metrics bool) error {
+func run(app string, jobs int, temporal bool, wsFlag, durFlag, pages, sliceFlag, policy string, passthrough bool, traceOut string, metrics bool, chaosSpec string) error {
 	wsBytes, err := parseBytes(wsFlag)
 	if err != nil {
 		return err
@@ -115,6 +117,13 @@ func run(app string, jobs int, temporal bool, wsFlag, durFlag, pages, sliceFlag,
 	}
 	if traceOut != "" {
 		cfg.Trace = obs.NewTracer(0)
+	}
+	if chaosSpec != "" {
+		ccfg, err := chaos.ParseSpec(chaosSpec)
+		if err != nil {
+			return err
+		}
+		cfg.Chaos = &ccfg
 	}
 	var reg *obs.Registry
 	if metrics {
@@ -213,8 +222,22 @@ func run(app string, jobs int, temporal bool, wsFlag, durFlag, pages, sliceFlag,
 			ms.DMARequests, ms.DMADropped, ms.RangeViolations, ms.Resets)
 	}
 	hs := h.Stats()
-	fmt.Printf("hypervisor: traps=%d hypercalls=%d switches=%d forcedResets=%d pinned=%d\n",
-		hs.MMIOTraps, hs.Hypercalls, hs.ContextSwitches, hs.ForcedResets, hs.PagesPinned)
+	fmt.Printf("hypervisor: traps=%d hypercalls=%d switches=%d forcedResets=%d quarantines=%d pinned=%d\n",
+		hs.MMIOTraps, hs.Hypercalls, hs.ContextSwitches, hs.ForcedResets, hs.Quarantines, hs.PagesPinned)
+	if p := h.Chaos(); p != nil {
+		cs := p.Stats()
+		fmt.Printf("chaos: injected=%d (xlat=%d corrupt=%d drop=%d dup=%d pin=%d) recovered=%d exhausted=%d\n",
+			cs.TotalInjected(), cs.Injected[chaos.ClassXlat], cs.Injected[chaos.ClassCorrupt],
+			cs.Injected[chaos.ClassDrop], cs.Injected[chaos.ClassDup], cs.Injected[chaos.ClassPin],
+			cs.Recovered, cs.Exhausted)
+		fmt.Printf("chaos: xlatRetries=%d retransmits=%d dupsSuppressed=%d pinRetries=%d\n",
+			cs.XlatRetries, cs.Retransmits, cs.DupsSuppressed, cs.PinRetries)
+		if rec := p.Recovery(); rec.Count() > 0 {
+			pc := rec.Percentiles(50, 95, 99)
+			fmt.Printf("chaos: recovery latency p50=%v p95=%v p99=%v (%d recoveries)\n",
+				pc[0], pc[1], pc[2], rec.Count())
+		}
+	}
 	if reg != nil {
 		fmt.Println("metrics:")
 		if err := reg.WriteText(os.Stdout); err != nil {

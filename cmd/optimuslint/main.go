@@ -1,11 +1,14 @@
-// Command optimuslint runs the repository's four OPTIMUS-specific static
+// Command optimuslint runs the repository's five OPTIMUS-specific static
 // checks over Go packages and exits non-zero on any finding:
 //
 //	addrspace — cross-address-space conversions (GVA/GPA/IOVA/HPA) outside
 //	            the two sanctioned rewrite points, and raw-uint64 address
 //	            parameters
 //	detwall   — wall-clock reads, global math/rand, and order-sensitive
-//	            map iteration inside the determinism wall (sim, hv, exp)
+//	            map iteration inside the determinism wall (sim, hv, exp,
+//	            chaos)
+//	faultpath — discarded errors from fault-injectable boundaries (guest
+//	            provisioning/job calls, hv hypercall and MMIO surface)
 //	hotalloc  — heap-allocating constructs in //optimus:hotpath functions
 //	locksafe  — by-value mutex copies and Lock/Unlock imbalance
 //
@@ -29,6 +32,7 @@ import (
 	"optimus/internal/lint"
 	"optimus/internal/lint/addrspace"
 	"optimus/internal/lint/detwall"
+	"optimus/internal/lint/faultpath"
 	"optimus/internal/lint/hotalloc"
 	"optimus/internal/lint/locksafe"
 )
@@ -36,6 +40,7 @@ import (
 var analyzers = []*lint.Analyzer{
 	addrspace.Analyzer,
 	detwall.Analyzer,
+	faultpath.Analyzer,
 	hotalloc.Analyzer,
 	locksafe.Analyzer,
 }

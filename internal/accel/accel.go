@@ -326,6 +326,12 @@ func (a *Accel) CanIssue() bool {
 // Idle reports whether no DMA or compute work is in flight.
 func (a *Accel) Idle() bool { return a.outstanding == 0 }
 
+// Preempting reports whether a preemption drain is in progress. Conforming
+// logic never needs it (CanIssue already gates new work); it exists so
+// adversarial models can detect the drain and deliberately keep the
+// datapath busy (see Adversary).
+func (a *Accel) Preempting() bool { return a.preempting }
+
 // Fail moves the accelerator to the error state (bad job parameters, DMA
 // fault). Real hardware would raise an interrupt; software observes STATUS.
 func (a *Accel) Fail(err error) {

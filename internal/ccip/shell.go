@@ -1,12 +1,19 @@
 package ccip
 
 import (
+	"errors"
+
+	"optimus/internal/chaos"
 	"optimus/internal/iommu"
 	"optimus/internal/mem"
 	"optimus/internal/obs"
 	"optimus/internal/pagetable"
 	"optimus/internal/sim"
 )
+
+// ErrInjectedFault is the terminal error of an injected translation fault
+// whose bounded retries were all re-faulted (chaos.Config.MaxRetries).
+var ErrInjectedFault = errors.New("ccip: translation failed after injected-fault retries")
 
 // LinkConfig describes one physical link.
 type LinkConfig struct {
@@ -141,6 +148,7 @@ type Shell struct {
 	rng   *sim.Rand
 	stats ShellStats
 	tr    *obs.Tracer // nil = tracing disabled
+	chaos *chaos.Plan // nil = fault injection disabled
 
 	// opFree is the completion-record freelist: records cycle from Issue to
 	// their scheduled completion event and back, so the steady-state packet
@@ -182,6 +190,16 @@ type shellOp struct {
 	segs     [2]hpaSeg
 	nsegs    int
 	segSpill []hpaSeg
+
+	// Chaos state, zero on every clean request. seq is the record's recycle
+	// generation: putOp bumps it, so a stale event holding (record, seq) can
+	// detect that the record has moved on — the guard that makes injected
+	// duplicate completions suppressible by construction.
+	chaosClass chaos.Class
+	chaosDone  bool     // wire fault already taken; next fire is the redelivery
+	attempt    uint8    // injected-translation-fault retries performed
+	delay      sim.Time // extra latency accumulated recovering injected faults
+	seq        uint64
 }
 
 func (s *Shell) getOp() *shellOp {
@@ -202,6 +220,11 @@ func (s *Shell) putOp(op *shellOp) {
 	op.err = nil
 	op.nsegs = 0
 	op.segSpill = op.segSpill[:0]
+	op.chaosClass = chaos.ClassNone
+	op.chaosDone = false
+	op.attempt = 0
+	op.delay = 0
+	op.seq++
 	s.opFree = append(s.opFree, op)
 }
 
@@ -233,6 +256,9 @@ func (op *shellOp) seg(i int) hpaSeg {
 //optimus:hotpath
 func (op *shellOp) run() {
 	s := op.s
+	if op.chaosClass != chaos.ClassNone && s.chaosIntercept(op) {
+		return
+	}
 	resp := Response{Kind: op.kind, Addr: op.addr, Tag: op.tag, VC: op.vc,
 		Err: op.err, Latency: s.K.Now() - op.issued}
 	if op.err == nil {
@@ -332,6 +358,14 @@ func (s *Shell) Config() Config { return s.cfg }
 // disables tracing).
 func (s *Shell) SetTracer(tr *obs.Tracer) { s.tr = tr }
 
+// SetChaos arms fault injection on the shell's DMA path (nil disables it).
+// Like the tracer, the disabled path costs one branch per request and
+// allocates nothing; injection paths are allowed to allocate.
+func (s *Shell) SetChaos(p *chaos.Plan) { s.chaos = p }
+
+// Chaos returns the armed fault-injection plan, or nil.
+func (s *Shell) Chaos() *chaos.Plan { return s.chaos }
+
 // ResetStats zeroes the shell counters, including the per-channel byte
 // counts, mirroring iommu.ResetStats so the metrics registry can scope a
 // snapshot to an experiment phase.
@@ -405,7 +439,6 @@ func (s *Shell) Issue(req Request) {
 	}
 	now := s.K.Now()
 	vc := s.selectChannel(req.Kind, req.VC)
-	l := s.links[vc-1]
 
 	op := s.getOp()
 	op.kind, op.addr, op.tag, op.vc = req.Kind, req.Addr, req.Tag, vc
@@ -413,17 +446,33 @@ func (s *Shell) Issue(req Request) {
 	op.data, op.dst = req.Data, req.Dst
 	op.done, op.comp = req.Done, req.Comp
 
+	if s.chaos != nil && s.chaosArm(op, now) {
+		return
+	}
+	s.translateAndServe(op, now)
+}
+
+// translateAndServe translates the request line by line and occupies the
+// selected link. It is re-entered by the chaos translation-retry path, so it
+// resets the record's segment state first.
+//
+//optimus:hotpath
+func (s *Shell) translateAndServe(op *shellOp, now sim.Time) {
+	op.nsegs = 0
+	op.segSpill = op.segSpill[:0]
+	l := s.links[op.vc-1]
+
 	// Translate each line; contiguous bursts touch at most two pages.
 	var xlat sim.Time
 	walkLines := 0
 	perm := pagetable.PermRead
-	if req.Kind == WrLine {
+	if op.kind == WrLine {
 		perm = pagetable.PermWrite
 	}
 	prev := mem.HPA(0)
 	tr := s.tr // hoisted: one load, not one per translated line
-	for i := 0; i < req.Lines; i++ {
-		iova := mem.IOVA(req.Addr) + mem.IOVA(i)*LineSize
+	for i := 0; i < op.lines; i++ {
+		iova := mem.IOVA(op.addr) + mem.IOVA(i)*LineSize
 		hpa, d, spec, err := s.IOMMU.Translate(iova, perm)
 		if err != nil {
 			s.stats.Faults++
@@ -458,6 +507,115 @@ func (s *Shell) Issue(req Request) {
 	}
 
 	// Occupy the link, then access memory functionally at completion.
-	completion := l.serve(now+xlat, req.Kind, req.Lines, walkLines)
+	completion := l.serve(now+xlat, op.kind, op.lines, walkLines)
 	s.K.At(completion, op.fire)
+}
+
+// chaosArm draws the fault plan for one request and, for translation
+// faults, takes over the issue path. It reports whether the request was
+// consumed. Injection paths may allocate — only the chaos-disabled path is
+// held to the packet path's zero-alloc contract.
+func (s *Shell) chaosArm(op *shellOp, now sim.Time) bool {
+	c := s.chaos.DrawDMA()
+	if c == chaos.ClassNone {
+		return false
+	}
+	op.chaosClass = c
+	s.chaos.NoteInjected(c)
+	s.tr.Emit(now, obs.KindChaosFault, obs.Shell(), chaos.FaultPayload(c, false), op.addr)
+	if c == chaos.ClassXlat {
+		s.injectXlatFault(op)
+		return true
+	}
+	return false
+}
+
+// injectXlatFault models a transient IOTLB/translation fault, hardened by
+// bounded retry: the shell backs off exponentially and re-walks; each retry
+// may fault again (plan.Repeat) until the budget is exhausted, at which
+// point the request completes with ErrInjectedFault exactly like a real
+// translation fault would.
+func (s *Shell) injectXlatFault(op *shellOp) {
+	s.stats.Faults++
+	p := s.chaos
+	d := p.Backoff(int(op.attempt))
+	op.delay += d
+	if int(op.attempt) >= p.MaxRetries() {
+		p.NoteExhausted()
+		op.err = ErrInjectedFault
+		s.K.After(d, op.fire)
+		return
+	}
+	op.attempt++
+	p.NoteXlatRetry()
+	s.K.After(d, func() { s.retryXlat(op) })
+}
+
+// retryXlat is one translation retry: it either faults again or proceeds
+// down the normal translate-and-serve path.
+func (s *Shell) retryXlat(op *shellOp) {
+	if s.chaos.Repeat() {
+		s.injectXlatFault(op)
+		return
+	}
+	s.translateAndServe(op, s.K.Now())
+}
+
+// dupLag is how long after the real completion an injected duplicate fires.
+const dupLag = 50 * sim.Nanosecond
+
+// chaosIntercept runs at the completion event of a chaos-marked request.
+// Wire faults (payload corruption caught by CRC, packets lost on the link)
+// consume the first completion and schedule a retransmission over the same
+// link; recovered requests are accounted against the plan, and duplicate
+// completions are scheduled so the generation guard can suppress them. It
+// reports whether delivery was deferred to a retransmission.
+func (s *Shell) chaosIntercept(op *shellOp) bool {
+	now := s.K.Now()
+	p := s.chaos
+	switch op.chaosClass {
+	case chaos.ClassCorrupt, chaos.ClassDrop:
+		if !op.chaosDone && op.err == nil {
+			op.chaosDone = true
+			p.NoteRetransmit()
+			start := now
+			if op.chaosClass == chaos.ClassDrop {
+				// A drop is only noticed after the loss-detection timeout;
+				// a corruption is caught on arrival and retransmitted at once.
+				start += p.DropTimeout()
+			}
+			l := s.links[op.vc-1]
+			completion := l.serve(start, op.kind, op.lines, 0)
+			op.delay += completion - now
+			s.K.At(completion, op.fire)
+			return true
+		}
+	case chaos.ClassDup:
+		if op.err == nil {
+			s.scheduleDup(op)
+		}
+	}
+	if op.err == nil {
+		p.NoteRecovered(op.delay)
+		s.tr.Emit(now, obs.KindChaosFault, obs.Shell(),
+			chaos.FaultPayload(op.chaosClass, true), op.addr)
+	}
+	return false
+}
+
+// scheduleDup models a duplicated completion: the response event fires a
+// second time shortly after the real delivery. The primary delivery recycles
+// the record first — putOp bumps op.seq — so the stale event's captured seq
+// never matches and the duplicate is suppressed by construction; issuers can
+// never observe a request completing twice.
+func (s *Shell) scheduleDup(op *shellOp) {
+	seq := op.seq
+	p := s.chaos
+	s.K.After(dupLag, func() {
+		if op.seq != seq {
+			p.NoteDupSuppressed()
+			return
+		}
+		panic("ccip: duplicated completion escaped the generation guard")
+	})
 }

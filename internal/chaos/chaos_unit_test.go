@@ -1,0 +1,133 @@
+package chaos
+
+import (
+	"testing"
+
+	"optimus/internal/sim"
+)
+
+// TestDrawDeterminism: the decision stream is a pure function of the
+// Config.
+func TestDrawDeterminism(t *testing.T) {
+	cfg := Config{Seed: 42, XlatPPM: 10_000, CorruptPPM: 5000, DropPPM: 5000, DupPPM: 2000, PinPPM: 1000}
+	a, b := NewPlan(cfg), NewPlan(cfg)
+	for i := 0; i < 100_000; i++ {
+		if ca, cb := a.DrawDMA(), b.DrawDMA(); ca != cb {
+			t.Fatalf("draw %d diverged: %v vs %v", i, ca, cb)
+		}
+		if pa, pb := a.DrawPin(), b.DrawPin(); pa != pb {
+			t.Fatalf("pin draw %d diverged: %v vs %v", i, pa, pb)
+		}
+	}
+}
+
+// TestDrawDistribution: injected rates land near the configured ppm.
+func TestDrawDistribution(t *testing.T) {
+	const n = 1_000_000
+	cfg := Config{Seed: 7, XlatPPM: 20_000, CorruptPPM: 10_000, DropPPM: 5000, DupPPM: 5000}
+	p := NewPlan(cfg)
+	var counts [NumClasses]int
+	for i := 0; i < n; i++ {
+		counts[p.DrawDMA()]++
+	}
+	check := func(c Class, ppm uint32) {
+		t.Helper()
+		want := float64(ppm) / 1e6 * n
+		got := float64(counts[c])
+		if got < want*0.8 || got > want*1.2 {
+			t.Errorf("%v: %v draws, want ~%v", c, got, want)
+		}
+	}
+	check(ClassXlat, cfg.XlatPPM)
+	check(ClassCorrupt, cfg.CorruptPPM)
+	check(ClassDrop, cfg.DropPPM)
+	check(ClassDup, cfg.DupPPM)
+}
+
+// TestNilAndZeroPlans: a nil plan and an all-zero plan inject nothing, and
+// the zero plan consumes no randomness per draw.
+func TestNilAndZeroPlans(t *testing.T) {
+	var nilPlan *Plan
+	if c := nilPlan.DrawDMA(); c != ClassNone {
+		t.Fatalf("nil plan drew %v", c)
+	}
+	if nilPlan.DrawPin() {
+		t.Fatal("nil plan drew a pin failure")
+	}
+	if s := nilPlan.Stats(); s != (Stats{}) {
+		t.Fatalf("nil plan stats %+v", s)
+	}
+
+	zero := NewPlan(Config{Seed: 3})
+	st := zero.rng.State()
+	for i := 0; i < 10; i++ {
+		if c := zero.DrawDMA(); c != ClassNone {
+			t.Fatalf("zero plan drew %v", c)
+		}
+	}
+	if zero.rng.State() != st {
+		t.Fatal("zero plan consumed randomness in DrawDMA")
+	}
+}
+
+func TestBackoffDoubles(t *testing.T) {
+	p := NewPlan(Config{})
+	base := p.Backoff(0)
+	if base != 200*sim.Nanosecond {
+		t.Fatalf("base backoff %v, want 200ns", base)
+	}
+	for i := 1; i < 5; i++ {
+		if p.Backoff(i) != base<<uint(i) {
+			t.Fatalf("backoff(%d) = %v, want %v", i, p.Backoff(i), base<<uint(i))
+		}
+	}
+}
+
+func TestFaultPayloadRoundTrip(t *testing.T) {
+	for c := ClassNone; c < NumClasses; c++ {
+		for _, rec := range []bool{false, true} {
+			gc, gr := DecodePayload(FaultPayload(c, rec))
+			if gc != c || gr != rec {
+				t.Fatalf("payload round trip (%v,%v) -> (%v,%v)", c, rec, gc, gr)
+			}
+		}
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	cfg, err := ParseSpec("seed=9,rate=10000,pin=500,retries=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Config{Seed: 9, XlatPPM: 10_000, CorruptPPM: 10_000, DropPPM: 10_000, DupPPM: 10_000, PinPPM: 500, MaxRetries: 5}
+	if cfg != want {
+		t.Fatalf("got %+v, want %+v", cfg, want)
+	}
+	if _, err := ParseSpec("rate=abc"); err == nil {
+		t.Fatal("bad rate accepted")
+	}
+	if _, err := ParseSpec("rate=2000000"); err == nil {
+		t.Fatal("rate above 1e6 ppm accepted")
+	}
+	if _, err := ParseSpec("bogus=1"); err == nil {
+		t.Fatal("unknown key accepted")
+	}
+	if _, err := ParseSpec("noequals"); err == nil {
+		t.Fatal("missing '=' accepted")
+	}
+	if cfg, err := ParseSpec(""); err != nil || cfg != (Config{}) {
+		t.Fatalf("empty spec: %+v, %v", cfg, err)
+	}
+}
+
+// TestOverflowingRatesDisarm: a config whose DMA rates sum past 1e6 ppm is
+// structurally invalid; the plan disarms the DMA draw rather than skewing
+// the class mix.
+func TestOverflowingRatesDisarm(t *testing.T) {
+	p := NewPlan(Config{Seed: 1, XlatPPM: 600_000, CorruptPPM: 600_000})
+	for i := 0; i < 1000; i++ {
+		if c := p.DrawDMA(); c != ClassNone {
+			t.Fatalf("overflowing plan drew %v", c)
+		}
+	}
+}

@@ -233,7 +233,9 @@ func SchedFairness(scale Scale) (*Table, error) {
 			if err != nil {
 				return err
 			}
-			tn.dev.SetupStateBuffer()
+			if _, err := tn.dev.SetupStateBuffer(); err != nil {
+				return err
+			}
 			tn.dev.RegWrite(accel.MBArgBase, uint64(buf.Addr))
 			tn.dev.RegWrite(accel.MBArgSize, buf.Size)
 			tn.dev.RegWrite(accel.MBArgBursts, 0)

@@ -76,6 +76,7 @@ var Experiments = map[string]Runner{
 		t, err := TimingAblation()
 		return one(t, err)
 	},
+	"chaos":    func(s Scale) ([]*Table, error) { return one(ChaosSweep(s)) },
 	"guard":    func(s Scale) ([]*Table, error) { return one(GuardAblation(s)) },
 	"iommu":    func(s Scale) ([]*Table, error) { return one(IOMMUAblation(s)) },
 	"muxarity": func(s Scale) ([]*Table, error) { return one(MuxArityAblation(s)) },

@@ -1,0 +1,39 @@
+package hv
+
+import (
+	"fmt"
+
+	"optimus/internal/chaos"
+	"optimus/internal/mem"
+	"optimus/internal/obs"
+)
+
+// injectPinFault is the hypervisor-side chaos boundary: it models transient
+// page-pin failures during the shadow-paging hypercall (a host frame briefly
+// unavailable — compaction, NUMA migration, reclaim racing the pin). The
+// hypervisor's hardening is a bounded retry loop; only when every retry
+// re-faults does the hypercall surface an error to the guest.
+//
+// The simulated retries are instantaneous (the hypercall is synchronous), so
+// the recovery histogram records them as zero-latency recoveries; the retry
+// counts carry the cost signal instead.
+func (h *Hypervisor) injectPinFault(va *VAccel, gva mem.GVA) error {
+	p := h.chaos
+	if !p.DrawPin() {
+		return nil
+	}
+	now := h.K.Now()
+	lane := obs.VM(va.proc.vm.ID)
+	p.NoteInjected(chaos.ClassPin)
+	h.tr.Emit(now, obs.KindChaosFault, lane, chaos.FaultPayload(chaos.ClassPin, false), uint64(gva))
+	for attempt := 0; attempt < p.MaxRetries(); attempt++ {
+		p.NotePinRetry()
+		if !p.Repeat() {
+			p.NoteRecovered(0)
+			h.tr.Emit(now, obs.KindChaosFault, lane, chaos.FaultPayload(chaos.ClassPin, true), uint64(gva))
+			return nil
+		}
+	}
+	p.NoteExhausted()
+	return fmt.Errorf("hv: pin of gva %#x failed after %d injected-fault retries", gva, p.MaxRetries())
+}

@@ -1,0 +1,148 @@
+package hv_test
+
+import (
+	"strings"
+	"testing"
+
+	"optimus/internal/accel"
+	"optimus/internal/hv"
+	"optimus/internal/sim"
+)
+
+// advTenant provisions a tenant on slot 0 running the ADV logic with the
+// given mode bits and starts it. The returned restart func re-arms the same
+// job after a failure, the way an adversarial guest would.
+func advTenant(t *testing.T, h *hv.Hypervisor, mode uint64, seed uint64) (*tenant, func() error) {
+	t.Helper()
+	tn := newTenant(t, h, 0)
+	buf, err := tn.dev.AllocDMA(8 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tn.dev.SetupStateBuffer(); err != nil {
+		t.Fatal(err)
+	}
+	start := func() error {
+		tn.dev.RegWrite(accel.AdvArgBase, uint64(buf.Addr))
+		tn.dev.RegWrite(accel.AdvArgSize, buf.Size)
+		tn.dev.RegWrite(accel.AdvArgOps, 0) // run until preempted
+		tn.dev.RegWrite(accel.AdvArgMode, mode)
+		tn.dev.RegWrite(accel.AdvArgSeed, seed)
+		return tn.dev.Start()
+	}
+	if err := start(); err != nil {
+		t.Fatal(err)
+	}
+	return tn, start
+}
+
+// TestNeverAckForcedResetAndQuarantine is the hardening regression test: a
+// tenant that refuses the preemption handshake is forcibly reset after the
+// slice-derived timeout, is quarantined after Config.QuarantineAfter
+// incidents, and its co-tenant keeps receiving its time slice throughout.
+func TestNeverAckForcedResetAndQuarantine(t *testing.T) {
+	h, err := hv.New(hv.Config{
+		Accels:    []string{"MB"},
+		TimeSlice: 200 * sim.Microsecond,
+		// PreemptTimeout deliberately left at its slice-derived default.
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.ReplaceAccel(0, accel.New(accel.NewAdversary())); err != nil {
+		t.Fatal(err)
+	}
+	attacker, restart := advTenant(t, h, accel.AdvNeverAck, 1)
+	victim, _ := advTenant(t, h, 0, 2) // benign streamer on the same slot
+
+	// Adversarial guests don't give up: after every forced-reset failure the
+	// attacker resets its device and starts the same job again. Only the
+	// quarantine ends the loop.
+	ava := attacker.dev.VAccel()
+	var restartLoop func()
+	restartLoop = func() {
+		if ava.Quarantined() {
+			return
+		}
+		attacker.dev.Reset()
+		if err := restart(); err != nil {
+			t.Errorf("attacker restart: %v", err)
+			return
+		}
+		ava.OnDone(restartLoop)
+	}
+	ava.OnDone(restartLoop)
+
+	h.K.RunFor(10 * sim.Millisecond)
+
+	k := uint64(3) // the QuarantineAfter default
+	if got := h.Scheduler(0).ForcedResets(); got != k {
+		t.Fatalf("slot performed %d forced resets, want exactly %d (quarantine must stop the bleeding)", got, k)
+	}
+	if !ava.Quarantined() || ava.ForcedResets() != int(k) {
+		t.Fatalf("attacker quarantined=%v forcedResets=%d, want true/%d", ava.Quarantined(), ava.ForcedResets(), k)
+	}
+	if ava.Failed() == nil || !strings.Contains(ava.Failed().Error(), "quarantined") {
+		t.Fatalf("attacker failure = %v, want a quarantine error", ava.Failed())
+	}
+	if got := h.Stats().Quarantines; got != 1 {
+		t.Fatalf("Stats().Quarantines = %d, want 1", got)
+	}
+
+	// The victim survived every incident and still owns most of the wall
+	// clock: three incidents cost at most 3*(slice+timeout+switch) ≈ 1.4 ms
+	// of the 10 ms run, so the victim's occupancy must far exceed the 50%
+	// share it would get from a fair sibling.
+	vva := victim.dev.VAccel()
+	if vva.Failed() != nil {
+		t.Fatalf("victim failed: %v", vva.Failed())
+	}
+	if vva.WorkDone() == 0 {
+		t.Fatal("victim made no progress")
+	}
+	if st, _ := victim.dev.Status(); st != accel.StatusRunning {
+		t.Fatalf("victim status = %s, want running", accel.StatusName(st))
+	}
+	if vva.Runtime() < 7*sim.Millisecond {
+		t.Fatalf("victim occupancy %v of 10ms — the slot was not reclaimed from the attacker", vva.Runtime())
+	}
+
+	// A quarantined vaccel stays down: a fresh start attempt is rejected
+	// even after a guest-visible reset.
+	attacker.dev.Reset()
+	if err := attacker.dev.Start(); err == nil || !strings.Contains(err.Error(), "quarantined") {
+		t.Fatalf("post-quarantine Start error = %v, want quarantine rejection", err)
+	}
+}
+
+// TestForcedResetRecountsPerSlot checks the per-slot forced-reset counter
+// feeding the sched.pa<i>.forced_resets metric stays zero on a slot whose
+// tenants all cooperate.
+func TestForcedResetCleanSlotStaysZero(t *testing.T) {
+	h, err := hv.New(hv.Config{
+		Accels:    []string{"MB"},
+		TimeSlice: 200 * sim.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		tn := newTenant(t, h, 0)
+		buf, _ := tn.dev.AllocDMA(4 << 20)
+		tn.dev.SetupStateBuffer()
+		tn.dev.RegWrite(accel.MBArgBase, uint64(buf.Addr))
+		tn.dev.RegWrite(accel.MBArgSize, buf.Size)
+		tn.dev.RegWrite(accel.MBArgBursts, 0)
+		tn.dev.RegWrite(accel.MBArgSeed, uint64(i))
+		if err := tn.dev.Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.K.RunFor(5 * sim.Millisecond)
+	if got := h.Scheduler(0).ForcedResets(); got != 0 {
+		t.Fatalf("cooperating tenants triggered %d forced resets", got)
+	}
+	if got := h.Stats().Quarantines; got != 0 {
+		t.Fatalf("cooperating tenants triggered %d quarantines", got)
+	}
+}

@@ -15,6 +15,7 @@ import (
 
 	"optimus/internal/accel"
 	"optimus/internal/ccip"
+	"optimus/internal/chaos"
 	"optimus/internal/fpga"
 	"optimus/internal/hwmon"
 	"optimus/internal/mem"
@@ -69,7 +70,19 @@ type Config struct {
 	TimeSlice sim.Time
 	// PreemptTimeout bounds how long the hypervisor waits for an
 	// accelerator to cede control before forcibly resetting it (§4.2).
+	// Defaults to one TimeSlice — the paper's 10 ms, slice-derived, so
+	// shrinking the quantum tightens the containment window with it.
 	PreemptTimeout sim.Time
+	// QuarantineAfter is the number of forced resets after which a virtual
+	// accelerator is quarantined: further job starts are rejected and the
+	// scheduler skips it, so a guest that repeatedly refuses the preemption
+	// handshake cannot keep stealing slices from co-tenants. 0 selects the
+	// default (3); negative disables quarantine.
+	QuarantineAfter int
+	// Chaos, when non-nil, arms the deterministic fault-injection plan on
+	// the platform (see internal/chaos and docs/ROBUSTNESS.md). A zero-value
+	// Seed is replaced with a value derived from Config.Seed.
+	Chaos *chaos.Config
 	// Shell overrides the interconnect configuration.
 	Shell *ccip.Config
 	// Monitor overrides hardware monitor parameters (NumAccels is derived
@@ -114,7 +127,10 @@ func (c Config) withDefaults() Config {
 		c.TimeSlice = 10 * sim.Millisecond
 	}
 	if c.PreemptTimeout == 0 {
-		c.PreemptTimeout = 5 * sim.Millisecond
+		c.PreemptTimeout = c.TimeSlice
+	}
+	if c.QuarantineAfter == 0 {
+		c.QuarantineAfter = 3
 	}
 	return c
 }
@@ -145,6 +161,7 @@ type Hypervisor struct {
 	nextSlice int
 
 	tr    *obs.Tracer // nil = tracing disabled
+	chaos *chaos.Plan // nil = fault injection disabled
 	stats Stats
 }
 
@@ -154,6 +171,7 @@ type Stats struct {
 	Hypercalls      uint64
 	ContextSwitches uint64
 	ForcedResets    uint64
+	Quarantines     uint64
 	PagesPinned     uint64
 }
 
@@ -178,6 +196,18 @@ func ObserveAll(c *obs.Collector, traceCap int) {
 	autoObserve.c = c
 	autoObserve.traceCap = traceCap
 }
+
+// autoChaos, when armed via ChaosAll, applies a fault-injection config to
+// every subsequently assembled platform that does not set Config.Chaos
+// itself. Same access discipline as autoObserve: armed once before any
+// sweep goroutine starts; each platform builds a private Plan, so points
+// never share a decision stream.
+var autoChaos *chaos.Config
+
+// ChaosAll arms fault injection (cmd flag -chaos) on every platform
+// assembled after this call; an explicit Config.Chaos takes precedence.
+// Pass nil to stop.
+func ChaosAll(cfg *chaos.Config) { autoChaos = cfg }
 
 // New assembles a platform per cfg.
 func New(cfg Config) (*Hypervisor, error) {
@@ -211,6 +241,19 @@ func New(cfg Config) (*Hypervisor, error) {
 		tr:     cfg.Trace,
 	}
 	shell.SetTracer(h.tr)
+
+	ccfg := cfg.Chaos
+	if ccfg == nil && autoChaos != nil {
+		ccfg = autoChaos
+	}
+	if ccfg != nil {
+		cc := *ccfg
+		if cc.Seed == 0 {
+			cc.Seed = cfg.Seed ^ 0xfa177 // distinct per-platform stream in seeded sweeps
+		}
+		h.chaos = chaos.NewPlan(cc)
+		shell.SetChaos(h.chaos)
+	}
 
 	var ports []ccip.Port
 	if cfg.Mode == ModeOptimus {
@@ -259,6 +302,9 @@ func New(cfg Config) (*Hypervisor, error) {
 
 // Trace returns the platform's tracer (nil when tracing is off).
 func (h *Hypervisor) Trace() *obs.Tracer { return h.tr }
+
+// Chaos returns the platform's fault-injection plan (nil when disabled).
+func (h *Hypervisor) Chaos() *chaos.Plan { return h.chaos }
 
 // Config returns the (defaulted) configuration.
 func (h *Hypervisor) Config() Config { return h.cfg }

@@ -3,6 +3,7 @@ package hv
 import (
 	"fmt"
 
+	"optimus/internal/chaos"
 	"optimus/internal/obs"
 )
 
@@ -58,7 +59,33 @@ func (h *Hypervisor) RegisterMetrics(r *obs.Registry) {
 	r.RegisterCounter("hv.context_switches", func() uint64 { return h.stats.ContextSwitches })
 	r.RegisterCounter("hv.forced_resets", func() uint64 { return h.stats.ForcedResets })
 	r.RegisterCounter("hv.pages_pinned", func() uint64 { return h.stats.PagesPinned })
+	r.RegisterCounter("hv.quarantines", func() uint64 { return h.stats.Quarantines })
 	r.OnReset(func() { h.stats = Stats{} })
+
+	r.RegisterCounter("sched.forced_resets", func() uint64 {
+		var n uint64
+		for _, pa := range h.Phys {
+			n += pa.sched.forcedResets
+		}
+		return n
+	})
+
+	if p := h.chaos; p != nil {
+		r.RegisterCounter("chaos.injected", func() uint64 { return p.Stats().TotalInjected() })
+		for c := chaos.ClassXlat; c < chaos.NumClasses; c++ {
+			c := c
+			r.RegisterCounter("chaos.injected."+c.String(),
+				func() uint64 { return p.Stats().Injected[c] })
+		}
+		r.RegisterCounter("chaos.xlat_retries", func() uint64 { return p.Stats().XlatRetries })
+		r.RegisterCounter("chaos.retransmits", func() uint64 { return p.Stats().Retransmits })
+		r.RegisterCounter("chaos.dups_suppressed", func() uint64 { return p.Stats().DupsSuppressed })
+		r.RegisterCounter("chaos.pin_retries", func() uint64 { return p.Stats().PinRetries })
+		r.RegisterCounter("chaos.exhausted", func() uint64 { return p.Stats().Exhausted })
+		r.RegisterCounter("chaos.recovered", func() uint64 { return p.Stats().Recovered })
+		r.RegisterHistogram("chaos.recovery_latency", p.Recovery())
+		r.OnReset(p.ResetStats)
+	}
 
 	for _, pa := range h.Phys {
 		pa := pa
@@ -66,6 +93,8 @@ func (h *Hypervisor) RegisterMetrics(r *obs.Registry) {
 			func() uint64 { return pa.sched.switches })
 		r.RegisterCounter(fmt.Sprintf("sched.pa%d.preemptions", pa.Slot),
 			func() uint64 { return pa.sched.preemptions })
+		r.RegisterCounter(fmt.Sprintf("sched.pa%d.forced_resets", pa.Slot),
+			func() uint64 { return pa.sched.forcedResets })
 		r.RegisterCounter(fmt.Sprintf("accel.pa%d.jobs_done", pa.Slot),
 			func() uint64 { return pa.Accel.JobsDone() })
 		r.RegisterCounter(fmt.Sprintf("accel.pa%d.bytes_read", pa.Slot),

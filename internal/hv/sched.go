@@ -43,9 +43,10 @@ type scheduler struct {
 	switching bool
 	epoch     uint64 // invalidates stale slice timers and timeouts
 
-	scheduledAt sim.Time
-	switches    uint64
-	preemptions uint64
+	scheduledAt  sim.Time
+	switches     uint64
+	preemptions  uint64
+	forcedResets uint64
 
 	// migrateHook, when set, consumes the next completed preemption: the
 	// saved context moves to another slot instead of rescheduling here.
@@ -96,7 +97,8 @@ func (s *scheduler) detach(va *VAccel) {
 }
 
 // active reports whether va has work for the physical accelerator.
-func active(va *VAccel) bool { return va.jobActive && va.failure == nil }
+// Quarantined vaccels are never scheduled again (see preemptTimeout).
+func active(va *VAccel) bool { return va.jobActive && va.failure == nil && !va.quarantined }
 
 // kick tries to schedule when the slot is free.
 func (s *scheduler) kick() {
@@ -200,9 +202,21 @@ func (s *scheduler) preemptTimeout(epoch uint64) {
 		return // the vaccel was detached mid-handshake
 	}
 	s.hv.stats.ForcedResets++
-	s.emit(obs.KindForcedReset, va, 0)
+	s.forcedResets++
+	va.forcedResets++
+	s.emit(obs.KindForcedReset, va, uint64(va.forcedResets))
 	s.migrateHook = nil
 	va.failure = fmt.Errorf("hv: accelerator %s failed to cede control; forcibly reset", s.pa.Name)
+	// Quarantine-after-K: a guest that repeatedly refuses the handshake
+	// costs its co-tenants one PreemptTimeout per incident; after the K-th
+	// forced reset the vaccel is barred from the slot for good (sticky
+	// across GuestReset — only tearing the vaccel down clears it).
+	if k := s.hv.cfg.QuarantineAfter; k > 0 && va.forcedResets >= k {
+		va.quarantined = true
+		s.hv.stats.Quarantines++
+		va.failure = fmt.Errorf("hv: accelerator %s forcibly reset %d times; virtual accelerator quarantined",
+			s.pa.Name, va.forcedResets)
+	}
 	va.jobActive = false
 	va.vstatus = accel.StatusError
 	s.descheduleCurrent(false)
@@ -469,6 +483,10 @@ func (sc *Scheduler) Switches() uint64 { return sc.s.switches }
 
 // Preemptions returns the number of preemption handshakes initiated.
 func (sc *Scheduler) Preemptions() uint64 { return sc.s.preemptions }
+
+// ForcedResets returns the number of preemption-timeout forced resets this
+// slot has performed.
+func (sc *Scheduler) ForcedResets() uint64 { return sc.s.forcedResets }
 
 // Queued returns the number of attached virtual accelerators.
 func (sc *Scheduler) Queued() int { return len(sc.s.vaccels) }

@@ -49,6 +49,13 @@ type VAccel struct {
 	runTime  sim.Time
 	mapped   map[mem.GVA]bool // registered GVA pages
 
+	// Forced-reset hardening (see Config.QuarantineAfter): how many times
+	// this vaccel has blown the preemption-handshake timeout, and whether it
+	// has been permanently barred from its slot as a result. quarantined is
+	// sticky across GuestReset — only tearing the vaccel down clears it.
+	forcedResets int
+	quarantined  bool
+
 	// pendingMapGVA buffers the first half of the two-register hypercall.
 	pendingMapGVA mem.GVA
 }
@@ -141,6 +148,14 @@ func (va *VAccel) Scheduled() bool { return va.scheduled }
 // Failed returns the job's terminal error, if any.
 func (va *VAccel) Failed() error { return va.failure }
 
+// ForcedResets returns how many times this vaccel has been forcibly reset
+// for refusing the preemption handshake.
+func (va *VAccel) ForcedResets() int { return va.forcedResets }
+
+// Quarantined reports whether the vaccel has been permanently barred from
+// its physical slot after repeated forced resets (Config.QuarantineAfter).
+func (va *VAccel) Quarantined() bool { return va.quarantined }
+
 // iovaFor maps a DMA-region GVA into the vaccel's IOVA slice. This is the
 // hypervisor-side sanctioned GVA→IOVA crossing point — the shadow-page
 // installer's linear rebase into the slice (§5) — mirroring the hardware
@@ -226,6 +241,11 @@ func (va *VAccel) mapPage(gva mem.GVA, gpa mem.GPA) error {
 	}
 	if va.mapped[gva] {
 		return nil // idempotent re-registration
+	}
+	if h.chaos != nil {
+		if err := h.injectPinFault(va, gva); err != nil {
+			return err
+		}
 	}
 	// Pin: the IOMMU cannot take page faults, so device-visible frames
 	// must stay resident (§5, "Huge Pages").
@@ -323,6 +343,9 @@ func (va *VAccel) virtualStatus() uint64 {
 // guestStart begins a job: immediately if the vaccel holds the physical
 // accelerator, otherwise the start is postponed until scheduled.
 func (va *VAccel) guestStart() error {
+	if va.quarantined {
+		return fmt.Errorf("hv: virtual accelerator quarantined after %d forced resets", va.forcedResets)
+	}
 	if va.jobActive {
 		return fmt.Errorf("hv: job already active on this virtual accelerator")
 	}

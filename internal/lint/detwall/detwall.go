@@ -5,10 +5,11 @@
 // wall-clock reads, math/rand's globally seeded state, and Go's randomized
 // map iteration order feeding simulation state.
 //
-// Scope: internal/sim, internal/hv, internal/exp — the packages between
-// the event kernel and the rendered tables. cmd/ is deliberately outside
-// the wall: the CLI prints wall-time lines that the artifact-check scripts
-// strip before diffing.
+// Scope: internal/sim, internal/hv, internal/exp, internal/chaos — the
+// packages between the event kernel and the rendered tables, including the
+// fault-injection plan whose draws must replay identically for a fixed
+// seed. cmd/ is deliberately outside the wall: the CLI prints wall-time
+// lines that the artifact-check scripts strip before diffing.
 package detwall
 
 import (
@@ -21,15 +22,16 @@ import (
 )
 
 var scopePkgs = map[string]bool{
-	"sim": true,
-	"hv":  true,
-	"exp": true,
+	"sim":   true,
+	"hv":    true,
+	"exp":   true,
+	"chaos": true,
 }
 
 // Analyzer is the detwall check.
 var Analyzer = &lint.Analyzer{
 	Name:  "detwall",
-	Doc:   "forbid wall-clock time, global math/rand, and unordered map iteration inside the determinism wall (internal/sim, internal/hv, internal/exp)",
+	Doc:   "forbid wall-clock time, global math/rand, and unordered map iteration inside the determinism wall (internal/sim, internal/hv, internal/exp, internal/chaos)",
 	Scope: func(pkgPath string) bool { return scopePkgs[lint.PathBase(pkgPath)] },
 	Run:   run,
 }

@@ -1,0 +1,11 @@
+package faultpath
+
+import (
+	"testing"
+
+	"optimus/internal/lint/linttest"
+)
+
+func TestFaultpath(t *testing.T) {
+	linttest.Run(t, Analyzer, "guest")
+}

@@ -5,8 +5,9 @@
 //
 // The shape mirrors go/analysis deliberately — an Analyzer owns a Run
 // function over a Pass carrying the parsed files and type information — so
-// the four OPTIMUS analyzers (addrspace, detwall, hotalloc, locksafe) port
-// to the real framework mechanically if x/tools ever becomes available.
+// the five OPTIMUS analyzers (addrspace, detwall, faultpath, hotalloc,
+// locksafe) port to the real framework mechanically if x/tools ever becomes
+// available.
 package lint
 
 import (

@@ -139,6 +139,10 @@ const (
 	// KindMuxStall marks the tree root stalling on shell credits.
 	// A = lines requested, B = credit lines in flight.
 	KindMuxStall
+	// KindChaosFault marks an injected fault or its recovery (internal/chaos).
+	// A = packed payload (fault class in the low byte, bit 8 set on the
+	// recovery event — see chaos.FaultPayload), B = affected address (wire).
+	KindChaosFault
 	numKinds
 )
 
@@ -162,6 +166,7 @@ var kindNames = [numKinds]string{
 	KindForcedReset:    "forced-reset",
 	KindAccelReset:     "accel-reset",
 	KindMuxStall:       "mux-stall",
+	KindChaosFault:     "chaos.fault",
 }
 
 func (k Kind) String() string {

@@ -31,6 +31,8 @@ func goldenTracer() *Tracer {
 	tr.Emit(us(6), KindSliceEnd, Sched(0), 0, 3)
 	tr.Emit(us(6), KindSliceBegin, Sched(0), 1, 5) // va1 of vm5, never ends
 	tr.Emit(us(7), KindMuxStall, PA(1), 4, 12)
+	tr.Emit(us(7), KindChaosFault, Shell(), 1, 0x2000)      // injected xlat fault
+	tr.Emit(us(8), KindChaosFault, Shell(), 1|1<<8, 0x2000) // ... and its recovery
 	tr.Emit(us(8), KindAccelReset, PA(1), 0, 0)
 	return tr
 }

@@ -8,10 +8,11 @@ cd "$(dirname "$0")/.."
 echo "== optimuslint =="
 go run ./cmd/optimuslint ./...
 
-# The tracer's emit path claims zero allocations; hold it to that even if
-# the package-wide run above ever narrows its scope.
-echo "== hotalloc (internal/obs emit path) =="
-go run ./cmd/optimuslint -only hotalloc ./internal/obs
+# The tracer's emit path, the shell's DMA packet path, and the chaos
+# draw path all claim zero allocations; hold them to that even if the
+# package-wide run above ever narrows its scope.
+echo "== hotalloc (obs/ccip/chaos hot paths) =="
+go run ./cmd/optimuslint -only hotalloc ./internal/obs ./internal/ccip ./internal/chaos
 
 if command -v staticcheck >/dev/null 2>&1; then
     echo "== staticcheck ($(staticcheck -version 2>/dev/null || echo unknown)) =="
