@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"optimus/internal/chaos"
@@ -32,6 +33,14 @@ type expRecord struct {
 	WallMS       float64 `json:"wall_ms"`
 	Events       uint64  `json:"events_executed"`
 	EventsPerSec float64 `json:"events_per_sec"`
+	// SetupMS is wall time spent in setup-dominated harness regions
+	// (platform assembly, tenant provisioning, warm-platform cloning) as
+	// reported by exp's setup observer; SteadyMS is the remainder — the
+	// measured simulation itself. The split is exact at -par 1; with
+	// parallel workers setup regions can overlap and the split is
+	// approximate.
+	SetupMS  float64 `json:"setup_wall_ms"`
+	SteadyMS float64 `json:"steady_wall_ms"`
 }
 
 type benchArtifact struct {
@@ -52,7 +61,18 @@ func main() {
 	traceCap := flag.Int("trace-cap", 8192, "per-platform trace ring capacity in records (with -trace)")
 	metrics := flag.Bool("metrics", false, "dump every sweep platform's metrics snapshot after the run")
 	chaosSpec := flag.String("chaos", "", "arm seeded fault injection on every sweep platform, e.g. seed=7,rate=10000 (keys: seed,rate,xlat,corrupt,drop,dup,pin,retries; rates in ppm)")
+	cloneFlag := flag.Bool("clone", true, "warm-platform cloning: provision one template per sweep configuration and clone it per point (results are byte-identical either way)")
 	flag.Parse()
+
+	exp.SetCloning(*cloneFlag)
+	// The deterministic wall bans wall-clock reads inside experiment code,
+	// so the setup/steady split is measured here: exp brackets its
+	// setup-dominated regions through this observer.
+	var setupNS atomic.Int64
+	exp.SetSetupObserver(func() func() {
+		t0 := time.Now()
+		return func() { setupNS.Add(int64(time.Since(t0))) }
+	})
 
 	if *chaosSpec != "" {
 		ccfg, err := chaos.ParseSpec(*chaosSpec)
@@ -103,19 +123,27 @@ func main() {
 	for _, id := range ids {
 		start := time.Now()
 		eventsBefore := sim.EventsExecuted()
+		setupBefore := setupNS.Load()
 		if err := exp.Run(id, scale, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "optimus-bench: %s: %v\n", id, err)
 			os.Exit(1)
 		}
 		wall := time.Since(start)
 		events := sim.EventsExecuted() - eventsBefore
-		fmt.Printf("(%s completed in %v wall time, %d events, %.3g events/sec)\n\n",
-			id, wall.Round(time.Millisecond), events, float64(events)/wall.Seconds())
+		setup := time.Duration(setupNS.Load() - setupBefore)
+		if setup > wall {
+			setup = wall
+		}
+		fmt.Printf("(%s completed in %v wall time [%v setup], %d events, %.3g events/sec)\n\n",
+			id, wall.Round(time.Millisecond), setup.Round(time.Millisecond),
+			events, float64(events)/wall.Seconds())
 		art.Records = append(art.Records, expRecord{
 			Exp:          id,
 			WallMS:       float64(wall.Nanoseconds()) / 1e6,
 			Events:       events,
 			EventsPerSec: float64(events) / wall.Seconds(),
+			SetupMS:      float64(setup.Nanoseconds()) / 1e6,
+			SteadyMS:     float64((wall - setup).Nanoseconds()) / 1e6,
 		})
 	}
 	art.TotalMS = float64(time.Since(suiteStart).Nanoseconds()) / 1e6

@@ -1,12 +1,24 @@
-// Command perfdiff compares two optimus-bench -json artifacts and fails
-// (exit 1) when the newer one shows a performance regression: more than the
-// allowed percentage increase in ns/event for any experiment present in
-// both, or in total wall time. It is the gate scripts/perfdiff.sh runs in CI
-// after regenerating the current artifact.
+// Command perfdiff tracks the simulator's performance trajectory across the
+// committed BENCH_<n>.json lineage.
+//
+// Gate mode (the default, run by scripts/perfdiff.sh in CI) compares two
+// optimus-bench -json artifacts and fails (exit 1) on a regression: more
+// than -max-regress percent increase in ns/event for any experiment present
+// in both. Experiments that execute no simulator events (table1, table2,
+// timing — pure functional-model validation) are compared on wall time
+// instead, against the looser -max-wall-regress bound, because wall time is
+// all they report and it is noisier in CI.
+//
+// Trend mode (-trend) reads every committed BENCH_<n>.json in a directory,
+// orders them by PR number, and prints each experiment's events/sec (or
+// wall time for event-free experiments) across the lineage with the delta
+// against the previous artifact — the long-run report that shows where each
+// PR's performance work landed.
 //
 // Usage:
 //
-//	perfdiff [-max-regress 15] OLD.json NEW.json
+//	perfdiff [-max-regress 15] [-max-wall-regress 50] OLD.json NEW.json
+//	perfdiff -trend [DIR]
 package main
 
 import (
@@ -14,6 +26,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
 )
 
 type expRecord struct {
@@ -21,6 +37,8 @@ type expRecord struct {
 	WallMS       float64 `json:"wall_ms"`
 	Events       uint64  `json:"events_executed"`
 	EventsPerSec float64 `json:"events_per_sec"`
+	SetupMS      float64 `json:"setup_wall_ms"`
+	SteadyMS     float64 `json:"steady_wall_ms"`
 }
 
 type benchArtifact struct {
@@ -43,9 +61,10 @@ func load(path string) (*benchArtifact, error) {
 	return &a, nil
 }
 
-// nsPerEvent is the comparison metric: host nanoseconds of wall time per
+// nsPerEvent is the gate metric: host nanoseconds of wall time per
 // simulated event. Lower is better; it is robust to experiments simulating
-// different amounts of virtual time across commits.
+// different amounts of virtual time across commits. Zero means the
+// experiment drives no simulator events and must be compared on wall time.
 func nsPerEvent(r expRecord) float64 {
 	if r.Events == 0 {
 		return 0
@@ -55,9 +74,21 @@ func nsPerEvent(r expRecord) float64 {
 
 func main() {
 	maxRegress := flag.Float64("max-regress", 15, "allowed ns/event increase per experiment (percent)")
+	maxWallRegress := flag.Float64("max-wall-regress", 50, "allowed wall-time increase for experiments with no simulator events (percent)")
+	minWallMS := flag.Float64("min-wall-ms", 50, "wall-time noise floor: zero-event experiments faster than this on both sides are never a regression")
+	trend := flag.Bool("trend", false, "print the events/sec trend across every committed BENCH_<n>.json in DIR (default .) instead of gating")
 	flag.Parse()
+
+	if *trend {
+		dir := "."
+		if flag.NArg() > 0 {
+			dir = flag.Arg(0)
+		}
+		os.Exit(trendReport(dir))
+	}
+
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: perfdiff [-max-regress pct] OLD.json NEW.json")
+		fmt.Fprintln(os.Stderr, "usage: perfdiff [-max-regress pct] [-max-wall-regress pct] OLD.json NEW.json\n       perfdiff -trend [DIR]")
 		os.Exit(2)
 	}
 	oldArt, err := load(flag.Arg(0))
@@ -90,24 +121,188 @@ func main() {
 		}
 		compared++
 		oldNS, newNS := nsPerEvent(p), nsPerEvent(r)
-		if oldNS == 0 || newNS == 0 {
-			continue
+		switch {
+		case oldNS > 0 && newNS > 0:
+			delta := (newNS - oldNS) / oldNS * 100
+			status := "ok"
+			if delta > *maxRegress {
+				status = "REGRESSION"
+				failed = true
+			}
+			fmt.Printf("  %-12s %8.1f -> %8.1f ns/event  %+6.1f%%  %s\n", r.Exp, oldNS, newNS, delta, status)
+		case p.Events == 0 && r.Events == 0:
+			// No simulator events on either side: wall time is the only
+			// signal. Guard the divide — a degenerate zero-wall baseline
+			// compares as unchanged.
+			if p.WallMS <= 0 {
+				fmt.Printf("  %-12s no events and no baseline wall time, skipped\n", r.Exp)
+				continue
+			}
+			delta := (r.WallMS - p.WallMS) / p.WallMS * 100
+			status := "ok"
+			if delta > *maxWallRegress && (p.WallMS >= *minWallMS || r.WallMS >= *minWallMS) {
+				status = "REGRESSION"
+				failed = true
+			}
+			fmt.Printf("  %-12s %8.1f -> %8.1f ms wall    %+6.1f%%  %s (no events)\n", r.Exp, p.WallMS, r.WallMS, delta, status)
+		default:
+			fmt.Printf("  %-12s event counts changed zero/nonzero (%d -> %d), not comparable\n", r.Exp, p.Events, r.Events)
 		}
-		delta := (newNS - oldNS) / oldNS * 100
-		status := "ok"
-		if delta > *maxRegress {
-			status = "REGRESSION"
-			failed = true
-		}
-		fmt.Printf("  %-12s %8.1f -> %8.1f ns/event  %+6.1f%%  %s\n", r.Exp, oldNS, newNS, delta, status)
 	}
 	if compared == 0 {
 		fmt.Println("perfdiff: no common experiments to compare")
 		os.Exit(2)
 	}
 	if failed {
-		fmt.Printf("perfdiff: FAIL (> %.0f%% ns/event regression)\n", *maxRegress)
+		fmt.Printf("perfdiff: FAIL (> %.0f%% ns/event or > %.0f%% wall regression)\n", *maxRegress, *maxWallRegress)
 		os.Exit(1)
 	}
 	fmt.Println("perfdiff: PASS")
+}
+
+// lineage returns the committed BENCH_<n>.json artifacts in dir, ordered by
+// PR number.
+func lineage(dir string) ([]string, []int, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, nil, err
+	}
+	type entry struct {
+		path string
+		n    int
+	}
+	var entries []entry
+	for _, m := range matches {
+		base := strings.TrimSuffix(strings.TrimPrefix(filepath.Base(m), "BENCH_"), ".json")
+		n, err := strconv.Atoi(base)
+		if err != nil {
+			continue // not part of the numbered lineage
+		}
+		entries = append(entries, entry{m, n})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].n < entries[j].n })
+	paths := make([]string, len(entries))
+	nums := make([]int, len(entries))
+	for i, e := range entries {
+		paths[i], nums[i] = e.path, e.n
+	}
+	return paths, nums, nil
+}
+
+// fmtRate renders an events/sec figure compactly (1.35M, 126k).
+func fmtRate(v float64) string {
+	switch {
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.0fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+func trendReport(dir string) int {
+	paths, nums, err := lineage(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfdiff:", err)
+		return 2
+	}
+	if len(paths) == 0 {
+		fmt.Printf("perfdiff: no BENCH_<n>.json artifacts in %s\n", dir)
+		return 0
+	}
+	arts := make([]*benchArtifact, len(paths))
+	for i, p := range paths {
+		a, err := load(p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "perfdiff:", err)
+			return 2
+		}
+		arts[i] = a
+	}
+
+	fmt.Printf("perf trend across %d artifacts:", len(arts))
+	for i, p := range paths {
+		fmt.Printf(" %s(%s/par%d)", filepath.Base(p), arts[i].Scale, arts[i].Par)
+	}
+	fmt.Println()
+
+	// Experiment order: as listed in the newest artifact, then any id that
+	// only older artifacts know, in first-seen order.
+	var order []string
+	seen := map[string]bool{}
+	for _, r := range arts[len(arts)-1].Records {
+		order = append(order, r.Exp)
+		seen[r.Exp] = true
+	}
+	for _, a := range arts {
+		for _, r := range a.Records {
+			if !seen[r.Exp] {
+				order = append(order, r.Exp)
+				seen[r.Exp] = true
+			}
+		}
+	}
+
+	byExp := make([]map[string]expRecord, len(arts))
+	for i, a := range arts {
+		byExp[i] = make(map[string]expRecord, len(a.Records))
+		for _, r := range a.Records {
+			byExp[i][r.Exp] = r
+		}
+	}
+
+	header := fmt.Sprintf("%-12s", "experiment")
+	for _, n := range nums {
+		header += fmt.Sprintf("  %16s", fmt.Sprintf("BENCH_%d", n))
+	}
+	fmt.Println(header)
+	comparable := func(i, j int) bool {
+		return arts[i].Scale == arts[j].Scale && arts[i].Par == arts[j].Par
+	}
+	for _, id := range order {
+		line := fmt.Sprintf("%-12s", id)
+		prevIdx := -1
+		for i := range arts {
+			r, ok := byExp[i][id]
+			if !ok {
+				line += fmt.Sprintf("  %16s", "-")
+				continue
+			}
+			var cell string
+			if r.Events > 0 {
+				cell = fmtRate(r.EventsPerSec) + " ev/s"
+			} else {
+				cell = fmt.Sprintf("%.1fms wall", r.WallMS)
+			}
+			if prevIdx >= 0 && comparable(prevIdx, i) {
+				p := byExp[prevIdx][id]
+				var delta float64
+				switch {
+				case r.Events > 0 && p.Events > 0:
+					delta = (r.EventsPerSec - p.EventsPerSec) / p.EventsPerSec * 100
+					cell += fmt.Sprintf(" %+.0f%%", delta)
+				case r.Events == 0 && p.Events == 0 && p.WallMS > 0:
+					delta = (r.WallMS - p.WallMS) / p.WallMS * 100
+					cell += fmt.Sprintf(" %+.0f%%", delta)
+				}
+			}
+			line += fmt.Sprintf("  %16s", cell)
+			prevIdx = i
+		}
+		fmt.Println(line)
+	}
+
+	line := fmt.Sprintf("%-12s", "total wall")
+	prevIdx := -1
+	for i, a := range arts {
+		cell := fmt.Sprintf("%.0fs", a.TotalMS/1e3)
+		if prevIdx >= 0 && comparable(prevIdx, i) && arts[prevIdx].TotalMS > 0 {
+			cell += fmt.Sprintf(" %+.0f%%", (a.TotalMS-arts[prevIdx].TotalMS)/arts[prevIdx].TotalMS*100)
+		}
+		line += fmt.Sprintf("  %16s", cell)
+		prevIdx = i
+	}
+	fmt.Println(line)
+	return 0
 }

@@ -57,17 +57,23 @@ type SSSPAccel struct {
 	changed bool
 
 	cache ssspCache
+	// Per-line bookkeeping for the dist array, as flat slices indexed by
+	// line number relative to distLineBase: dist lines are dense, so direct
+	// indexing replaces the map hashing that used to dominate the relax
+	// path.
+	//
 	// wbuf is the write-combining store buffer: the latest data for lines
-	// with write-through DMAs pending. Cache refills forward from it
-	// (store-to-load forwarding), and at most one write per line is in
-	// flight at a time — two same-line writes on different channels could
+	// with write-through DMAs pending (nil = none). Cache refills forward
+	// from it (store-to-load forwarding), and at most one write per line is
+	// in flight at a time — two same-line writes on different channels could
 	// otherwise complete out of order and let stale data win in memory.
-	wbuf  map[uint64][]byte
-	wbusy map[uint64]bool
 	// inflight tracks dist lines with a fetch pending; defers queues the
 	// relaxations deferred on each in-flight line.
-	inflight map[uint64]bool
-	defers   map[uint64][]ssspDeferred
+	distLineBase uint64
+	wbuf         [][]byte
+	wbusy        []bool
+	inflight     []bool
+	defers       [][]ssspDeferred
 }
 
 // ssspDeferred is one relaxation parked while its target line is fetched.
@@ -126,10 +132,6 @@ func (x *SSSPAccel) Start(a *Accel) {
 	x.block = 0
 	x.changed = false
 	x.cache.invalidateAll()
-	x.wbuf = make(map[uint64][]byte)
-	x.wbusy = make(map[uint64]bool)
-	x.inflight = make(map[uint64]bool)
-	x.defers = make(map[uint64][]ssspDeferred)
 	x.maxRounds = a.Arg(SSSPArgRounds)
 	desc := a.Arg(SSSPArgDesc)
 	a.Read(desc, 1, func(data []byte, err error) {
@@ -148,6 +150,7 @@ func (x *SSSPAccel) Start(a *Accel) {
 			a.Fail(fmt.Errorf("sssp: bad graph (V=%d source=%d)", x.nv, x.source))
 			return
 		}
+		x.initLineState()
 		if x.maxRounds == 0 {
 			x.maxRounds = x.nv // Bellman–Ford upper bound
 		}
@@ -254,6 +257,22 @@ func (x *SSSPAccel) distLine(v uint64) uint64 {
 	return (x.distGVA + 8*v) &^ (ccip.LineSize - 1)
 }
 
+// initLineState sizes the dense per-line bookkeeping once the descriptor is
+// known. Callers validate nv > 0 first.
+func (x *SSSPAccel) initLineState() {
+	x.distLineBase = x.distGVA &^ (ccip.LineSize - 1)
+	n := int((x.distLine(x.nv-1)-x.distLineBase)/ccip.LineSize) + 1
+	x.wbuf = make([][]byte, n)
+	x.wbusy = make([]bool, n)
+	x.inflight = make([]bool, n)
+	x.defers = make([][]ssspDeferred, n)
+}
+
+// lineIdx maps a dist line address to its dense slice index.
+func (x *SSSPAccel) lineIdx(lineAddr uint64) int {
+	return int((lineAddr - x.distLineBase) / ccip.LineSize)
+}
+
 // distCached returns the cached line and word index for dist[v], if present.
 func (x *SSSPAccel) distCached(v uint64) (line []byte, idx int, ok bool) {
 	lineAddr := x.distLine(v)
@@ -288,7 +307,7 @@ func (x *SSSPAccel) relaxEdges(a *Accel, v0, nverts, e0 uint64, rowptr, col, wgt
 				line[b] = srcDist[src]
 			}
 		}
-		if buffered, ok := x.wbuf[lineAddr]; ok {
+		if buffered := x.wbuf[x.lineIdx(lineAddr)]; buffered != nil {
 			copy(line, buffered)
 		}
 		x.cache.fill(lineAddr, line)
@@ -328,24 +347,25 @@ func (x *SSSPAccel) relaxTarget(a *Accel, c, nd, v0, nverts uint64, local []uint
 		return
 	}
 	lineAddr := x.distLine(c)
-	x.defers[lineAddr] = append(x.defers[lineAddr], ssspDeferred{c: c, nd: nd})
-	if x.inflight[lineAddr] {
+	li := x.lineIdx(lineAddr)
+	x.defers[li] = append(x.defers[li], ssspDeferred{c: c, nd: nd})
+	if x.inflight[li] {
 		return
 	}
-	x.inflight[lineAddr] = true
+	x.inflight[li] = true
 	a.Read(lineAddr, 1, func(data []byte, err error) {
-		delete(x.inflight, lineAddr)
+		x.inflight[li] = false
 		if err != nil {
 			a.Fail(fmt.Errorf("sssp dist fetch: %w", err))
 			return
 		}
 		// The store buffer wins over (possibly stale) memory data.
-		if buffered, ok := x.wbuf[lineAddr]; ok {
+		if buffered := x.wbuf[li]; buffered != nil {
 			data = append([]byte(nil), buffered...)
 		}
 		x.cache.fill(lineAddr, data)
-		ds := x.defers[lineAddr]
-		delete(x.defers, lineAddr)
+		ds := x.defers[li]
+		x.defers[li] = nil
 		for _, d := range ds {
 			if line, idx, ok := x.distCached(d.c); ok {
 				x.applyRelax(a, d.c, d.nd, line, idx, v0, nverts, local)
@@ -379,25 +399,27 @@ func (x *SSSPAccel) applyRelax(a *Accel, c, nd uint64, line []byte, idx int, v0,
 // the first DMA acknowledges — memory therefore always converges to the
 // newest value regardless of channel completion order.
 func (x *SSSPAccel) storeLine(a *Accel, lineAddr uint64, data []byte) {
-	x.wbuf[lineAddr] = data
-	if x.wbusy[lineAddr] {
+	li := x.lineIdx(lineAddr)
+	x.wbuf[li] = data
+	if x.wbusy[li] {
 		return
 	}
 	x.issueStore(a, lineAddr)
 }
 
 func (x *SSSPAccel) issueStore(a *Accel, lineAddr uint64) {
-	data := x.wbuf[lineAddr]
-	x.wbusy[lineAddr] = true
+	li := x.lineIdx(lineAddr)
+	data := x.wbuf[li]
+	x.wbusy[li] = true
 	a.Write(lineAddr, data, func(err error) {
 		if err != nil {
 			a.Fail(fmt.Errorf("sssp dist write: %w", err))
 			return
 		}
-		x.wbusy[lineAddr] = false
-		if cur, ok := x.wbuf[lineAddr]; ok {
+		x.wbusy[li] = false
+		if cur := x.wbuf[li]; cur != nil {
 			if &cur[0] == &data[0] {
-				delete(x.wbuf, lineAddr) // buffer drained
+				x.wbuf[li] = nil // buffer drained
 			} else {
 				x.issueStore(a, lineAddr) // newer data arrived meanwhile
 			}
@@ -431,13 +453,10 @@ func (x *SSSPAccel) RestoreState(data []byte) error {
 		x.block-- // the interrupted block reruns (idempotent relaxation)
 	}
 	x.cache.invalidateAll()
-	x.wbuf = make(map[uint64][]byte)
-	x.wbusy = make(map[uint64]bool)
-	x.inflight = make(map[uint64]bool)
-	x.defers = make(map[uint64][]ssspDeferred)
 	if x.nv == 0 {
 		return fmt.Errorf("sssp: corrupt state")
 	}
+	x.initLineState()
 	return nil
 }
 

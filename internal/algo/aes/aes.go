@@ -36,9 +36,26 @@ var sbox = [256]byte{
 
 var invSbox [256]byte
 
+// te0..te3 are the encryption T-tables: each entry fuses SubBytes with that
+// byte's MixColumns contribution to a whole column, so one round of the
+// datapath is four table loads and four XORs per column instead of byte-wise
+// field arithmetic. te0[x] packs (2s, s, s, 3s) for s = sbox[x], MSB first;
+// teN is te0 rotated right by 8N bits (the column coefficients rotate with
+// the row index).
+var te0, te1, te2, te3 [256]uint32
+
 func init() {
 	for i, v := range sbox {
 		invSbox[v] = byte(i)
+	}
+	for i := range sbox {
+		s := sbox[i]
+		s2 := xtime(s)
+		w := uint32(s2)<<24 | uint32(s)<<16 | uint32(s)<<8 | uint32(s2^s)
+		te0[i] = w
+		te1[i] = w>>8 | w<<24
+		te2[i] = w>>16 | w<<16
+		te3[i] = w>>24 | w<<8
 	}
 }
 
@@ -46,7 +63,8 @@ var rcon = [11]byte{0x00, 0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 
 
 // Cipher is an expanded-key AES-128 instance.
 type Cipher struct {
-	rk [Rounds + 1][16]byte // round keys in byte order
+	rk [Rounds + 1][16]byte     // round keys in byte order (decrypt datapath)
+	ek [4 * (Rounds + 1)]uint32 // round keys as big-endian words (encrypt)
 }
 
 // New expands key into a Cipher.
@@ -74,6 +92,9 @@ func New(key []byte) (*Cipher, error) {
 		for i := 0; i < 4; i++ {
 			copy(c.rk[r][4*i:4*i+4], w[4*r+i][:])
 		}
+	}
+	for i, t := range w {
+		c.ek[i] = uint32(t[0])<<24 | uint32(t[1])<<16 | uint32(t[2])<<8 | uint32(t[3])
 	}
 	return c, nil
 }
@@ -158,21 +179,40 @@ func invMixColumns(s *[16]byte) {
 	}
 }
 
-// Encrypt encrypts one 16-byte block src into dst (may alias).
+// Encrypt encrypts one 16-byte block src into dst (may alias). The hot
+// direction runs on the T-tables: each state word is one column, and a round
+// is four fused SubBytes+ShiftRows+MixColumns lookups per column.
 func (c *Cipher) Encrypt(dst, src []byte) {
-	var s [16]byte
-	copy(s[:], src)
-	addRoundKey(&s, &c.rk[0])
+	_ = src[15]
+	s0 := uint32(src[0])<<24 | uint32(src[1])<<16 | uint32(src[2])<<8 | uint32(src[3])
+	s1 := uint32(src[4])<<24 | uint32(src[5])<<16 | uint32(src[6])<<8 | uint32(src[7])
+	s2 := uint32(src[8])<<24 | uint32(src[9])<<16 | uint32(src[10])<<8 | uint32(src[11])
+	s3 := uint32(src[12])<<24 | uint32(src[13])<<16 | uint32(src[14])<<8 | uint32(src[15])
+	s0 ^= c.ek[0]
+	s1 ^= c.ek[1]
+	s2 ^= c.ek[2]
+	s3 ^= c.ek[3]
 	for r := 1; r < Rounds; r++ {
-		subBytes(&s)
-		shiftRows(&s)
-		mixColumns(&s)
-		addRoundKey(&s, &c.rk[r])
+		t0 := te0[s0>>24] ^ te1[s1>>16&0xff] ^ te2[s2>>8&0xff] ^ te3[s3&0xff] ^ c.ek[4*r]
+		t1 := te0[s1>>24] ^ te1[s2>>16&0xff] ^ te2[s3>>8&0xff] ^ te3[s0&0xff] ^ c.ek[4*r+1]
+		t2 := te0[s2>>24] ^ te1[s3>>16&0xff] ^ te2[s0>>8&0xff] ^ te3[s1&0xff] ^ c.ek[4*r+2]
+		t3 := te0[s3>>24] ^ te1[s0>>16&0xff] ^ te2[s1>>8&0xff] ^ te3[s2&0xff] ^ c.ek[4*r+3]
+		s0, s1, s2, s3 = t0, t1, t2, t3
 	}
-	subBytes(&s)
-	shiftRows(&s)
-	addRoundKey(&s, &c.rk[Rounds])
-	copy(dst, s[:])
+	// Final round: SubBytes + ShiftRows only.
+	t0 := uint32(sbox[s0>>24])<<24 | uint32(sbox[s1>>16&0xff])<<16 | uint32(sbox[s2>>8&0xff])<<8 | uint32(sbox[s3&0xff])
+	t1 := uint32(sbox[s1>>24])<<24 | uint32(sbox[s2>>16&0xff])<<16 | uint32(sbox[s3>>8&0xff])<<8 | uint32(sbox[s0&0xff])
+	t2 := uint32(sbox[s2>>24])<<24 | uint32(sbox[s3>>16&0xff])<<16 | uint32(sbox[s0>>8&0xff])<<8 | uint32(sbox[s1&0xff])
+	t3 := uint32(sbox[s3>>24])<<24 | uint32(sbox[s0>>16&0xff])<<16 | uint32(sbox[s1>>8&0xff])<<8 | uint32(sbox[s2&0xff])
+	t0 ^= c.ek[4*Rounds]
+	t1 ^= c.ek[4*Rounds+1]
+	t2 ^= c.ek[4*Rounds+2]
+	t3 ^= c.ek[4*Rounds+3]
+	_ = dst[15]
+	dst[0], dst[1], dst[2], dst[3] = byte(t0>>24), byte(t0>>16), byte(t0>>8), byte(t0)
+	dst[4], dst[5], dst[6], dst[7] = byte(t1>>24), byte(t1>>16), byte(t1>>8), byte(t1)
+	dst[8], dst[9], dst[10], dst[11] = byte(t2>>24), byte(t2>>16), byte(t2>>8), byte(t2)
+	dst[12], dst[13], dst[14], dst[15] = byte(t3>>24), byte(t3>>16), byte(t3>>8), byte(t3)
 }
 
 // Decrypt decrypts one 16-byte block src into dst (may alias).

@@ -21,6 +21,11 @@ const fieldSize = 256
 var (
 	expTable [2 * fieldSize]byte
 	logTable [fieldSize]int
+	// mulTable is the full GF(256) product table: one unconditional load per
+	// multiply instead of the branchy log/exp path. 64 KiB, built once; the
+	// decoder's inner loops (syndromes, Chien search) index a single 256-byte
+	// row at a time, which stays resident in L1.
+	mulTable [fieldSize][fieldSize]byte
 )
 
 func init() {
@@ -37,14 +42,15 @@ func init() {
 	for i := fieldSize - 1; i < len(expTable); i++ {
 		expTable[i] = expTable[i-(fieldSize-1)]
 	}
+	for a := 1; a < fieldSize; a++ {
+		la := logTable[a]
+		for b := 1; b < fieldSize; b++ {
+			mulTable[a][b] = expTable[la+logTable[b]]
+		}
+	}
 }
 
-func gfMul(a, b byte) byte {
-	if a == 0 || b == 0 {
-		return 0
-	}
-	return expTable[logTable[a]+logTable[b]]
-}
+func gfMul(a, b byte) byte { return mulTable[a][b] }
 
 func gfDiv(a, b byte) byte {
 	if b == 0 {
@@ -80,8 +86,10 @@ func polyEval(p []byte, x byte) byte {
 
 // Code is an RS(n, k) encoder/decoder.
 type Code struct {
-	n, k int
-	gen  []byte // generator polynomial, high-order first, monic, degree 2t
+	n, k    int
+	gen     []byte // generator polynomial, high-order first, monic, degree 2t
+	roots   []byte // generator roots α^0..α^(2t-1) (syndrome evaluation points)
+	synRows []*[fieldSize]byte // product-table row per root, for syndromes
 }
 
 // New returns an RS(n, k) code. n must be ≤ 255 and n-k even and positive.
@@ -94,8 +102,10 @@ func New(n, k int) (*Code, error) {
 	}
 	// g(x) = ∏_{i=0}^{2t-1} (x - α^i)
 	gen := []byte{1}
+	roots := make([]byte, n-k)
 	for i := 0; i < n-k; i++ {
 		root := gfPow(2, i)
+		roots[i] = root
 		next := make([]byte, len(gen)+1)
 		for j, c := range gen {
 			next[j] ^= c
@@ -103,7 +113,11 @@ func New(n, k int) (*Code, error) {
 		}
 		gen = next
 	}
-	return &Code{n: n, k: k, gen: gen}, nil
+	rows := make([]*[fieldSize]byte, n-k)
+	for i, root := range roots {
+		rows[i] = &mulTable[root]
+	}
+	return &Code{n: n, k: k, gen: gen, roots: roots, synRows: rows}, nil
 }
 
 // N returns the codeword length in symbols.
@@ -130,8 +144,9 @@ func (c *Code) Encode(msg []byte) ([]byte, error) {
 		copy(rem, rem[1:])
 		rem[len(rem)-1] = 0
 		if factor != 0 {
+			row := &mulTable[factor]
 			for j := 1; j < len(c.gen); j++ {
-				rem[j-1] ^= gfMul(c.gen[j], factor)
+				rem[j-1] ^= row[c.gen[j]]
 			}
 		}
 	}
@@ -140,16 +155,39 @@ func (c *Code) Encode(msg []byte) ([]byte, error) {
 }
 
 // syndromes returns the 2t syndromes of received; all-zero means no error.
+// Each syndrome is a Horner evaluation at one generator root; the multiply
+// per step is a single load from that root's 256-byte product-table row.
+// Four chains run interleaved per pass over received: they are mutually
+// independent, so the load-to-use latency of one chain's table lookup is
+// hidden behind the other three instead of serializing the whole loop.
 func (c *Code) syndromes(received []byte) ([]byte, bool) {
-	syn := make([]byte, c.n-c.k)
-	clean := true
-	for i := range syn {
-		syn[i] = polyEval(received, gfPow(2, i))
-		if syn[i] != 0 {
-			clean = false
+	nk := c.n - c.k
+	syn := make([]byte, nk)
+	i := 0
+	for ; i+4 <= nk; i += 4 {
+		r0, r1, r2, r3 := c.synRows[i], c.synRows[i+1], c.synRows[i+2], c.synRows[i+3]
+		var y0, y1, y2, y3 byte
+		for _, v := range received {
+			y0 = r0[y0] ^ v
+			y1 = r1[y1] ^ v
+			y2 = r2[y2] ^ v
+			y3 = r3[y3] ^ v
 		}
+		syn[i], syn[i+1], syn[i+2], syn[i+3] = y0, y1, y2, y3
 	}
-	return syn, clean
+	for ; i < nk; i++ {
+		row := c.synRows[i]
+		var y byte
+		for _, v := range received {
+			y = row[y] ^ v
+		}
+		syn[i] = y
+	}
+	var dirty byte
+	for _, s := range syn {
+		dirty |= s
+	}
+	return syn, dirty == 0
 }
 
 // Decode corrects up to t symbol errors in received (length n) in place and
@@ -201,17 +239,25 @@ func (c *Code) Decode(received []byte) (msg []byte, corrected int, err error) {
 	}
 
 	// Chien search: find error positions. Roots of sigma are α^{-pos'}
-	// where pos' indexes from the end of the codeword.
+	// where pos' indexes from the end of the codeword. The candidate root
+	// for position pos is x0·α^pos, so sigma is evaluated incrementally:
+	// term j carries sigma[j]·x^j and is multiplied by α^j per position.
 	var positions []int
+	x0 := gfPow(2, fieldSize-1-((c.n-1)%(fieldSize-1)))
+	terms := make([]byte, len(sigma))
+	for j := range sigma {
+		terms[j] = gfMul(sigma[j], gfPow(x0, j))
+	}
 	for pos := 0; pos < c.n; pos++ {
-		// Candidate root X^{-1} = α^{-(n-1-pos)}.
-		xinv := gfPow(2, fieldSize-1-((c.n-1-pos)%(fieldSize-1)))
 		var v byte
-		for j := len(sigma) - 1; j >= 0; j-- {
-			v = gfMul(v, xinv) ^ sigma[j]
+		for _, tv := range terms {
+			v ^= tv
 		}
 		if v == 0 {
 			positions = append(positions, pos)
+		}
+		for j := 1; j < len(terms); j++ {
+			terms[j] = gfMul(terms[j], expTable[j])
 		}
 	}
 	if len(positions) != l {
@@ -220,7 +266,8 @@ func (c *Code) Decode(received []byte) (msg []byte, corrected int, err error) {
 
 	// Forney: error magnitudes via the evaluator omega = syn·sigma mod x^{2t}.
 	omega := polyMulMod(syndromePoly(syn), sigma, c.n-c.k)
-	for _, pos := range positions {
+	magnitudes := make([]byte, len(positions))
+	for pi, pos := range positions {
 		xlog := (c.n - 1 - pos) % (fieldSize - 1)
 		x := gfPow(2, xlog)
 		xinv := gfInv(x)
@@ -234,11 +281,23 @@ func (c *Code) Decode(received []byte) (msg []byte, corrected int, err error) {
 		}
 		num := gfMul(polyEvalLow(omega, xinv), x)
 		magnitude := gfDiv(num, denom)
+		magnitudes[pi] = magnitude
 		received[pos] ^= magnitude
 	}
 
-	// Verify correction.
-	if _, ok := c.syndromes(received); !ok {
+	// Verify: instead of re-evaluating all 2t Horner loops over the
+	// corrected word, fold each applied correction's exact syndrome
+	// contribution (magnitude·root^{n-1-pos}) into the original syndromes
+	// and require that every one cancels to zero.
+	var dirty byte
+	for i, root := range c.roots {
+		s := syn[i]
+		for pi, pos := range positions {
+			s ^= gfMul(magnitudes[pi], gfPow(root, c.n-1-pos))
+		}
+		dirty |= s
+	}
+	if dirty != 0 {
 		return nil, 0, ErrTooManyErrors
 	}
 	return received[:c.k], len(positions), nil

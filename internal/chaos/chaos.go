@@ -294,6 +294,22 @@ func (p *Plan) Recovery() *sim.LatencyStat { return p.recovery }
 // schedule.
 func (p *Plan) ResetStats() { p.stats = Stats{} }
 
+// CopyStateFrom transfers src's dynamic state — generator position,
+// counters, disarm flag, and recovery histogram — into p, which must have
+// been built from the same Config (so thresholds and budgets already
+// match). The recovery stat is copied in place because metric registries
+// hold its pointer. Used by hypervisor cloning to resume the fault
+// schedule exactly where the template's provisioning left it.
+func (p *Plan) CopyStateFrom(src *Plan) {
+	if p == nil || src == nil {
+		return
+	}
+	p.rng = sim.RandFromState(src.rng.State())
+	p.stats = src.stats
+	p.disarmed = src.disarmed
+	p.recovery.CopyFrom(src.recovery)
+}
+
 // FaultPayload packs a chaos trace payload for obs.KindChaosFault's A word:
 // the fault class in the low byte, bit 8 set on recovery events.
 func FaultPayload(c Class, recovered bool) uint64 {

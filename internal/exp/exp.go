@@ -310,7 +310,7 @@ func buildGuestList(tn *tenant, buf guest.Buffer, n int, seed uint64) (uint64, u
 		n = slots
 	}
 	rng := sim.NewRand(seed ^ 0x11)
-	order := rng.Perm(slots)[:n]
+	order := rng.Sample(slots, n)
 	addrs := make([]uint64, n)
 	for i, s := range order {
 		addrs[i] = uint64(buf.Addr) + uint64(s)*64

@@ -118,21 +118,9 @@ func llLatencyPoint(pageSize uint64, ch ccip.Channel, n int, ws uint64, nodes in
 }
 
 // spatialPlatformSlots builds the 8-slot platform but provisions only the
-// first n tenants.
+// first n tenants, cloning from a warmed template when enabled (warm.go).
 func spatialPlatformSlots(cfg hv.Config, n int) (*hv.Hypervisor, []*tenant, error) {
-	h, err := hv.New(cfg)
-	if err != nil {
-		return nil, nil, err
-	}
-	tenants := make([]*tenant, n)
-	for i := range tenants {
-		tn, err := newTenant(h, i)
-		if err != nil {
-			return nil, nil, err
-		}
-		tenants[i] = tn
-	}
-	return h, tenants, nil
+	return warmSpatialPlatform(cfg, n)
 }
 
 // Fig6 reproduces Figure 6: MemBench aggregate throughput versus aggregate

@@ -161,6 +161,21 @@ func TestParallelDeterminism(t *testing.T) {
 		t.Fatal("empty render")
 	}
 
+	// Warm-platform cloning must be invisible too: the renders above used
+	// cloned platforms (cloning defaults on); re-render with every point
+	// built from scratch and require byte-identical tables, at both
+	// parallelism levels.
+	SetCloning(false)
+	freshSeq := render(1)
+	freshPar := render(8)
+	SetCloning(true)
+	if freshSeq != seq {
+		t.Fatalf("tables differ between cloned and from-scratch platforms:\n--- clone ---\n%s\n--- fresh ---\n%s", seq, freshSeq)
+	}
+	if freshPar != seq {
+		t.Fatal("from-scratch render differs at par 8")
+	}
+
 	// Tracing must be invisible to results: arm auto-observation so every
 	// platform built by the sweep gets a private tracer ring and metrics
 	// registry, then re-render in parallel. A small ring forces wraparound,

@@ -132,26 +132,14 @@ func layoutSSSPJob(tn *tenant, g *graph.CSR, source int) error {
 }
 
 // spatialPlatform builds an OPTIMUS platform with n copies of app and one
-// tenant per slot.
+// tenant per slot, cloning from a warmed template when enabled (warm.go).
 func spatialPlatform(app string, n int, cfg hv.Config) (*hv.Hypervisor, []*tenant, error) {
 	apps := make([]string, n)
 	for i := range apps {
 		apps[i] = app
 	}
 	cfg.Accels = apps
-	h, err := hv.New(cfg)
-	if err != nil {
-		return nil, nil, err
-	}
-	tenants := make([]*tenant, n)
-	for i := range tenants {
-		tn, err := newTenant(h, i)
-		if err != nil {
-			return nil, nil, err
-		}
-		tenants[i] = tn
-	}
-	return h, tenants, nil
+	return warmSpatialPlatform(cfg, n)
 }
 
 // runJobsToCompletion starts every job and runs the simulation until all

@@ -1,0 +1,175 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"optimus/internal/hv"
+)
+
+// Warm-platform cloning. Sweep grids (fig5, fig6, fig7, the ablations) run
+// dozens of points that all begin with the identical, expensive prologue:
+// assemble an 8-slot platform, create n tenants, register their DMA bases.
+// Instead of repeating it per point, the harness provisions one quiescent
+// template per (configuration, tenant count) and hv.Clone()s it for each
+// point. Cloning preserves byte-identical experiment output at any sweep
+// parallelism because clones share no mutable state — the template is only
+// ever read (see hv.Clone).
+//
+// Points that set explicit Trace/Metrics handles bypass the cache: a
+// user-supplied tracer is tied to one platform and must not be silently
+// shared or replaced.
+
+// noClone disables warm-platform cloning when set (cloning defaults on).
+var noClone atomic.Bool
+
+// SetCloning toggles warm-platform cloning for subsequent points. The
+// benchmark driver exposes it as -clone so the clone-vs-fresh table
+// equivalence stays easy to audit.
+func SetCloning(on bool) { noClone.Store(!on) }
+
+// Cloning reports whether warm-platform cloning is enabled.
+func Cloning() bool { return !noClone.Load() }
+
+// setupObserver, when set, brackets setup-dominated harness regions
+// (platform construction, tenant provisioning, cloning): it is called on
+// entry and the returned func on exit. cmd/optimus-bench installs a
+// wall-clock accumulator through SetSetupObserver to split each
+// experiment's wall time into setup and steady-state — the clock itself
+// lives in cmd because the deterministic wall (see internal/lint/detwall)
+// bans wall-time reads inside experiment code. Regions nest (newTenant
+// runs inside buildSpatial); only the outermost level reports.
+var (
+	setupObserver func() func()
+	setupDepth    atomic.Int32
+)
+
+// SetSetupObserver installs the setup-region observer (nil removes it).
+// Install once, before any sweep starts. With parallel workers the
+// reported intervals may overlap; the split is exact at -par 1.
+func SetSetupObserver(fn func() func()) { setupObserver = fn }
+
+// beginSetup enters a setup region and returns its exit func.
+func beginSetup() func() {
+	if setupObserver == nil {
+		return func() {}
+	}
+	if setupDepth.Add(1) != 1 {
+		return func() { setupDepth.Add(-1) }
+	}
+	end := setupObserver()
+	return func() {
+		setupDepth.Add(-1)
+		end()
+	}
+}
+
+// warmEntry is one cached template, built single-flight like graphCache:
+// the map mutex is never held during construction, so workers warming
+// different configurations build concurrently while workers wanting the
+// same one share a single build.
+type warmEntry struct {
+	once    sync.Once
+	h       *hv.Hypervisor
+	tenants []*tenant
+	err     error
+}
+
+var (
+	warmMu    sync.Mutex
+	warmCache = map[string]*warmEntry{}
+)
+
+// warmKey fingerprints everything that shapes a template: the full
+// platform configuration (including the armed ChaosAll config, which New
+// folds into platforms that do not set Config.Chaos) plus the tenant
+// count. Trace/Metrics are deliberately absent — configs carrying them
+// never reach the cache.
+func warmKey(cfg hv.Config, n int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|%d|%d|%d|%d|%d|%v|%d|%d|%d|%d|%+v|%d",
+		strings.Join(cfg.Accels, ","), cfg.Mode, cfg.MemBytes, cfg.PageSize,
+		cfg.SliceSize, cfg.SliceGuard, cfg.DisableGuard, cfg.TimeSlice,
+		cfg.PreemptTimeout, cfg.QuarantineAfter, cfg.Seed, cfg.Monitor, n)
+	if cfg.Chaos != nil {
+		fmt.Fprintf(&b, "|chaos:%+v", *cfg.Chaos)
+	} else if ac := hv.AutoChaos(); ac != nil {
+		fmt.Fprintf(&b, "|autochaos:%+v", *ac)
+	}
+	if cfg.Shell != nil {
+		fmt.Fprintf(&b, "|shell:%+v", *cfg.Shell)
+	}
+	return b.String()
+}
+
+// buildSpatial assembles a platform per cfg and provisions one tenant on
+// each of the first n slots — the shared prologue of every spatial
+// experiment, and the body a template caches.
+func buildSpatial(cfg hv.Config, n int) (*hv.Hypervisor, []*tenant, error) {
+	done := beginSetup()
+	defer done()
+	h, err := hv.New(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	tenants := make([]*tenant, n)
+	for i := range tenants {
+		tn, err := newTenant(h, i)
+		if err != nil {
+			return nil, nil, err
+		}
+		tenants[i] = tn
+	}
+	return h, tenants, nil
+}
+
+// warmSpatialPlatform returns a ready platform with n provisioned tenants,
+// cloned from a warmed template when cloning is enabled and the config is
+// cacheable, else built from scratch.
+func warmSpatialPlatform(cfg hv.Config, n int) (*hv.Hypervisor, []*tenant, error) {
+	if !Cloning() || cfg.Trace != nil || cfg.Metrics != nil {
+		return buildSpatial(cfg, n)
+	}
+	key := warmKey(cfg, n)
+	warmMu.Lock()
+	ent, ok := warmCache[key]
+	if !ok {
+		ent = &warmEntry{}
+		warmCache[key] = ent
+	}
+	warmMu.Unlock()
+	ent.once.Do(func() {
+		tcfg := cfg
+		tcfg.Unobserved = true // templates never register with the sweep collector
+		ent.h, ent.tenants, ent.err = buildSpatial(tcfg, n)
+	})
+	if ent.err != nil {
+		return nil, nil, ent.err
+	}
+	return cloneTemplate(ent.h, ent.tenants)
+}
+
+// cloneTemplate snapshots the template into a fresh platform and re-wraps
+// its tenant handles around the clone-side VM/process/vaccel counterparts.
+// Tenant i sits alone on slot i (buildSpatial's layout), so the clone-side
+// vaccel is slot i's only attachment.
+func cloneTemplate(th *hv.Hypervisor, tts []*tenant) (*hv.Hypervisor, []*tenant, error) {
+	done := beginSetup()
+	defer done()
+	h, err := th.Clone()
+	if err != nil {
+		return nil, nil, err
+	}
+	tenants := make([]*tenant, len(tts))
+	for i, tt := range tts {
+		vas := h.Phy(i).VAccels()
+		if len(vas) != 1 {
+			return nil, nil, fmt.Errorf("exp: clone slot %d has %d vaccels, want 1", i, len(vas))
+		}
+		proc := vas[0].Process()
+		tenants[i] = &tenant{vm: proc.VM(), proc: proc, dev: tt.dev.CloneFor(proc, vas[0])}
+	}
+	return h, tenants, nil
+}

@@ -34,6 +34,21 @@ func NewArena(base mem.GVA, size uint64) *Arena {
 	}
 }
 
+// clone returns an independent deep copy of the arena (for re-wrapping a
+// cloned platform's tenants; see Device.CloneFor).
+func (a *Arena) clone() *Arena {
+	c := &Arena{
+		base:      a.base,
+		size:      a.size,
+		free:      append([]span(nil), a.free...),
+		allocated: make(map[mem.GVA]uint64, len(a.allocated)),
+	}
+	for addr, n := range a.allocated {
+		c.allocated[addr] = n
+	}
+	return c
+}
+
 // Alloc returns the address of n bytes (rounded up to the line size).
 func (a *Arena) Alloc(n uint64) (mem.GVA, error) {
 	if n == 0 {

@@ -44,6 +44,16 @@ func Open(proc *hv.Process, va *hv.VAccel) (*Device, error) {
 	return d, nil
 }
 
+// CloneFor re-wraps a cloned platform's tenant in a Device carrying this
+// device's allocator state. Open replays the BAR2 DMA-base registration on
+// a fresh platform; on a clone that registration already happened on the
+// template (and was carried over by hv.Clone), so replaying it would skew
+// trap counts relative to a from-scratch build. proc and va must be the
+// clone-side counterparts of this device's process and virtual accelerator.
+func (d *Device) CloneFor(proc *hv.Process, va *hv.VAccel) *Device {
+	return &Device{proc: proc, va: va, arena: d.arena.clone()}
+}
+
 // VAccel exposes the underlying virtual accelerator (diagnostics).
 func (d *Device) VAccel() *hv.VAccel { return d.va }
 

@@ -155,6 +155,21 @@ func RunSSSP(k *sim.Kernel, g *graph.CSR, source int, mode Mode, cfg Config) (SS
 	round := 0
 	var runRound func()
 
+	// Reusable line-set scratch for the per-block scatter analysis: a stamp
+	// array over all possible distance lines plus the list of touched
+	// indices, cleared between blocks by replaying the list. Blocks run
+	// strictly one at a time (each marks, measures, and clears synchronously
+	// inside its event), so one scratch pair serves the whole run.
+	numLines := (g.NumVertices + 7) / 8
+	marked := make([]bool, numLines)
+	touched := make([]int, 0, 256)
+	mark := func(l int) {
+		if !marked[l] {
+			marked[l] = true
+			touched = append(touched, l)
+		}
+	}
+
 	runRound = func() {
 		round++
 		changed := false
@@ -194,18 +209,22 @@ func RunSSSP(k *sim.Kernel, g *graph.CSR, source int, mode Mode, cfg Config) (SS
 			// Scattered distance segments: the distinct 64-byte lines of
 			// dist[] this block touches (sources and targets). This is the
 			// pointer-chasing working set, measured from the real graph.
-			lines := map[int]bool{}
+			touched = touched[:0]
 			for e := b.e0; e < b.e1; e++ {
-				lines[int(g.Col[e])/8] = true
+				mark(int(g.Col[e]) / 8)
 			}
 			// Source vertices covered by this edge range are sequential;
 			// their distance lines are contiguous.
 			v0 := sort.Search(g.NumVertices, func(v int) bool { return int(g.RowPtr[v+1]) > b.e0 })
 			v1 := sort.Search(g.NumVertices, func(v int) bool { return int(g.RowPtr[v]) >= b.e1 })
 			for l := v0 / 8; l <= (v1-1)/8 && v0 < v1; l++ {
-				lines[l] = true
+				mark(l)
 			}
-			nScatter := len(lines)
+			nScatter := len(touched)
+			runs := countRuns(marked, touched)
+			for _, l := range touched {
+				marked[l] = false
+			}
 			distBytes := uint64(nScatter) * 64
 
 			// The accelerator relaxes the staged edges at one per cycle.
@@ -219,7 +238,7 @@ func RunSSSP(k *sim.Kernel, g *graph.CSR, source int, mode Mode, cfg Config) (SS
 				// rowptr chunk, col chunk, weight chunk, then each
 				// scattered distance region separately. Contiguous runs of
 				// needed lines coalesce into one segment.
-				segments := 3 + coalesceRuns(lines)
+				segments := 3 + runs
 				seg := 0
 				var next func()
 				next = func() {
@@ -269,12 +288,13 @@ func RunSSSP(k *sim.Kernel, g *graph.CSR, source int, mode Mode, cfg Config) (SS
 	return res, nil
 }
 
-// coalesceRuns counts maximal runs of consecutive line indices — each run
-// is one contiguous DMA segment.
-func coalesceRuns(lines map[int]bool) int {
+// countRuns counts maximal runs of consecutive marked line indices — each
+// run is one contiguous DMA segment. touched lists exactly the indices set
+// in marked, in any order.
+func countRuns(marked []bool, touched []int) int {
 	runs := 0
-	for l := range lines {
-		if !lines[l-1] {
+	for _, l := range touched {
+		if l == 0 || !marked[l-1] {
 			runs++
 		}
 	}

@@ -99,13 +99,20 @@ func TestRunSSSPValidation(t *testing.T) {
 	}
 }
 
-func TestCoalesceRuns(t *testing.T) {
-	lines := map[int]bool{1: true, 2: true, 3: true, 7: true, 9: true, 10: true}
-	if got := coalesceRuns(lines); got != 3 {
+func TestCountRuns(t *testing.T) {
+	touched := []int{1, 2, 3, 7, 9, 10}
+	marked := make([]bool, 16)
+	for _, l := range touched {
+		marked[l] = true
+	}
+	if got := countRuns(marked, touched); got != 3 {
 		t.Fatalf("runs = %d, want 3", got)
 	}
-	if coalesceRuns(map[int]bool{}) != 0 {
+	if countRuns(marked, nil) != 0 {
 		t.Fatal("empty should be 0 runs")
+	}
+	if countRuns([]bool{true}, []int{0}) != 1 {
+		t.Fatal("line 0 should start a run")
 	}
 }
 

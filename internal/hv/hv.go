@@ -90,6 +90,11 @@ type Config struct {
 	Monitor hwmon.Config
 	// Seed drives all platform randomness.
 	Seed uint64
+	// Unobserved suppresses the ObserveAll auto-attach for this platform.
+	// Warm templates (see Clone and internal/exp) set it so the template
+	// itself never registers with the sweep collector; clones clear it, so
+	// every measured platform still gets a private tracer and registry.
+	Unobserved bool
 	// Trace, when non-nil, is attached to every instrumented component
 	// (shell, monitor, accelerators, schedulers). Tracing only copies
 	// scalars into the ring, so it never perturbs simulated behaviour.
@@ -163,6 +168,11 @@ type Hypervisor struct {
 	tr    *obs.Tracer // nil = tracing disabled
 	chaos *chaos.Plan // nil = fault injection disabled
 	stats Stats
+
+	// autoObserved records that tr/Metrics came from the ObserveAll
+	// collector rather than the caller; Clone must strip them so every
+	// clone gets private handles instead of racing on shared ones.
+	autoObserved bool
 }
 
 // Stats counts hypervisor events.
@@ -215,12 +225,14 @@ func New(cfg Config) (*Hypervisor, error) {
 	if len(cfg.Accels) == 0 || len(cfg.Accels) > 8 {
 		return nil, fmt.Errorf("hv: %d accelerators (want 1–8)", len(cfg.Accels))
 	}
-	if c := autoObserve.c; c != nil && cfg.Trace == nil && cfg.Metrics == nil {
+	autoObserved := false
+	if c := autoObserve.c; c != nil && !cfg.Unobserved && cfg.Trace == nil && cfg.Metrics == nil {
 		if autoObserve.traceCap >= 0 {
 			cfg.Trace = obs.NewTracer(autoObserve.traceCap)
 		}
 		cfg.Metrics = obs.NewRegistry()
 		c.Add(strings.Join(cfg.Accels, "+"), cfg.Trace, cfg.Metrics)
+		autoObserved = true
 	}
 	k := sim.NewKernel()
 	pm := mem.NewPhysMem(cfg.MemBytes)
@@ -233,12 +245,13 @@ func New(cfg Config) (*Hypervisor, error) {
 	shell := ccip.NewShell(k, pm, shellCfg)
 
 	h := &Hypervisor{
-		cfg:    cfg,
-		K:      k,
-		Mem:    pm,
-		Shell:  shell,
-		frames: mem.NewFrameAllocator(0, cfg.MemBytes),
-		tr:     cfg.Trace,
+		cfg:          cfg,
+		K:            k,
+		Mem:          pm,
+		Shell:        shell,
+		frames:       mem.NewFrameAllocator(0, cfg.MemBytes),
+		tr:           cfg.Trace,
+		autoObserved: autoObserved,
 	}
 	shell.SetTracer(h.tr)
 

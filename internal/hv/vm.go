@@ -89,11 +89,13 @@ func (vm *VM) NewProcess() *Process {
 	if vm.hv.cfg.PageSize >= 2<<20 {
 		levels = 3
 	}
-	return &Process{
+	p := &Process{
 		vm:      vm,
 		pt:      pagetable.New[mem.GVA, mem.GPA](vm.hv.cfg.PageSize, levels),
 		DMABase: DefaultDMABase,
 	}
+	vm.procs = append(vm.procs, p)
+	return p
 }
 
 // VM returns the owning virtual machine.

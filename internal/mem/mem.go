@@ -103,6 +103,22 @@ func (m *PhysMem) Write(pa HPA, b []byte) {
 	}
 }
 
+// CopyFrom replaces m's contents with a deep copy of src's resident
+// frames. The two memories must be the same size. Used by hypervisor
+// cloning.
+func (m *PhysMem) CopyFrom(src *PhysMem) {
+	if m.size != src.size {
+		panic(fmt.Sprintf("mem: CopyFrom size mismatch (%#x vs %#x)", m.size, src.size))
+	}
+	m.discardWrites = src.discardWrites
+	m.frames = make(map[HPA][]byte, len(src.frames))
+	for base, f := range src.frames {
+		dup := make([]byte, len(f))
+		copy(dup, f)
+		m.frames[base] = dup
+	}
+}
+
 // ReadU64 reads a little-endian uint64 at pa.
 func (m *PhysMem) ReadU64(pa HPA) uint64 {
 	var b [8]byte
@@ -143,6 +159,27 @@ func NewFrameAllocator(base HPA, size uint64) *FrameAllocator {
 		next:      base,
 		pinned:    make(map[HPA]int),
 		allocated: make(map[HPA]uint64),
+	}
+}
+
+// CopyFrom replaces a's state with a deep copy of src's, preserving
+// free-list order so subsequent allocations return identical addresses.
+// Both allocators must manage the same region. Used by hypervisor cloning.
+func (a *FrameAllocator) CopyFrom(src *FrameAllocator) {
+	if a.base != src.base || a.limit != src.limit {
+		panic(fmt.Sprintf("mem: CopyFrom region mismatch ([%#x,%#x) vs [%#x,%#x))",
+			a.base, a.limit, src.base, src.limit))
+	}
+	a.next = src.next
+	a.free4k = append([]HPA(nil), src.free4k...)
+	a.free2m = append([]HPA(nil), src.free2m...)
+	a.pinned = make(map[HPA]int, len(src.pinned))
+	for pa, n := range src.pinned {
+		a.pinned[pa] = n
+	}
+	a.allocated = make(map[HPA]uint64, len(src.allocated))
+	for pa, size := range src.allocated {
+		a.allocated[pa] = size
 	}
 }
 

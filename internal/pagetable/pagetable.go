@@ -199,6 +199,28 @@ func (t *Table[V, P]) Translate(va V, req Perm) (P, error) {
 // PageBase returns the base virtual address of the page containing va.
 func (t *Table[V, P]) PageBase(va V) V { return mem.PageBase(va, t.pageSize) }
 
+// CopyFrom replaces t's mappings with a deep copy of src's. Entries are
+// duplicated (not shared) because Translate mutates their A/D bits in
+// place. Both tables must have been built with the same geometry; the
+// epoch is copied so IOTLB staleness checks behave identically in the
+// copy. Used by hypervisor cloning.
+func (t *Table[V, P]) CopyFrom(src *Table[V, P]) {
+	if t.pageSize != src.pageSize || t.levels != src.levels {
+		panic(fmt.Sprintf("pagetable: CopyFrom geometry mismatch (%d/%d vs %d/%d)",
+			t.pageSize, t.levels, src.pageSize, src.levels))
+	}
+	src.mu.RLock()
+	defer src.mu.RUnlock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.entries = make(map[uint64]*Entry[P], len(src.entries))
+	for vpn, e := range src.entries {
+		dup := *e
+		t.entries[vpn] = &dup
+	}
+	t.epoch = src.epoch
+}
+
 // ForEach calls fn for every mapping in unspecified order; fn must not
 // modify the table. Callers that feed simulation state or output from the
 // walk must collect and sort first (see the detwall analyzer).

@@ -76,6 +76,13 @@ func EventsExecuted() uint64 { return executedTotal.Load() }
 // steady state — plus a FIFO fast lane for events scheduled at exactly the
 // current timestamp (the ubiquitous After(0, ...) "immediately after"
 // pattern), which skips the heap entirely.
+//
+// Dispatch is batched per timestamp: when the lane runs dry the kernel
+// dispatches the next heap run's head directly and spills the rest of the
+// same-timestamp run into the lane in one pass (advance), so dense
+// same-timestamp workloads pay the heap-versus-lane arbitration and clock
+// update once per batch instead of once per event, while singleton
+// timestamps keep the direct heap-pop dispatch path.
 type Kernel struct {
 	now      Time
 	heap     []event // 4-ary min-heap by (at, seq)
@@ -208,31 +215,68 @@ func (k *Kernel) After(d Time, fn func()) {
 	k.At(k.now+d, fn)
 }
 
+// advance advances the clock to the next pending heap timestamp, returns
+// the first event of that timestamp's run for direct dispatch, and moves
+// the remainder of the run into the FIFO lane in one pass. Called only
+// with the lane empty, which (together with At routing current-time events
+// to the lane) maintains the dispatch invariant that every heap event is
+// strictly in the future: the lane drain loops never need to re-check the
+// heap per event.
+//
+// Returning the head event instead of routing it through the lane keeps
+// singleton timestamps — the common case in timer-staggered workloads — on
+// the same direct heap-pop-and-call path as the unbatched kernel; only
+// genuine co-timed runs pay the lane traffic. Ordering is preserved: the
+// run's heap events were all scheduled before now reached their timestamp,
+// so they predate (in seq) every lane event the head's handler can create,
+// and spilling them before the handler runs keeps the lane in global
+// (time, insertion-order) order.
+//
+//optimus:hotpath
+func (k *Kernel) advance() (event, bool) {
+	if len(k.heap) == 0 {
+		return event{}, false
+	}
+	e := k.heapPop()
+	k.now = e.at
+	for len(k.heap) > 0 && k.heap[0].at == e.at {
+		k.fifo = append(k.fifo, k.heapPop())
+	}
+	return e, true
+}
+
+// popLane removes and returns the lane's front event. Callers check
+// k.fifoHead < len(k.fifo) first.
+//
+//optimus:hotpath
+func (k *Kernel) popLane() event {
+	e := k.fifo[k.fifoHead]
+	k.fifo[k.fifoHead].fn = nil // release the closure for GC
+	k.fifoHead++
+	if k.fifoHead == len(k.fifo) {
+		k.fifo = k.fifo[:0]
+		k.fifoHead = 0
+	}
+	return e
+}
+
 // step executes the single next event without flushing the global counter.
+// Lane events (the rest of the current batch plus anything handlers added
+// at the current time) drain first; when the lane runs dry the next heap
+// run's head dispatches directly and its co-timed tail refills the lane.
 //
 //optimus:hotpath
 func (k *Kernel) step() bool {
-	var e event
 	if k.fifoHead < len(k.fifo) {
-		// Heap events at the current time predate every lane event (see At)
-		// and must run first; otherwise the lane's front is next.
-		if len(k.heap) > 0 && k.heap[0].at <= k.now {
-			e = k.heapPop()
-		} else {
-			e = k.fifo[k.fifoHead]
-			k.fifo[k.fifoHead].fn = nil
-			k.fifoHead++
-			if k.fifoHead == len(k.fifo) {
-				k.fifo = k.fifo[:0]
-				k.fifoHead = 0
-			}
-		}
-	} else if len(k.heap) > 0 {
-		e = k.heapPop()
-	} else {
+		e := k.popLane()
+		k.nexec++
+		e.fn()
+		return true
+	}
+	e, ok := k.advance()
+	if !ok {
 		return false
 	}
-	k.now = e.at
 	k.nexec++
 	e.fn()
 	return true
@@ -245,9 +289,22 @@ func (k *Kernel) Step() bool {
 	return ok
 }
 
-// Run executes events until the queue is empty.
+// Run executes events until the queue is empty, dispatching each
+// same-timestamp batch with a tight lane drain (no per-event heap checks
+// or clock updates).
 func (k *Kernel) Run() {
-	for k.step() {
+	for {
+		for k.fifoHead < len(k.fifo) {
+			e := k.popLane()
+			k.nexec++
+			e.fn()
+		}
+		e, ok := k.advance()
+		if !ok {
+			break
+		}
+		k.nexec++
+		e.fn()
 	}
 	k.flush()
 }
@@ -282,16 +339,26 @@ func (k *Kernel) nextAt() (Time, bool) {
 
 // RunUntil executes events with timestamps <= deadline, then advances the
 // clock to deadline. Events scheduled at exactly the deadline do run.
+// The deadline is checked once per same-timestamp batch rather than per
+// event: every lane event is at the current (already admitted) time.
 func (k *Kernel) RunUntil(deadline Time) {
-	for {
-		t, ok := k.nextAt()
-		if !ok || t > deadline {
-			break
+	if k.now <= deadline {
+		for {
+			for k.fifoHead < len(k.fifo) {
+				e := k.popLane()
+				k.nexec++
+				e.fn()
+			}
+			if len(k.heap) == 0 || k.heap[0].at > deadline {
+				break
+			}
+			e, _ := k.advance()
+			k.nexec++
+			e.fn()
 		}
-		k.step()
-	}
-	if k.now < deadline {
-		k.now = deadline
+		if k.now < deadline {
+			k.now = deadline
+		}
 	}
 	k.flush()
 }

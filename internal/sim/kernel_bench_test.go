@@ -28,6 +28,27 @@ func TestKernelScheduleZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestKernelBatchedDispatchZeroAllocs gates the batched same-timestamp
+// dispatch path: a run of co-timed heap events is moved to the FIFO lane
+// in one batch (advanceBatch) and drained (popLane) without allocating.
+func TestKernelBatchedDispatchZeroAllocs(t *testing.T) {
+	k := NewKernel()
+	fn := func() {}
+	// Warm both the heap's and the lane's backing arrays.
+	for i := 0; i < 512; i++ {
+		k.At(Nanosecond, fn)
+	}
+	k.Run()
+	if allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			k.After(Nanosecond, fn) // same future timestamp → one batch
+		}
+		k.Run()
+	}); allocs != 0 {
+		t.Fatalf("batched dispatch: %v allocs/op, want 0", allocs)
+	}
+}
+
 // BenchmarkKernelSchedule measures the self-rescheduling dispatch loop —
 // the dominant pattern in the simulator (every clocked component
 // reschedules itself once per cycle).

@@ -94,6 +94,42 @@ func (r *Rand) Perm(n int) []int {
 	return p
 }
 
+// Sample returns k distinct values drawn uniformly without replacement
+// from [0, n). It is the O(k) replacement for Perm(n)[:k]: a forward
+// Fisher–Yates that materializes only the selected prefix, tracking the
+// handful of displaced slots in a sparse map instead of permuting all n
+// elements. Provisioning uses it to scatter a few thousand list nodes
+// across working sets whose slot count reaches tens of millions.
+//
+// Sample is deterministic for a given (seed, n, k) but draws a different
+// sequence than Perm (forward versus backward Fisher–Yates), so it is
+// not prefix-equal to Perm(n)[:k] — reproducing Perm's prefix would
+// require all n-1 of Perm's draws, forfeiting the O(k) bound.
+func (r *Rand) Sample(n, k int) []int {
+	if k > n {
+		k = n
+	}
+	if k <= 0 {
+		return nil
+	}
+	out := make([]int, k)
+	disp := make(map[int]int, k)
+	for i := 0; i < k; i++ {
+		j := i + r.Intn(n-i)
+		vj, ok := disp[j]
+		if !ok {
+			vj = j
+		}
+		vi, ok := disp[i]
+		if !ok {
+			vi = i
+		}
+		out[i] = vj
+		disp[j] = vi
+	}
+	return out
+}
+
 // Fill fills b with random bytes.
 func (r *Rand) Fill(b []byte) {
 	i := 0

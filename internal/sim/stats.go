@@ -61,6 +61,24 @@ func (s *LatencyStat) Observe(d Time) {
 	}
 }
 
+// CopyFrom overwrites s with a deep copy of src, in place. In-place copy
+// (rather than returning a new stat) matters because metric registries hold
+// stable *LatencyStat pointers; hypervisor cloning transfers reservoir state
+// into the clone's already-registered stat. The reservoir generator resumes
+// from src's exact position so eviction decisions stay identical.
+func (s *LatencyStat) CopyFrom(src *LatencyStat) {
+	s.n = src.n
+	s.sum = src.sum
+	s.min = src.min
+	s.max = src.max
+	s.sumSq = src.sumSq
+	s.resCap = src.resCap
+	s.reservoir = append(s.reservoir[:0], src.reservoir...)
+	s.sortBuf = append(s.sortBuf[:0], src.sortBuf...)
+	s.sortValid = src.sortValid
+	s.rng = RandFromState(src.rng.State())
+}
+
 // Count returns the number of samples.
 func (s *LatencyStat) Count() uint64 { return s.n }
 
