@@ -1,29 +1,39 @@
-// Command optimuslint runs the repository's five OPTIMUS-specific static
+// Command optimuslint runs the repository's seven OPTIMUS-specific static
 // checks over Go packages and exits non-zero on any finding:
 //
-//	addrspace — cross-address-space conversions (GVA/GPA/IOVA/HPA) outside
-//	            the two sanctioned rewrite points, and raw-uint64 address
-//	            parameters
-//	detwall   — wall-clock reads, global math/rand, and order-sensitive
-//	            map iteration inside the determinism wall (sim, hv, exp,
-//	            chaos)
-//	faultpath — discarded errors from fault-injectable boundaries (guest
-//	            provisioning/job calls, hv hypercall and MMIO surface)
-//	hotalloc  — heap-allocating constructs in //optimus:hotpath functions
-//	locksafe  — by-value mutex copies and Lock/Unlock imbalance
+//	addrspace   — cross-address-space conversions (GVA/GPA/IOVA/HPA) outside
+//	              the two sanctioned rewrite points, and raw-uint64 address
+//	              parameters
+//	detwall     — wall-clock reads, global math/rand, and order-sensitive
+//	              map iteration inside the determinism wall (sim, hv, exp,
+//	              chaos)
+//	faultpath   — discarded errors from fault-injectable boundaries (guest
+//	              provisioning/job calls, hv hypercall and MMIO surface)
+//	globalstate — package-level mutable state in simulation packages; all
+//	              mutable state must hang off a platform
+//	              (//optimus:global-ok <reason> to except)
+//	hotalloc    — heap-allocating constructs in //optimus:hotpath functions
+//	locksafe    — by-value mutex copies and Lock/Unlock imbalance
+//	statecopy   — fields of Clone/CopyFrom-able or //optimus:state structs
+//	              that the copy method never handles
+//	              (//optimus:clone-skip <reason> to except)
 //
 // Usage:
 //
-//	go run ./cmd/optimuslint [-only name[,name]] [packages]
+//	go run ./cmd/optimuslint [-only name,name] [-json] [packages]
 //
-// Packages default to ./.... The tool is a standalone driver rather than a
-// `go vet -vettool` plugin because the vettool protocol requires
+// Packages default to ./.... With -json each finding is printed as one
+// JSON object per line ({"analyzer","file","line","col","message"}) for CI
+// annotation tooling; exit codes are unchanged (1 on findings, 2 on driver
+// errors). The tool is a standalone driver rather than a `go vet -vettool`
+// plugin because the vettool protocol requires
 // golang.org/x/tools/go/analysis/unitchecker, which this repository's
 // offline, stdlib-only build cannot depend on; the analyzers themselves
 // mirror go/analysis shapes (see internal/lint) and port mechanically.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -33,51 +43,84 @@ import (
 	"optimus/internal/lint/addrspace"
 	"optimus/internal/lint/detwall"
 	"optimus/internal/lint/faultpath"
+	"optimus/internal/lint/globalstate"
 	"optimus/internal/lint/hotalloc"
 	"optimus/internal/lint/locksafe"
+	"optimus/internal/lint/statecopy"
 )
 
 var analyzers = []*lint.Analyzer{
 	addrspace.Analyzer,
 	detwall.Analyzer,
 	faultpath.Analyzer,
+	globalstate.Analyzer,
 	hotalloc.Analyzer,
 	locksafe.Analyzer,
+	statecopy.Analyzer,
+}
+
+// selectAnalyzers resolves the -only flag: an empty spec selects every
+// analyzer, otherwise a comma-separated list of names (whitespace around
+// names tolerated), in the order given.
+func selectAnalyzers(all []*lint.Analyzer, only string) ([]*lint.Analyzer, error) {
+	if only == "" {
+		return all, nil
+	}
+	byName := map[string]*lint.Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var selected []*lint.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+		selected = append(selected, a)
+	}
+	if len(selected) == 0 {
+		return nil, fmt.Errorf("empty analyzer list %q", only)
+	}
+	return selected, nil
+}
+
+// jsonFinding is the -json wire format: one object per line so CI can
+// stream-parse findings into annotations.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
 }
 
 func main() {
 	only := flag.String("only", "", "comma-separated subset of analyzers to run")
+	asJSON := flag.Bool("json", false, "emit one JSON finding per line instead of plain text")
 	list := flag.Bool("list", false, "list analyzers and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: optimuslint [-only name,...] [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: optimuslint [-only name,...] [-json] [packages]\n\nAnalyzers:\n")
 		for _, a := range analyzers {
-			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(os.Stderr, "  %-11s %s\n", a.Name, a.Doc)
 		}
 	}
 	flag.Parse()
 
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-11s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
 
-	selected := analyzers
-	if *only != "" {
-		byName := map[string]*lint.Analyzer{}
-		for _, a := range analyzers {
-			byName[a.Name] = a
-		}
-		selected = nil
-		for _, name := range strings.Split(*only, ",") {
-			a, ok := byName[strings.TrimSpace(name)]
-			if !ok {
-				fmt.Fprintf(os.Stderr, "optimuslint: unknown analyzer %q\n", name)
-				os.Exit(2)
-			}
-			selected = append(selected, a)
-		}
+	selected, err := selectAnalyzers(analyzers, *only)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "optimuslint: %v\n", err)
+		os.Exit(2)
 	}
 
 	patterns := flag.Args()
@@ -95,8 +138,25 @@ func main() {
 		fmt.Fprintf(os.Stderr, "optimuslint: %v\n", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		for _, d := range diags {
+			f := jsonFinding{
+				Analyzer: d.Analyzer,
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Message:  d.Message,
+			}
+			if err := enc.Encode(f); err != nil {
+				fmt.Fprintf(os.Stderr, "optimuslint: %v\n", err)
+				os.Exit(2)
+			}
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "optimuslint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))

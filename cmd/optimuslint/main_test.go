@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func selectedNames(t *testing.T, only string) []string {
+	t.Helper()
+	sel, err := selectAnalyzers(analyzers, only)
+	if err != nil {
+		t.Fatalf("selectAnalyzers(%q): %v", only, err)
+	}
+	out := make([]string, len(sel))
+	for i, a := range sel {
+		out[i] = a.Name
+	}
+	return out
+}
+
+func TestSelectAnalyzersAll(t *testing.T) {
+	got := selectedNames(t, "")
+	if len(got) != len(analyzers) {
+		t.Fatalf("empty -only selected %d analyzers, want all %d", len(got), len(analyzers))
+	}
+}
+
+func TestSelectAnalyzersSingle(t *testing.T) {
+	got := selectedNames(t, "statecopy")
+	if len(got) != 1 || got[0] != "statecopy" {
+		t.Fatalf("-only statecopy selected %v", got)
+	}
+}
+
+func TestSelectAnalyzersCommaList(t *testing.T) {
+	got := selectedNames(t, "globalstate, statecopy ,detwall")
+	want := []string{"globalstate", "statecopy", "detwall"}
+	if strings.Join(got, "|") != strings.Join(want, "|") {
+		t.Fatalf("-only comma list selected %v, want %v", got, want)
+	}
+}
+
+func TestSelectAnalyzersUnknown(t *testing.T) {
+	if _, err := selectAnalyzers(analyzers, "statecopy,nope"); err == nil {
+		t.Fatal("unknown analyzer name did not error")
+	} else if !strings.Contains(err.Error(), "nope") {
+		t.Fatalf("error %q does not name the bad analyzer", err)
+	}
+}
+
+func TestSelectAnalyzersEmptyList(t *testing.T) {
+	if _, err := selectAnalyzers(analyzers, " , ,"); err == nil {
+		t.Fatal("all-blank analyzer list did not error")
+	}
+}

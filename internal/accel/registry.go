@@ -6,6 +6,8 @@ import (
 )
 
 // factories maps Table 1 abbreviations to logic constructors.
+//
+//optimus:global-ok sealed at init; NewByName/Names only read it
 var factories = map[string]func() Logic{
 	"AES":  func() Logic { return NewAES() },
 	"MD5":  NewMD5,

@@ -135,8 +135,10 @@ func (s Stats) TotalInjected() uint64 {
 // Plan is an armed fault-injection schedule. All methods are cheap and
 // allocation-free; the draw methods are additionally safe on a nil receiver
 // so call sites can keep the disabled path to a single branch.
+//
+//optimus:state
 type Plan struct {
-	cfg      Config
+	cfg      Config //optimus:clone-skip immutable after NewPlan; CopyStateFrom requires same-Config plans
 	rng      *sim.Rand
 	stats    Stats
 	recovery *sim.LatencyStat
@@ -145,6 +147,8 @@ type Plan struct {
 	// value in [0, 1e6) below thXlat is a translation fault, below thCorrupt
 	// a corruption, and so on. thDup == 0 means no DMA class is armed and
 	// DrawDMA returns without consuming randomness.
+	//
+	//optimus:clone-skip derived from cfg by NewPlan, identical by the same-Config contract
 	thXlat, thCorrupt, thDrop, thDup uint64
 
 	// disarmed short-circuits every draw (see Disarm).

@@ -9,8 +9,10 @@ import (
 )
 
 // chaosRates are the injected fault rates (ppm per DMA fault class) swept by
-// the chaos experiment; 0 is the uninjected baseline.
-var chaosRates = []uint32{0, 1_000, 10_000, 50_000}
+// the chaos experiment; 0 is the uninjected baseline. An array, not a
+// slice: the globalstate analyzer admits package-level read-only tables
+// only when no shared storage can leak through a copy.
+var chaosRates = [...]uint32{0, 1_000, 10_000, 50_000}
 
 // ChaosSweep runs the fault-injection experiment: a 2-slot, 4-tenant
 // MemBench platform under seeded chaos at increasing fault rates, reporting

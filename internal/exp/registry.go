@@ -21,6 +21,8 @@ func one(t *Table, err error) ([]*Table, error) {
 
 // Experiments maps experiment IDs to runners, one per table/figure of the
 // paper plus the extensions (see DESIGN.md §3 for the index).
+//
+//optimus:global-ok experiment registry, sealed at init; drivers only read it
 var Experiments = map[string]Runner{
 	"fig1": func(s Scale) ([]*Table, error) { return one(Fig1(s)) },
 	"table1": func(Scale) ([]*Table, error) {

@@ -14,7 +14,8 @@ import (
 )
 
 var (
-	rsOnce   sync.Once
+	rsOnce sync.Once
+	//optimus:global-ok single-flight immutable encoder; rsOnce guards the only write
 	rsShared *reedsolomon.Code
 )
 
@@ -41,7 +42,8 @@ type graphEntry struct {
 }
 
 var (
-	graphMu    sync.Mutex
+	graphMu sync.Mutex
+	//optimus:global-ok single-flight cache of immutable graphs; graphMu guards the map, entries are write-once
 	graphCache = map[string]*graphEntry{}
 )
 

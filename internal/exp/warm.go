@@ -42,6 +42,7 @@ func Cloning() bool { return !noClone.Load() }
 // bans wall-time reads inside experiment code. Regions nest (newTenant
 // runs inside buildSpatial); only the outermost level reports.
 var (
+	//optimus:global-ok installed once before any sweep starts (see SetSetupObserver); read-only afterwards
 	setupObserver func() func()
 	setupDepth    atomic.Int32
 )
@@ -78,7 +79,8 @@ type warmEntry struct {
 }
 
 var (
-	warmMu    sync.Mutex
+	warmMu sync.Mutex
+	//optimus:global-ok single-flight template cache; warmMu guards the map, entries are write-once and templates are only ever read (see hv.Clone)
 	warmCache = map[string]*warmEntry{}
 )
 

@@ -149,13 +149,15 @@ type PhysAccel struct {
 }
 
 // Hypervisor owns the simulated machine and its virtualization state.
+//
+//optimus:state
 type Hypervisor struct {
 	cfg Config
 
 	K       *sim.Kernel
 	Mem     *mem.PhysMem
 	Shell   *ccip.Shell
-	Monitor *hwmon.Monitor // nil in pass-through mode
+	Monitor *hwmon.Monitor //optimus:clone-skip structural, rebuilt by New from cfg; nil in pass-through mode
 	Phys    []*PhysAccel
 
 	frames *mem.FrameAllocator
@@ -165,7 +167,7 @@ type Hypervisor struct {
 	slicePool []int
 	nextSlice int
 
-	tr    *obs.Tracer // nil = tracing disabled
+	tr    *obs.Tracer //optimus:clone-skip rebuilt by New; clones get private observability handles, never shared ones
 	chaos *chaos.Plan // nil = fault injection disabled
 	stats Stats
 
@@ -192,6 +194,8 @@ type Stats struct {
 // threading handles through every figure function. Access is not locked:
 // arming happens once, before any sweep goroutine starts, and each platform
 // still owns a private tracer (obs.Collector.Add does its own locking).
+//
+//optimus:global-ok armed once by ObserveAll before any sweep goroutine starts; platforms read it during assembly only
 var autoObserve struct {
 	c        *obs.Collector
 	traceCap int
@@ -212,6 +216,8 @@ func ObserveAll(c *obs.Collector, traceCap int) {
 // itself. Same access discipline as autoObserve: armed once before any
 // sweep goroutine starts; each platform builds a private Plan, so points
 // never share a decision stream.
+//
+//optimus:global-ok armed once by ChaosAll before any sweep goroutine starts; each platform builds a private Plan
 var autoChaos *chaos.Config
 
 // ChaosAll arms fault injection (cmd flag -chaos) on every platform

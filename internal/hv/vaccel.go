@@ -16,6 +16,13 @@ import (
 // BAR0 exposes the (trapped) accelerator MMIO page; BAR2 exposes the
 // hypervisor communication page used for slice registration and the
 // shadow-paging hypercall.
+//
+// The //optimus:state annotation makes the statecopy analyzer prove that
+// hv.Clone's reconstruction of every vaccel accounts for every field here:
+// adding a field without copying it (or skipping it with a reason) fails
+// the lint job instead of silently corrupting clone determinism.
+//
+//optimus:state
 type VAccel struct {
 	hv   *Hypervisor
 	proc *Process
@@ -38,10 +45,10 @@ type VAccel struct {
 	// Job lifecycle.
 	jobActive     bool
 	pendingStart  bool
-	hasSavedState bool
+	hasSavedState bool //optimus:clone-skip Clone's quiescence guard forbids saved preemption state on a template
 	vstatus       uint64
 	failure       error
-	doneWaiters   []func()
+	doneWaiters   []func() //optimus:clone-skip waiters register at Start; a quiescent template has none
 
 	// Scheduling parameters and accounting.
 	weight   int

@@ -9,9 +9,11 @@ import (
 
 // VM is one guest virtual machine: a guest-physical address space backed by
 // host frames through an extended page table.
+//
+//optimus:state
 type VM struct {
-	hv   *Hypervisor
-	ID   int
+	hv   *Hypervisor //optimus:clone-skip owner backpointer, set by the clone's NewVM replay
+	ID   int         //optimus:clone-skip reassigned by NewVM replay; the nextVMID copy preserves numbering
 	Name string
 
 	memBytes uint64
@@ -71,8 +73,10 @@ func (vm *VM) TranslateGPA(gpa mem.GPA) (mem.HPA, error) {
 
 // Process is a guest process owning a guest-virtual address space. The DMA
 // region the process shares with its accelerator lives at DMABase.
+//
+//optimus:state
 type Process struct {
-	vm *VM
+	vm *VM //optimus:clone-skip owner backpointer, set by the clone's NewProcess replay
 	pt *pagetable.Table[mem.GVA, mem.GPA]
 
 	// DMABase is where the guest library mmap()s its MAP_NORESERVE slice

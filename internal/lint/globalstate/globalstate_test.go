@@ -1,0 +1,11 @@
+package globalstate
+
+import (
+	"testing"
+
+	"optimus/internal/lint/linttest"
+)
+
+func TestGlobalstate(t *testing.T) {
+	linttest.Run(t, Analyzer, "sim")
+}

@@ -5,9 +5,9 @@
 //
 // The shape mirrors go/analysis deliberately — an Analyzer owns a Run
 // function over a Pass carrying the parsed files and type information — so
-// the five OPTIMUS analyzers (addrspace, detwall, faultpath, hotalloc,
-// locksafe) port to the real framework mechanically if x/tools ever becomes
-// available.
+// the seven OPTIMUS analyzers (addrspace, detwall, faultpath, globalstate,
+// hotalloc, locksafe, statecopy) port to the real framework mechanically if
+// x/tools ever becomes available.
 package lint
 
 import (

@@ -7,9 +7,12 @@
 // (testdata is invisible to ./... patterns, so fixtures never enter normal
 // builds) and are named so the analyzer's Scope matches them — e.g. a
 // fixture for a check scoped to internal/hv sits in testdata/src/hv.
+// Several `// want "a" "b"` patterns on one line expect several
+// diagnostics on that line, matched greedily in order of appearance.
 package linttest
 
 import (
+	"fmt"
 	"regexp"
 	"strconv"
 	"strings"
@@ -34,13 +37,30 @@ type expectation struct {
 // between reported diagnostics and // want comments.
 func Run(t *testing.T, a *lint.Analyzer, fixture string) {
 	t.Helper()
-	pkgs, err := lint.Load("./testdata/src/" + fixture)
+	problems, err := Check(a, "./testdata/src/"+fixture)
 	if err != nil {
-		t.Fatalf("loading fixture %s: %v", fixture, err)
+		t.Fatalf("fixture %s: %v", fixture, err)
+	}
+	for _, p := range problems {
+		t.Error(p)
+	}
+}
+
+// Check is Run's core, split out so the harness itself is testable: it
+// loads the packages matched by pattern, applies the analyzer, and returns
+// one problem string per mismatch — an "unexpected diagnostic" for every
+// finding no // want comment on its line matches, and an "expected
+// diagnostic" for every // want comment left unmatched. A clean fixture
+// yields (nil, nil). The error return covers harness failures (unloadable
+// fixture, malformed want patterns), which Run reports fatally.
+func Check(a *lint.Analyzer, pattern string) ([]string, error) {
+	pkgs, err := lint.Load(pattern)
+	if err != nil {
+		return nil, fmt.Errorf("loading: %w", err)
 	}
 	diags, err := lint.Run([]*lint.Analyzer{a}, pkgs)
 	if err != nil {
-		t.Fatalf("running %s: %v", a.Name, err)
+		return nil, fmt.Errorf("running %s: %w", a.Name, err)
 	}
 
 	var wants []*expectation
@@ -56,11 +76,11 @@ func Run(t *testing.T, a *lint.Analyzer, fixture string) {
 					for _, m := range wantRe.FindAllStringSubmatch(c.Text[idx:], -1) {
 						pat, err := strconv.Unquote(m[0])
 						if err != nil {
-							t.Fatalf("%s: bad want literal %s: %v", pos, m[0], err)
+							return nil, fmt.Errorf("%s: bad want literal %s: %v", pos, m[0], err)
 						}
 						re, err := regexp.Compile(pat)
 						if err != nil {
-							t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+							return nil, fmt.Errorf("%s: bad want pattern %q: %v", pos, pat, err)
 						}
 						wants = append(wants, &expectation{
 							file:    pos.Filename,
@@ -73,6 +93,7 @@ func Run(t *testing.T, a *lint.Analyzer, fixture string) {
 		}
 	}
 
+	var problems []string
 	for _, d := range diags {
 		ok := false
 		for _, w := range wants {
@@ -86,12 +107,13 @@ func Run(t *testing.T, a *lint.Analyzer, fixture string) {
 			}
 		}
 		if !ok {
-			t.Errorf("unexpected diagnostic: %s", d)
+			problems = append(problems, fmt.Sprintf("unexpected diagnostic: %s", d))
 		}
 	}
 	for _, w := range wants {
 		if !w.matched {
-			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+			problems = append(problems, fmt.Sprintf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern))
 		}
 	}
+	return problems, nil
 }

@@ -1,0 +1,84 @@
+package linttest
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+
+	"optimus/internal/lint"
+)
+
+// boomAnalyzer flags every call to a function literally named "boom" —
+// a minimal analyzer exercising the harness itself, not real checks.
+var boomAnalyzer = &lint.Analyzer{
+	Name: "boom",
+	Doc:  "flag calls to boom (linttest self-test)",
+	Run: func(pass *lint.Pass) error {
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "boom" {
+					pass.Reportf(call.Pos(), "call to boom")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+// TestMultipleWantsOneLine: a line carrying two findings is satisfied by
+// two patterns in one // want comment, and the matching is positional —
+// the fixture's pair of boom() calls on a single line both match.
+func TestMultipleWantsOneLine(t *testing.T) {
+	Run(t, boomAnalyzer, "toy")
+}
+
+// TestCleanFixture: a fixture with no findings and no expectations
+// produces zero problems.
+func TestCleanFixture(t *testing.T) {
+	problems, err := Check(boomAnalyzer, "./testdata/src/clean")
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("clean fixture produced problems: %v", problems)
+	}
+}
+
+// TestUnmatchedExpectation: a // want comment no diagnostic satisfies must
+// surface as a failure (this is what makes fixtures self-verifying — a
+// typo'd pattern cannot silently pass).
+func TestUnmatchedExpectation(t *testing.T) {
+	problems, err := Check(boomAnalyzer, "./testdata/src/unmatched")
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if len(problems) != 2 {
+		t.Fatalf("got %d problems, want 2: %v", len(problems), problems)
+	}
+	var sawUnexpected, sawUnmatched bool
+	for _, p := range problems {
+		if strings.Contains(p, "unexpected diagnostic") && strings.Contains(p, "call to boom") {
+			sawUnexpected = true
+		}
+		if strings.Contains(p, "expected diagnostic matching") && strings.Contains(p, "never happens") {
+			sawUnmatched = true
+		}
+	}
+	if !sawUnexpected || !sawUnmatched {
+		t.Fatalf("problems missing expected shapes (unexpected=%v unmatched=%v): %v",
+			sawUnexpected, sawUnmatched, problems)
+	}
+}
+
+// TestBadWantPattern: a malformed regex in a // want comment is a harness
+// error, not a silent pass.
+func TestBadWantPattern(t *testing.T) {
+	if _, err := Check(boomAnalyzer, "./testdata/src/badwant"); err == nil {
+		t.Fatal("malformed want pattern did not error")
+	}
+}

@@ -1,0 +1,8 @@
+// Package badwant is the linttest self-test fixture with a malformed
+// regular expression in its want comment: the harness must error rather
+// than silently match nothing.
+package badwant
+
+func harmless() int {
+	return 3 // want "(unclosed"
+}

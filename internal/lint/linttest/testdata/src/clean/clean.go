@@ -1,0 +1,5 @@
+// Package clean is the linttest self-test fixture with zero expected
+// findings and zero want comments: Check must return no problems.
+package clean
+
+func fine() int { return 42 }

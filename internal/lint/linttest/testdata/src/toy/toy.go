@@ -1,0 +1,13 @@
+// Package toy is the linttest self-test fixture for the boom analyzer:
+// two findings on one line, matched by two patterns in one want comment.
+package toy
+
+func boom() int { return 0 }
+
+func use() int {
+	return boom() + boom() // want "call to boom" "call to boom"
+}
+
+func quiet() int {
+	return 1
+}

@@ -1,0 +1,14 @@
+// Package unmatched is the linttest self-test fixture for mismatches in
+// both directions: a diagnostic with no want on its line, and a want no
+// diagnostic satisfies.
+package unmatched
+
+func boom() int { return 0 }
+
+func unannotated() int {
+	return boom()
+}
+
+func overpromised() int {
+	return 7 // want "this never happens"
+}

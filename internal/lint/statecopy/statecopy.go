@@ -1,0 +1,372 @@
+// Package statecopy implements the optimuslint analyzer that proves
+// state-copy completeness: every field of a struct with a copy method
+// (Clone, CopyFrom, CopyStateFrom) — or annotated //optimus:state — must be
+// visibly handled by the copy, or carry an explicit, justified skip.
+//
+// The invariant it guards is the one hypervisor cloning (internal/hv) and
+// the coming snapshot/restore work stand on: a clone must be
+// indistinguishable from a platform provisioned from scratch, so a new
+// struct field that the copy method silently ignores corrupts determinism
+// in a way no test notices until tables diverge. The analyzer turns
+// "remember to update Clone" into a compile-adjacent error.
+//
+// A field counts as handled inside a copy method when the method
+//
+//   - mentions it as a selector on any value of the struct's type — a
+//     direct assignment (`c.stats = h.stats`), a delegated deep copy
+//     (`c.Mem.CopyFrom(h.Mem)`), or a guard that proves the field is
+//     zero (the quiescence checks in hv.Clone);
+//   - names it as a key in a composite literal of the struct type (the
+//     rebuilt-VAccel pattern), or builds the struct with a positional
+//     literal, which the compiler already forces to be complete;
+//   - blanket-copies the whole value (`*dst = *src`), which is complete by
+//     construction (reference fields still need care, but none are lost);
+//   - or the field is annotated `//optimus:clone-skip <reason>` — the
+//     reason is mandatory; an unexplained skip is itself a finding.
+//
+// Structs annotated //optimus:state without a copy method of their own are
+// checked at every copy method (in the same package) that reconstructs
+// them; if no copy method touches such a struct at all, the annotation is
+// reported as unredeemed — it promised machine-checked copying that no
+// method provides.
+package statecopy
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"optimus/internal/lint"
+)
+
+// Analyzer is the statecopy check. It applies everywhere: it only fires on
+// types that opt in via a copy method or an //optimus:state annotation, so
+// scope needs no package list.
+var Analyzer = &lint.Analyzer{
+	Name: "statecopy",
+	Doc:  "prove every field of a Clone/CopyFrom-able or //optimus:state struct is copied, delegated, or explicitly clone-skipped",
+	Run:  run,
+}
+
+// copyMethods are the method names that mark a struct as copyable. Clone
+// builds a fresh instance; CopyFrom/CopyStateFrom overwrite in place.
+var copyMethods = map[string]bool{
+	"Clone":         true,
+	"CopyFrom":      true,
+	"CopyStateFrom": true,
+}
+
+const (
+	stateDirective = "optimus:state"
+	skipDirective  = "optimus:clone-skip"
+)
+
+// fieldDecl is one declared field of a tracked struct.
+type fieldDecl struct {
+	name    string
+	pos     ast.Node
+	skip    bool   // carries //optimus:clone-skip
+	skipWhy string // the reason text after the directive
+}
+
+// structDecl is one struct type declared in the package under analysis.
+type structDecl struct {
+	obj       *types.TypeName
+	spec      *ast.TypeSpec
+	fields    []*fieldDecl
+	annotated bool // //optimus:state on the type declaration
+	hasCopy   bool // declares one of the copy methods itself
+	checked   bool // coverage was verified in at least one copy method
+}
+
+func run(pass *lint.Pass) error {
+	structs := collectStructs(pass)
+	if len(structs) == 0 {
+		return nil
+	}
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || fn.Recv == nil || !copyMethods[fn.Name.Name] {
+				continue
+			}
+			recv := receiverStruct(pass, fn, structs)
+			cov := coverage(pass, fn, structs)
+			if recv != nil {
+				recv.hasCopy = true
+				checkStruct(pass, fn, recv, cov[recv])
+				recv.checked = true
+			}
+			// Structs without their own copy method are verified wherever a
+			// copy method reconstructs them (the hv.Clone → VAccel pattern).
+			for sd, fields := range cov {
+				if sd == recv || !sd.annotated || hasOwnCopyMethod(pass, sd) {
+					continue
+				}
+				checkStruct(pass, fn, sd, fields)
+				sd.checked = true
+			}
+		}
+	}
+
+	for _, sd := range structs {
+		if sd.annotated && !sd.checked && !sd.hasCopy && !hasOwnCopyMethod(pass, sd) {
+			pass.Reportf(sd.spec.Pos(),
+				"%s is annotated //optimus:state but no Clone/CopyFrom/CopyStateFrom method copies it",
+				sd.obj.Name())
+		}
+		// A skip annotation without a reason defeats the audit trail.
+		for _, f := range sd.fields {
+			if sd.tracked() && f.skip && strings.TrimSpace(f.skipWhy) == "" {
+				pass.Reportf(f.pos.Pos(),
+					"//optimus:clone-skip on %s.%s needs a reason", sd.obj.Name(), f.name)
+			}
+		}
+	}
+	return nil
+}
+
+// tracked reports whether the struct participates in statecopy checking at
+// all (so stray clone-skip annotations on untracked structs stay inert).
+func (sd *structDecl) tracked() bool { return sd.annotated || sd.hasCopy }
+
+// hasOwnCopyMethod consults the type's method set, catching copy methods
+// declared in another file of the same package.
+func hasOwnCopyMethod(pass *lint.Pass, sd *structDecl) bool {
+	t := sd.obj.Type()
+	for _, tt := range []types.Type{t, types.NewPointer(t)} {
+		ms := types.NewMethodSet(tt)
+		for i := 0; i < ms.Len(); i++ {
+			if copyMethods[ms.At(i).Obj().Name()] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// collectStructs indexes every named struct type declared in the package,
+// with its field declarations and clone-skip annotations.
+func collectStructs(pass *lint.Pass) map[*types.TypeName]*structDecl {
+	out := map[*types.TypeName]*structDecl{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				obj, ok := pass.Info.Defs[ts.Name].(*types.TypeName)
+				if !ok {
+					continue
+				}
+				sd := &structDecl{
+					obj:       obj,
+					spec:      ts,
+					annotated: hasDirective(ts.Doc, stateDirective) || hasDirective(gd.Doc, stateDirective),
+				}
+				for _, field := range st.Fields.List {
+					skip, why := skipAnnotation(field)
+					if len(field.Names) == 0 {
+						// Embedded field: its name is the base type name.
+						sd.fields = append(sd.fields, &fieldDecl{
+							name: embeddedName(field.Type), pos: field.Type, skip: skip, skipWhy: why,
+						})
+						continue
+					}
+					for _, name := range field.Names {
+						sd.fields = append(sd.fields, &fieldDecl{
+							name: name.Name, pos: name, skip: skip, skipWhy: why,
+						})
+					}
+				}
+				out[obj] = sd
+			}
+		}
+	}
+	return out
+}
+
+func embeddedName(expr ast.Expr) string {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.StarExpr:
+		return embeddedName(e.X)
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	case *ast.IndexExpr:
+		return embeddedName(e.X)
+	case *ast.IndexListExpr:
+		return embeddedName(e.X)
+	}
+	return ""
+}
+
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.HasPrefix(c.Text, "//"+directive) {
+			return true
+		}
+	}
+	return false
+}
+
+// skipAnnotation extracts a //optimus:clone-skip directive (and its reason)
+// from a field's doc or trailing line comment.
+func skipAnnotation(field *ast.Field) (bool, string) {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if rest, ok := strings.CutPrefix(c.Text, "//"+skipDirective); ok {
+				return true, rest
+			}
+		}
+	}
+	return false, ""
+}
+
+// receiverStruct resolves a copy method's receiver to a struct declared in
+// this package (nil for non-struct or instantiated foreign receivers).
+// Generic receivers (`func (t *Table[V, P]) CopyFrom`) resolve through the
+// base type identifier.
+func receiverStruct(pass *lint.Pass, fn *ast.FuncDecl, structs map[*types.TypeName]*structDecl) *structDecl {
+	if len(fn.Recv.List) != 1 {
+		return nil
+	}
+	base := baseIdent(fn.Recv.List[0].Type)
+	if base == nil {
+		return nil
+	}
+	obj, ok := pass.Info.Uses[base].(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	return structs[obj]
+}
+
+func baseIdent(expr ast.Expr) *ast.Ident {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		return e
+	case *ast.StarExpr:
+		return baseIdent(e.X)
+	case *ast.IndexExpr:
+		return baseIdent(e.X)
+	case *ast.IndexListExpr:
+		return baseIdent(e.X)
+	case *ast.ParenExpr:
+		return baseIdent(e.X)
+	}
+	return nil
+}
+
+// allFields is the sentinel entry recording a blanket `*dst = *src` copy.
+const allFields = "*"
+
+// coverage walks a copy method body and records, per package-local struct
+// type, which fields the method visibly handles.
+func coverage(pass *lint.Pass, fn *ast.FuncDecl, structs map[*types.TypeName]*structDecl) map[*structDecl]map[string]bool {
+	cov := map[*structDecl]map[string]bool{}
+	mark := func(sd *structDecl, name string) {
+		m := cov[sd]
+		if m == nil {
+			m = map[string]bool{}
+			cov[sd] = m
+		}
+		m[name] = true
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if sd := structOf(pass, structs, pass.Info.Types[n.X].Type); sd != nil {
+				mark(sd, n.Sel.Name)
+			}
+		case *ast.CompositeLit:
+			sd := structOf(pass, structs, pass.Info.Types[n].Type)
+			if sd == nil {
+				return true
+			}
+			keyed := false
+			for _, elt := range n.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					keyed = true
+					if id, ok := kv.Key.(*ast.Ident); ok {
+						mark(sd, id.Name)
+					}
+				}
+			}
+			if !keyed && len(n.Elts) > 0 {
+				// Positional literal: the compiler requires every field.
+				mark(sd, allFields)
+			}
+		case *ast.AssignStmt:
+			// Blanket copy: `*dst = *src` moves every field at once.
+			for i, lhs := range n.Lhs {
+				star, ok := lhs.(*ast.StarExpr)
+				if !ok || i >= len(n.Rhs) {
+					continue
+				}
+				if _, ok := n.Rhs[i].(*ast.StarExpr); !ok {
+					continue
+				}
+				lt := pass.Info.Types[star].Type
+				rt := pass.Info.Types[n.Rhs[i]].Type
+				if lt == nil || rt == nil || !types.Identical(lt, rt) {
+					continue
+				}
+				if sd := structOf(pass, structs, types.NewPointer(lt)); sd != nil {
+					mark(sd, allFields)
+				}
+			}
+		}
+		return true
+	})
+	return cov
+}
+
+// structOf maps an expression type (possibly a pointer to, or an
+// instantiation of, a named struct) back to its package-local declaration.
+func structOf(pass *lint.Pass, structs map[*types.TypeName]*structDecl, t types.Type) *structDecl {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	return structs[named.Origin().Obj()]
+}
+
+// checkStruct reports every field of sd that method fn neither handles nor
+// skips with a justification.
+func checkStruct(pass *lint.Pass, fn *ast.FuncDecl, sd *structDecl, handled map[string]bool) {
+	if handled[allFields] {
+		return
+	}
+	for _, f := range sd.fields {
+		if f.skip || handled[f.name] {
+			continue
+		}
+		pass.Reportf(fn.Name.Pos(),
+			"%s does not copy %s.%s: assign it, delegate to a nested CopyFrom, or annotate the field //optimus:clone-skip <reason>",
+			fn.Name.Name, sd.obj.Name(), f.name)
+	}
+}

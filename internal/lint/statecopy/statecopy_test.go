@@ -1,0 +1,11 @@
+package statecopy
+
+import (
+	"testing"
+
+	"optimus/internal/lint/linttest"
+)
+
+func TestStatecopy(t *testing.T) {
+	linttest.Run(t, Analyzer, "hv")
+}

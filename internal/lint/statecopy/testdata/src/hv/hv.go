@@ -1,0 +1,108 @@
+// Package hv is the statecopy fixture. It mirrors the real internal/hv
+// cloning shapes: a platform struct whose Clone mixes reconstruction,
+// delegated CopyFrom, direct assignment, and a keyed composite literal for
+// an //optimus:state satellite struct — with seeded violations.
+package hv
+
+// Mem is nested state with a complete in-place copy method.
+type Mem struct {
+	size   uint64
+	frames map[uint64][]byte
+}
+
+func (m *Mem) CopyFrom(src *Mem) {
+	if m.size != src.size {
+		panic("size mismatch")
+	}
+	m.frames = make(map[uint64][]byte, len(src.frames))
+	for k, v := range src.frames { //optimus:unordered-ok
+		m.frames[k] = append([]byte(nil), v...)
+	}
+}
+
+// Alloc mirrors the frame allocator: its CopyFrom misses a field — the
+// exact "deleted one copy line" regression the analyzer exists to catch.
+type Alloc struct {
+	base   uint64
+	next   uint64
+	free4k []uint64
+}
+
+func (a *Alloc) CopyFrom(src *Alloc) { // want "CopyFrom does not copy Alloc.next"
+	a.base = src.base
+	a.free4k = append([]uint64(nil), src.free4k...)
+}
+
+// Stat has a blanket copy plus a fixup: complete by construction.
+type Stat struct {
+	n   uint64
+	sum uint64
+	buf []uint64
+}
+
+func (s *Stat) CopyFrom(src *Stat) {
+	*s = *src
+	s.buf = append([]uint64(nil), src.buf...)
+}
+
+//optimus:state
+type VAccel struct {
+	owner     *Platform
+	slice     int
+	weight    int
+	jobActive bool
+	waiters   []func() //optimus:clone-skip quiescent template has no waiters
+	// scratch is the seeded violation: a field neither rebuilt by the
+	// literal below nor skipped.
+	scratch []byte
+	// badSkip's annotation carries no justification.
+	//optimus:clone-skip
+	badSkip bool // want "//optimus:clone-skip on VAccel.badSkip needs a reason"
+}
+
+// Orphan promises machine-checked copying that nothing provides.
+//
+//optimus:state
+type Orphan struct { // want "Orphan is annotated //optimus:state but no Clone/CopyFrom/CopyStateFrom method copies it"
+	x int
+}
+
+// Platform mirrors hv.Hypervisor: some fields rebuilt via New, some
+// deep-copied, one tracer-like handle skipped with a reason, and one
+// seeded violation (dropped — the analyzer must flag it).
+type Platform struct {
+	cfg     int
+	mem     *Mem
+	alloc   *Alloc
+	stats   Stat
+	vaccels []*VAccel
+	tracer  *Mem //optimus:clone-skip fresh observability handles per clone
+	dropped int
+}
+
+func newPlatform(cfg int) *Platform {
+	return &Platform{cfg: cfg, mem: &Mem{}, alloc: &Alloc{}}
+}
+
+// Clone covers every Platform field except `dropped`, and every VAccel
+// field except `scratch` (jobActive is proven zero by the quiescence
+// guard, waiters is skip-annotated).
+func (p *Platform) Clone() (*Platform, error) { // want "Clone does not copy Platform.dropped" "Clone does not copy VAccel.scratch"
+	for _, va := range p.vaccels {
+		if va.jobActive {
+			return nil, nil
+		}
+	}
+	c := newPlatform(p.cfg)
+	c.mem.CopyFrom(p.mem)
+	c.alloc.CopyFrom(p.alloc)
+	c.stats = p.stats
+	for _, va := range p.vaccels {
+		c.vaccels = append(c.vaccels, &VAccel{
+			owner:  c,
+			slice:  va.slice,
+			weight: va.weight,
+		})
+	}
+	return c, nil
+}

@@ -24,6 +24,8 @@ const frameSize = PageSize4K
 // first write; reads of untouched memory return zeros. This lets experiments
 // declare multi-gigabyte working sets (which matter only for IOTLB indexing)
 // without the host allocating them.
+//
+//optimus:state
 type PhysMem struct {
 	size   uint64
 	frames map[HPA][]byte
@@ -139,6 +141,8 @@ func (m *PhysMem) WriteU64(pa HPA, v uint64) {
 // FrameAllocator hands out physically contiguous page frames from a region
 // of physical memory. It supports both page sizes; 2 MB allocations are
 // naturally aligned, as the IOMMU requires.
+//
+//optimus:state
 type FrameAllocator struct {
 	base, limit HPA
 	next        HPA

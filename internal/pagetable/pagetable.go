@@ -73,6 +73,8 @@ type Entry[P mem.Addr] struct {
 // for a single page size. A Table is safe for concurrent use; the simulated
 // CPU side (guest processes) and the device side (IOMMU walker) may race in
 // tests even though the DES itself is single-threaded.
+//
+//optimus:state
 type Table[V, P mem.Addr] struct {
 	mu       sync.RWMutex
 	pageSize uint64

@@ -17,6 +17,8 @@ func (c *Counter) Add(n uint64) { c.Value += n }
 
 // LatencyStat accumulates latency samples with O(1) memory for the moments
 // and an optional reservoir for percentiles.
+//
+//optimus:state
 type LatencyStat struct {
 	n         uint64
 	sum       Time

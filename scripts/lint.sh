@@ -1,11 +1,15 @@
 #!/bin/sh
-# Repository lint entry point: the OPTIMUS-specific analyzers always run
-# (stdlib-only, works offline); staticcheck runs only when installed, so
-# offline checkouts are not blocked (CI installs the pinned version).
+# Repository lint entry point: go vet plus the OPTIMUS-specific analyzers
+# always run (stdlib-only, works offline); staticcheck runs only when
+# installed, so offline checkouts are not blocked (CI installs the pinned
+# version).
 set -eu
 cd "$(dirname "$0")/.."
 
-echo "== optimuslint =="
+echo "== go vet =="
+go vet ./...
+
+echo "== optimuslint (addrspace detwall faultpath globalstate hotalloc locksafe statecopy) =="
 go run ./cmd/optimuslint ./...
 
 # The tracer's emit path, the shell's DMA packet path, and the chaos
