@@ -61,7 +61,9 @@ var analyzers = []*lint.Analyzer{
 
 // selectAnalyzers resolves the -only flag: an empty spec selects every
 // analyzer, otherwise a comma-separated list of names (whitespace around
-// names tolerated), in the order given.
+// names tolerated), in the order given. Repeated names collapse to the
+// first occurrence — running an analyzer twice would double every finding
+// in the JSON artifact.
 func selectAnalyzers(all []*lint.Analyzer, only string) ([]*lint.Analyzer, error) {
 	if only == "" {
 		return all, nil
@@ -71,11 +73,13 @@ func selectAnalyzers(all []*lint.Analyzer, only string) ([]*lint.Analyzer, error
 		byName[a.Name] = a
 	}
 	var selected []*lint.Analyzer
+	seen := map[string]bool{}
 	for _, name := range strings.Split(only, ",") {
 		name = strings.TrimSpace(name)
-		if name == "" {
+		if name == "" || seen[name] {
 			continue
 		}
+		seen[name] = true
 		a, ok := byName[name]
 		if !ok {
 			return nil, fmt.Errorf("unknown analyzer %q", name)

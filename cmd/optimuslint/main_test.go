@@ -40,6 +40,16 @@ func TestSelectAnalyzersCommaList(t *testing.T) {
 	}
 }
 
+func TestSelectAnalyzersDuplicates(t *testing.T) {
+	// Repeats collapse to the first occurrence; running an analyzer twice
+	// would emit every finding twice into the JSON artifact.
+	got := selectedNames(t, "detwall,detwall,statecopy,detwall")
+	want := []string{"detwall", "statecopy"}
+	if strings.Join(got, "|") != strings.Join(want, "|") {
+		t.Fatalf("-only with duplicates selected %v, want %v", got, want)
+	}
+}
+
 func TestSelectAnalyzersUnknown(t *testing.T) {
 	if _, err := selectAnalyzers(analyzers, "statecopy,nope"); err == nil {
 		t.Fatal("unknown analyzer name did not error")

@@ -111,7 +111,7 @@ func okAnnotation(gd *ast.GenDecl, vs *ast.ValueSpec) (bool, string) {
 			continue
 		}
 		for _, c := range cg.List {
-			if rest, ok := strings.CutPrefix(c.Text, "//"+okDirective); ok {
+			if rest, ok := lint.CutDirective(c.Text, okDirective); ok {
 				return true, rest
 			}
 		}
@@ -211,13 +211,42 @@ func writtenOutsideInit(pass *lint.Pass) map[types.Object]bool {
 			return true
 		})
 	}
+	// scanFuncLits scans only the func-literal subtrees of an init-time
+	// node: the enclosing statements run once during initialization (the
+	// sanctioned window), but a closure defined there can be stored and
+	// invoked at any later point, so its writes count.
+	scanFuncLits := func(root ast.Node) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			if fl, ok := n.(*ast.FuncLit); ok {
+				scan(fl.Body)
+				return false // scan already walked the whole subtree
+			}
+			return true
+		})
+	}
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
-			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
-				if fn.Recv == nil && fn.Name.Name == "init" {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Body == nil {
 					continue
 				}
-				scan(fn.Body)
+				if d.Recv == nil && d.Name.Name == "init" {
+					scanFuncLits(d.Body)
+					continue
+				}
+				scan(d.Body)
+			case *ast.GenDecl:
+				// Package-level initializer expressions also run during
+				// initialization, but func literals appearing in them
+				// (hook tables, default callbacks) execute later.
+				for _, spec := range d.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for _, v := range vs.Values {
+							scanFuncLits(v)
+						}
+					}
+				}
 			}
 		}
 	}

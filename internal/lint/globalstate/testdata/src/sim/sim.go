@@ -49,6 +49,23 @@ var registry = map[string]func() *Engine{}
 //optimus:global-ok
 var unexplained = map[string]int{} // want "//optimus:global-ok on unexplained needs a reason"
 
+// A directive typo shares the //optimus:global-ok prefix but is not the
+// directive; the var stays flagged.
+//
+//optimus:global-okay sealed after init
+var typoed = map[string]int{} // want "package-level mutable var typoed"
+
+// deferred looks like a read-only table, but the closure init stores in
+// the registry rewrites it whenever a caller invokes the constructor —
+// init-time definition is not init-time execution.
+var deferred = [2]uint64{1, 2} // want "package-level mutable var deferred"
+
+// lateTable is written by a func literal in a package-level initializer;
+// the literal only runs when somebody calls hook, long after init.
+var lateTable = [2]uint64{3, 4} // want "package-level mutable var lateTable"
+
+var hook = func() { lateTable[1] = 7 }
+
 // Engine stands in for platform-owned state.
 type Engine struct {
 	steps uint64
@@ -56,6 +73,10 @@ type Engine struct {
 
 func init() {
 	registry["default"] = func() *Engine { return &Engine{} }
+	registry["tuned"] = func() *Engine {
+		deferred[0] = 9 // runs per call, not during init
+		return &Engine{}
+	}
 	weights[0] = 1 // writes inside init are the registration window
 }
 

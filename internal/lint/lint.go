@@ -111,6 +111,19 @@ func PathBase(path string) string {
 	return path
 }
 
+// CutDirective matches a //optimus:<name> directive comment exactly and
+// returns the trimmed text after it. Anything after the directive must be
+// empty or whitespace-separated, so a longer directive never satisfies a
+// shorter one (//optimus:stateful is not //optimus:state) and a typo'd
+// suffix (//optimus:clone-skipXYZ) never smuggles in a suppression.
+func CutDirective(comment, directive string) (rest string, ok bool) {
+	rest, ok = strings.CutPrefix(comment, "//"+directive)
+	if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+		return "", false
+	}
+	return strings.TrimSpace(rest), true
+}
+
 // FuncHasDirective reports whether the function declaration carries the
 // given //optimus:<name> directive in its doc comment.
 func FuncHasDirective(fn *ast.FuncDecl, directive string) bool {
@@ -118,7 +131,7 @@ func FuncHasDirective(fn *ast.FuncDecl, directive string) bool {
 		return false
 	}
 	for _, c := range fn.Doc.List {
-		if strings.HasPrefix(c.Text, "//"+directive) {
+		if _, ok := CutDirective(c.Text, directive); ok {
 			return true
 		}
 	}
@@ -133,7 +146,7 @@ func StmtHasDirective(fset *token.FileSet, file *ast.File, pos token.Pos, direct
 	line := fset.Position(pos).Line
 	for _, cg := range file.Comments {
 		for _, c := range cg.List {
-			if !strings.HasPrefix(c.Text, "//"+directive) {
+			if _, ok := CutDirective(c.Text, directive); !ok {
 				continue
 			}
 			cl := fset.Position(c.Pos()).Line

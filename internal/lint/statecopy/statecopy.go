@@ -217,7 +217,7 @@ func hasDirective(doc *ast.CommentGroup, directive string) bool {
 		return false
 	}
 	for _, c := range doc.List {
-		if strings.HasPrefix(c.Text, "//"+directive) {
+		if _, ok := lint.CutDirective(c.Text, directive); ok {
 			return true
 		}
 	}
@@ -232,7 +232,7 @@ func skipAnnotation(field *ast.Field) (bool, string) {
 			continue
 		}
 		for _, c := range cg.List {
-			if rest, ok := strings.CutPrefix(c.Text, "//"+skipDirective); ok {
+			if rest, ok := lint.CutDirective(c.Text, skipDirective); ok {
 				return true, rest
 			}
 		}

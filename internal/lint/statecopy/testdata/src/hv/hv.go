@@ -60,6 +60,26 @@ type VAccel struct {
 	badSkip bool // want "//optimus:clone-skip on VAccel.badSkip needs a reason"
 }
 
+// NotTracked carries a directive that merely shares the //optimus:state
+// prefix; it must not opt the struct in (no orphan finding here).
+//
+//optimus:stateful
+type NotTracked struct {
+	y int
+}
+
+// Typo mirrors a mistyped skip: //optimus:clone-skip plus a suffix is not
+// a skip, so the field it decorates still demands a copy.
+type Typo struct {
+	kept uint64
+	//optimus:clone-skipped legacy
+	missed uint64
+}
+
+func (t *Typo) CopyFrom(src *Typo) { // want "CopyFrom does not copy Typo.missed"
+	t.kept = src.kept
+}
+
 // Orphan promises machine-checked copying that nothing provides.
 //
 //optimus:state
