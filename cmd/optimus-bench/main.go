@@ -41,12 +41,23 @@ type expRecord struct {
 	// approximate.
 	SetupMS  float64 `json:"setup_wall_ms"`
 	SteadyMS float64 `json:"steady_wall_ms"`
+	// CloneMS is the wall time spent inside hv.Clone (a sub-region of
+	// SetupMS). ResidentBytes/SharedBytes are the cumulative backing-store
+	// bytes of every platform the experiment acquired, sampled when the
+	// platform is handed to the point: SharedBytes over ResidentBytes is
+	// the fraction of memory copy-on-write cloning shared instead of
+	// copying (see exp.MemCounters). cmd/perfdiff gates on ResidentBytes
+	// regressions.
+	CloneMS       float64 `json:"clone_wall_ms"`
+	ResidentBytes uint64  `json:"resident_bytes"`
+	SharedBytes   uint64  `json:"shared_bytes"`
 }
 
 type benchArtifact struct {
 	Scale      string      `json:"scale"`
 	Par        int         `json:"par"`
 	GOMAXPROCS int         `json:"gomaxprocs"`
+	CoW        bool        `json:"cow"`
 	TotalMS    float64     `json:"total_wall_ms"`
 	Records    []expRecord `json:"experiments"`
 }
@@ -62,16 +73,23 @@ func main() {
 	metrics := flag.Bool("metrics", false, "dump every sweep platform's metrics snapshot after the run")
 	chaosSpec := flag.String("chaos", "", "arm seeded fault injection on every sweep platform, e.g. seed=7,rate=10000 (keys: seed,rate,xlat,corrupt,drop,dup,pin,retries; rates in ppm)")
 	cloneFlag := flag.Bool("clone", true, "warm-platform cloning: provision one template per sweep configuration and clone it per point (results are byte-identical either way)")
+	cowFlag := flag.Bool("cow", true, "copy-on-write frame sharing for warm-platform clones; -cow=false deep-copies every resident frame (results are byte-identical either way)")
 	flag.Parse()
 
 	exp.SetCloning(*cloneFlag)
+	hv.SetCloneCoW(*cowFlag)
 	// The deterministic wall bans wall-clock reads inside experiment code,
 	// so the setup/steady split is measured here: exp brackets its
-	// setup-dominated regions through this observer.
-	var setupNS atomic.Int64
+	// setup-dominated regions through this observer. cloneNS isolates the
+	// hv.Clone calls within setup, giving the artifact its clone_wall_ms.
+	var setupNS, cloneNS atomic.Int64
 	exp.SetSetupObserver(func() func() {
 		t0 := time.Now()
 		return func() { setupNS.Add(int64(time.Since(t0))) }
+	})
+	exp.SetCloneObserver(func() func() {
+		t0 := time.Now()
+		return func() { cloneNS.Add(int64(time.Since(t0))) }
 	})
 
 	if *chaosSpec != "" {
@@ -118,12 +136,14 @@ func main() {
 		}
 		hv.ObserveAll(coll, ringCap)
 	}
-	art := benchArtifact{Scale: scaleName, Par: exp.Parallelism(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	art := benchArtifact{Scale: scaleName, Par: exp.Parallelism(), GOMAXPROCS: runtime.GOMAXPROCS(0), CoW: *cowFlag}
 	suiteStart := time.Now()
 	for _, id := range ids {
 		start := time.Now()
 		eventsBefore := sim.EventsExecuted()
 		setupBefore := setupNS.Load()
+		cloneBefore := cloneNS.Load()
+		residentBefore, sharedBefore := exp.MemCounters()
 		if err := exp.Run(id, scale, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "optimus-bench: %s: %v\n", id, err)
 			os.Exit(1)
@@ -134,16 +154,26 @@ func main() {
 		if setup > wall {
 			setup = wall
 		}
-		fmt.Printf("(%s completed in %v wall time [%v setup], %d events, %.3g events/sec)\n\n",
+		clone := time.Duration(cloneNS.Load() - cloneBefore)
+		if clone > setup {
+			clone = setup
+		}
+		resident, shared := exp.MemCounters()
+		resident -= residentBefore
+		shared -= sharedBefore
+		fmt.Printf("(%s completed in %v wall time [%v setup, %v clone], %d events, %.3g events/sec)\n\n",
 			id, wall.Round(time.Millisecond), setup.Round(time.Millisecond),
-			events, float64(events)/wall.Seconds())
+			clone.Round(time.Millisecond), events, float64(events)/wall.Seconds())
 		art.Records = append(art.Records, expRecord{
-			Exp:          id,
-			WallMS:       float64(wall.Nanoseconds()) / 1e6,
-			Events:       events,
-			EventsPerSec: float64(events) / wall.Seconds(),
-			SetupMS:      float64(setup.Nanoseconds()) / 1e6,
-			SteadyMS:     float64((wall - setup).Nanoseconds()) / 1e6,
+			Exp:           id,
+			WallMS:        float64(wall.Nanoseconds()) / 1e6,
+			Events:        events,
+			EventsPerSec:  float64(events) / wall.Seconds(),
+			SetupMS:       float64(setup.Nanoseconds()) / 1e6,
+			SteadyMS:      float64((wall - setup).Nanoseconds()) / 1e6,
+			CloneMS:       float64(clone.Nanoseconds()) / 1e6,
+			ResidentBytes: resident,
+			SharedBytes:   shared,
 		})
 	}
 	art.TotalMS = float64(time.Since(suiteStart).Nanoseconds()) / 1e6

@@ -33,18 +33,22 @@ import (
 )
 
 type expRecord struct {
-	Exp          string  `json:"exp"`
-	WallMS       float64 `json:"wall_ms"`
-	Events       uint64  `json:"events_executed"`
-	EventsPerSec float64 `json:"events_per_sec"`
-	SetupMS      float64 `json:"setup_wall_ms"`
-	SteadyMS     float64 `json:"steady_wall_ms"`
+	Exp           string  `json:"exp"`
+	WallMS        float64 `json:"wall_ms"`
+	Events        uint64  `json:"events_executed"`
+	EventsPerSec  float64 `json:"events_per_sec"`
+	SetupMS       float64 `json:"setup_wall_ms"`
+	SteadyMS      float64 `json:"steady_wall_ms"`
+	CloneMS       float64 `json:"clone_wall_ms"`
+	ResidentBytes uint64  `json:"resident_bytes"`
+	SharedBytes   uint64  `json:"shared_bytes"`
 }
 
 type benchArtifact struct {
 	Scale      string      `json:"scale"`
 	Par        int         `json:"par"`
 	GOMAXPROCS int         `json:"gomaxprocs"`
+	CoW        bool        `json:"cow"`
 	TotalMS    float64     `json:"total_wall_ms"`
 	Records    []expRecord `json:"experiments"`
 }
@@ -76,6 +80,8 @@ func main() {
 	maxRegress := flag.Float64("max-regress", 15, "allowed ns/event increase per experiment (percent)")
 	maxWallRegress := flag.Float64("max-wall-regress", 50, "allowed wall-time increase for experiments with no simulator events (percent)")
 	minWallMS := flag.Float64("min-wall-ms", 50, "wall-time noise floor: zero-event experiments faster than this on both sides are never a regression")
+	maxMemRegress := flag.Float64("max-mem-regress", 15, "allowed resident-memory increase per experiment (percent)")
+	minMemBytes := flag.Float64("min-mem-bytes", 1<<20, "memory noise floor: experiments resident below this on both sides are never a memory regression")
 	trend := flag.Bool("trend", false, "print the events/sec trend across every committed BENCH_<n>.json in DIR (default .) instead of gating")
 	flag.Parse()
 
@@ -148,16 +154,47 @@ func main() {
 		default:
 			fmt.Printf("  %-12s event counts changed zero/nonzero (%d -> %d), not comparable\n", r.Exp, p.Events, r.Events)
 		}
+		// Memory gate: resident bytes at platform acquisition, present in
+		// artifacts from PR 8 on (absent fields load as 0 and are skipped).
+		// Resident residency is comparable across -cow modes — only
+		// SharedBytes depends on the sharing strategy, so it is reported
+		// but never gated.
+		if p.ResidentBytes > 0 && r.ResidentBytes > 0 {
+			delta := (float64(r.ResidentBytes) - float64(p.ResidentBytes)) / float64(p.ResidentBytes) * 100
+			status := "ok"
+			if delta > *maxMemRegress && (float64(p.ResidentBytes) >= *minMemBytes || float64(r.ResidentBytes) >= *minMemBytes) {
+				status = "MEM REGRESSION"
+				failed = true
+			}
+			fmt.Printf("  %-12s %8s -> %8s resident  %+6.1f%%  %s (shared %s -> %s)\n",
+				r.Exp, fmtBytes(p.ResidentBytes), fmtBytes(r.ResidentBytes), delta, status,
+				fmtBytes(p.SharedBytes), fmtBytes(r.SharedBytes))
+		}
 	}
 	if compared == 0 {
 		fmt.Println("perfdiff: no common experiments to compare")
 		os.Exit(2)
 	}
 	if failed {
-		fmt.Printf("perfdiff: FAIL (> %.0f%% ns/event or > %.0f%% wall regression)\n", *maxRegress, *maxWallRegress)
+		fmt.Printf("perfdiff: FAIL (> %.0f%% ns/event, > %.0f%% wall, or > %.0f%% resident-memory regression)\n",
+			*maxRegress, *maxWallRegress, *maxMemRegress)
 		os.Exit(1)
 	}
 	fmt.Println("perfdiff: PASS")
+}
+
+// fmtBytes renders a byte count compactly (12.3MB, 480KB).
+func fmtBytes(n uint64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2fGB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.0fKB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
 }
 
 // lineage returns the committed BENCH_<n>.json artifacts in dir, ordered by
@@ -304,5 +341,41 @@ func trendReport(dir string) int {
 		prevIdx = i
 	}
 	fmt.Println(line)
+
+	// Memory trend: resident bytes at platform acquisition plus the CoW
+	// sharing ratio, for artifacts that record them (PR 8 on). Cells show
+	// "resident/share%"; older artifacts show "-".
+	anyMem := false
+	for _, a := range arts {
+		for _, r := range a.Records {
+			if r.ResidentBytes > 0 {
+				anyMem = true
+			}
+		}
+	}
+	if !anyMem {
+		return 0
+	}
+	fmt.Println()
+	fmt.Println("memory trend (resident bytes at acquisition / CoW-shared fraction):")
+	fmt.Println(header)
+	for _, id := range order {
+		line := fmt.Sprintf("%-12s", id)
+		shown := false
+		for i := range arts {
+			r, ok := byExp[i][id]
+			if !ok || r.ResidentBytes == 0 {
+				line += fmt.Sprintf("  %16s", "-")
+				continue
+			}
+			shown = true
+			cell := fmt.Sprintf("%s/%.0f%%sh", fmtBytes(r.ResidentBytes),
+				float64(r.SharedBytes)/float64(r.ResidentBytes)*100)
+			line += fmt.Sprintf("  %16s", cell)
+		}
+		if shown {
+			fmt.Println(line)
+		}
+	}
 	return 0
 }

@@ -45,19 +45,18 @@ func Table3(scale Scale) (*Table, error) {
 }
 
 func table3Point(app string, size uint64, window sim.Time) (float64, error) {
-	h, tenants, err := spatialPlatformSlots(optimusEight(app), 8)
+	// All eight instances run the identical job (same seed, Stride 0) so
+	// any throughput spread comes from the multiplexer, not the inputs.
+	// Provisioning lives inside the warm template (see warmSpatialJobs).
+	h, tenants, jobs, err := warmSpatialJobs(optimusEight(app), 8,
+		jobSpec{App: app, Size: size, Seed: 1, Stride: 0})
 	if err != nil {
 		return 0, err
 	}
 	totals := make([]func() uint64, 8)
 	deadline := h.K.Now() + window
 	for i, tn := range tenants {
-		// All eight instances run the identical job (same seed) so any
-		// throughput spread comes from the multiplexer, not the inputs.
-		j, err := provisionJob(tn, app, size, 1)
-		if err != nil {
-			return 0, err
-		}
+		j := jobs[i]
 		if j.work == 0 {
 			if err := tn.dev.Start(); err != nil {
 				return 0, err

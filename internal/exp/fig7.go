@@ -60,19 +60,14 @@ func Fig7(scale Scale) (*Table, error) {
 }
 
 // fig7Point measures aggregate work/second of n concurrent instances.
+// Tenant i's job uses seed i+1; provisioning lives inside the warm
+// template (see warmSpatialJobs), so every point starts from a CoW clone
+// of an already-provisioned platform.
 func fig7Point(app string, n int, size uint64, window sim.Time) (float64, error) {
-	cfg := optimusEight(app)
-	h, tenants, err := spatialPlatformSlots(cfg, n)
+	h, _, jobs, err := warmSpatialJobs(optimusEight(app), n,
+		jobSpec{App: app, Size: size, Seed: 1, Stride: 1})
 	if err != nil {
 		return 0, err
-	}
-	jobs := make([]*job, n)
-	for i, tn := range tenants {
-		j, err := provisionJob(tn, app, size, uint64(i)+1)
-		if err != nil {
-			return 0, err
-		}
-		jobs[i] = j
 	}
 	return measureAggregate(h, jobs, window)
 }

@@ -67,14 +67,64 @@ func beginSetup() func() {
 	}
 }
 
+// cloneObserver brackets exactly the hv.Clone call inside cloneTemplate —
+// a sub-region of the setup bracket — so the driver can report clone cost
+// separately from the rest of setup (the wall clock lives in cmd for the
+// same detwall reason as setupObserver). Clone calls never nest.
+var (
+	//optimus:global-ok installed once before any sweep starts (see SetCloneObserver); read-only afterwards
+	cloneObserver func() func()
+)
+
+// SetCloneObserver installs the clone-region observer (nil removes it).
+// Install once, before any sweep starts.
+func SetCloneObserver(fn func() func()) { cloneObserver = fn }
+
+// beginClone enters a clone region and returns its exit func.
+func beginClone() func() {
+	if cloneObserver == nil {
+		return func() {}
+	}
+	return cloneObserver()
+}
+
+// Platform memory accounting, sampled at acquisition time: when a sweep
+// point receives its platform (freshly built or cloned), the platform's
+// resident and CoW-shared backing bytes are added here. For a clone this
+// is the sharing high-water mark — essentially everything is shared until
+// the point's first write — so the ratio of shared to resident bytes
+// across an experiment is the fraction of template memory that cloning
+// avoided copying up front. cmd/optimus-bench diffs the counters around
+// each experiment for the resident_bytes/shared_bytes artifact fields.
+var (
+	memResidentBytes atomic.Uint64
+	memSharedBytes   atomic.Uint64
+)
+
+// MemCounters returns the cumulative resident and CoW-shared bytes of
+// every platform handed to a sweep point so far (acquisition-time
+// samples; see the counter comment).
+func MemCounters() (resident, shared uint64) {
+	return memResidentBytes.Load(), memSharedBytes.Load()
+}
+
+// recordPlatformMem samples a just-acquired platform into the counters.
+func recordPlatformMem(h *hv.Hypervisor) {
+	memResidentBytes.Add(h.Mem.ResidentBytes())
+	memSharedBytes.Add(h.Mem.SharedBytes())
+}
+
 // warmEntry is one cached template, built single-flight like graphCache:
 // the map mutex is never held during construction, so workers warming
 // different configurations build concurrently while workers wanting the
-// same one share a single build.
+// same one share a single build. jobs is populated only by job-provisioned
+// templates (warmSpatialJobs); the template's job descriptors are
+// re-anchored to the clone-side tenants at clone time.
 type warmEntry struct {
 	once    sync.Once
 	h       *hv.Hypervisor
 	tenants []*tenant
+	jobs    []*job
 	err     error
 }
 
@@ -132,7 +182,11 @@ func buildSpatial(cfg hv.Config, n int) (*hv.Hypervisor, []*tenant, error) {
 // cacheable, else built from scratch.
 func warmSpatialPlatform(cfg hv.Config, n int) (*hv.Hypervisor, []*tenant, error) {
 	if !Cloning() || cfg.Trace != nil || cfg.Metrics != nil {
-		return buildSpatial(cfg, n)
+		h, tenants, err := buildSpatial(cfg, n)
+		if err == nil {
+			recordPlatformMem(h)
+		}
+		return h, tenants, err
 	}
 	key := warmKey(cfg, n)
 	warmMu.Lock()
@@ -153,6 +207,90 @@ func warmSpatialPlatform(cfg hv.Config, n int) (*hv.Hypervisor, []*tenant, error
 	return cloneTemplate(ent.h, ent.tenants)
 }
 
+// jobSpec describes the homogeneous per-tenant job a warm template
+// provisions inside the template itself: tenant i runs App over Size input
+// bytes with RNG seed Seed + Stride*i. Moving provisioning into the
+// template is what makes copy-on-write cloning pay off — the filled input
+// buffers (megabytes per tenant) become shared frames every clone reuses
+// until something writes them — and it also deletes the per-point
+// provisioning cost (input synthesis, Reed-Solomon encoding, graph
+// layout) from the sweep inner loop.
+type jobSpec struct {
+	App    string
+	Size   uint64
+	Seed   uint64
+	Stride uint64
+}
+
+// provisionAll provisions spec's job on every tenant in order.
+func provisionAll(tenants []*tenant, spec jobSpec) ([]*job, error) {
+	jobs := make([]*job, len(tenants))
+	for i, tn := range tenants {
+		j, err := provisionJob(tn, spec.App, spec.Size, spec.Seed+spec.Stride*uint64(i))
+		if err != nil {
+			return nil, err
+		}
+		jobs[i] = j
+	}
+	return jobs, nil
+}
+
+// warmSpatialJobs returns a ready platform with n tenants each carrying a
+// provisioned (not started) spec job — the job-inclusive analogue of
+// warmSpatialPlatform. The template caches the fully provisioned state, so
+// a clone starts with every input buffer resident and CoW-shared; results
+// are byte-identical to per-point provisioning because provisioning is
+// synchronous, deterministic in (cfg, n, spec), and fully captured by
+// hv.Clone's state copy.
+func warmSpatialJobs(cfg hv.Config, n int, spec jobSpec) (*hv.Hypervisor, []*tenant, []*job, error) {
+	if !Cloning() || cfg.Trace != nil || cfg.Metrics != nil {
+		done := beginSetup()
+		h, tenants, err := buildSpatial(cfg, n)
+		var jobs []*job
+		if err == nil {
+			jobs, err = provisionAll(tenants, spec)
+		}
+		done()
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		recordPlatformMem(h)
+		return h, tenants, jobs, nil
+	}
+	key := fmt.Sprintf("%s|job:%s,%d,%d,%d", warmKey(cfg, n), spec.App, spec.Size, spec.Seed, spec.Stride)
+	warmMu.Lock()
+	ent, ok := warmCache[key]
+	if !ok {
+		ent = &warmEntry{}
+		warmCache[key] = ent
+	}
+	warmMu.Unlock()
+	ent.once.Do(func() {
+		done := beginSetup()
+		defer done()
+		tcfg := cfg
+		tcfg.Unobserved = true // templates never register with the sweep collector
+		ent.h, ent.tenants, ent.err = buildSpatial(tcfg, n)
+		if ent.err == nil {
+			ent.jobs, ent.err = provisionAll(ent.tenants, spec)
+		}
+	})
+	if ent.err != nil {
+		return nil, nil, nil, ent.err
+	}
+	h, tenants, err := cloneTemplate(ent.h, ent.tenants)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	// Job descriptors carry no simulated state beyond their tenant handle:
+	// re-anchor the template's descriptors to the clone-side tenants.
+	jobs := make([]*job, len(ent.jobs))
+	for i, tj := range ent.jobs {
+		jobs[i] = &job{dev: tenants[i], work: tj.work, completeOnly: tj.completeOnly}
+	}
+	return h, tenants, jobs, nil
+}
+
 // cloneTemplate snapshots the template into a fresh platform and re-wraps
 // its tenant handles around the clone-side VM/process/vaccel counterparts.
 // Tenant i sits alone on slot i (buildSpatial's layout), so the clone-side
@@ -160,10 +298,13 @@ func warmSpatialPlatform(cfg hv.Config, n int) (*hv.Hypervisor, []*tenant, error
 func cloneTemplate(th *hv.Hypervisor, tts []*tenant) (*hv.Hypervisor, []*tenant, error) {
 	done := beginSetup()
 	defer done()
+	endClone := beginClone()
 	h, err := th.Clone()
+	endClone()
 	if err != nil {
 		return nil, nil, err
 	}
+	recordPlatformMem(h)
 	tenants := make([]*tenant, len(tts))
 	for i, tt := range tts {
 		vas := h.Phy(i).VAccels()

@@ -2,10 +2,29 @@ package hv
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"optimus/internal/chaos"
 	"optimus/internal/mem"
 )
+
+// noCloneCoW disables copy-on-write frame sharing in Clone when set
+// (sharing defaults on). Kept as the inverted flag so the zero value is
+// the default, mirroring exp's noClone.
+var noCloneCoW atomic.Bool
+
+// SetCloneCoW toggles copy-on-write frame sharing for subsequent Clones.
+// With CoW on (the default), a clone's physical memory is an O(resident-
+// frames) pointer share of the template's and the first write to a shared
+// frame copies just that frame; with CoW off every resident frame is
+// deep-copied up front. Results are byte-identical either way — the
+// benchmark driver exposes the switch as -cow so that equivalence stays
+// easy to audit (and CI diffs both modes).
+func SetCloneCoW(on bool) { noCloneCoW.Store(!on) }
+
+// CloneCoW reports whether clone-time copy-on-write frame sharing is
+// enabled.
+func CloneCoW() bool { return !noCloneCoW.Load() }
 
 // Clone snapshots a fully provisioned but not-yet-started platform into a
 // fresh, independent instance. The structural skeleton (kernel, shell,
@@ -59,8 +78,15 @@ func (h *Hypervisor) Clone() (*Hypervisor, error) {
 	// Data state. The frame allocator copy preserves free-list order, so
 	// post-clone allocations return the same addresses a fresh platform
 	// would; the IOPT copy carries the pinned shadow mappings installed by
-	// provisioning-time mapPage hypercalls.
-	c.Mem.CopyFrom(h.Mem)
+	// provisioning-time mapPage hypercalls. Physical memory transfers by
+	// copy-on-write frame sharing unless -cow disabled it: contents are
+	// identical either way, only the host cost differs (pointer shares vs
+	// deep frame copies; see mem.PhysMem.ShareFrom).
+	if CloneCoW() {
+		c.Mem.ShareFrom(h.Mem)
+	} else {
+		c.Mem.CopyFrom(h.Mem)
+	}
 	c.frames.CopyFrom(h.frames)
 	c.Shell.IOMMU.Table().CopyFrom(h.Shell.IOMMU.Table())
 	if c.chaos != nil && h.chaos != nil {

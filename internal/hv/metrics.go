@@ -54,6 +54,15 @@ func (h *Hypervisor) RegisterMetrics(r *obs.Registry) {
 		r.OnReset(m.ResetStats)
 	}
 
+	// Memory model: residency and copy-on-write sharing state. Gauges walk
+	// the frame map, which is fine at Snapshot frequency; the sharing
+	// ratio of a cloned platform is shared_frames over resident frames.
+	pm := h.Mem
+	r.RegisterGauge("mem.resident_bytes", func() float64 { return float64(pm.ResidentBytes()) })
+	r.RegisterGauge("mem.shared_frames", func() float64 { return float64(pm.SharedFrames()) })
+	r.RegisterGauge("mem.dirty_frames", func() float64 { return float64(pm.DirtyFrameCount()) })
+	r.RegisterCounter("mem.cow_breaks", pm.CoWBreaks)
+
 	r.RegisterCounter("hv.mmio_traps", func() uint64 { return h.stats.MMIOTraps })
 	r.RegisterCounter("hv.hypercalls", func() uint64 { return h.stats.Hypercalls })
 	r.RegisterCounter("hv.context_switches", func() uint64 { return h.stats.ContextSwitches })

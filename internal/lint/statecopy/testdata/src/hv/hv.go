@@ -60,6 +60,34 @@ type VAccel struct {
 	badSkip bool // want "//optimus:clone-skip on VAccel.badSkip needs a reason"
 }
 
+// CowMem mirrors mem.PhysMem after copy-on-write sharing: the dirty
+// generation is genuinely copied state, while per-instance CoW accounting
+// (break counters, refcount caches) is clone-skipped — with a reason, or
+// the analyzer rejects it.
+//
+//optimus:state
+type CowMem struct {
+	size   uint64
+	frames map[uint64][]byte
+	gen    uint64
+	//optimus:clone-skip per-instance CoW accounting, not guest-visible state; a clone starts its own count
+	cowBreaks uint64
+	// sharedRefs mirrors a refcount cache skipped without justification.
+	//optimus:clone-skip
+	sharedRefs int // want "//optimus:clone-skip on CowMem.sharedRefs needs a reason"
+}
+
+func (m *CowMem) CopyFrom(src *CowMem) {
+	if m.size != src.size {
+		panic("size mismatch")
+	}
+	m.frames = make(map[uint64][]byte, len(src.frames))
+	for k, v := range src.frames { //optimus:unordered-ok
+		m.frames[k] = append([]byte(nil), v...)
+	}
+	m.gen = src.gen + 1
+}
+
 // NotTracked carries a directive that merely shares the //optimus:state
 // prefix; it must not opt the struct in (no orphan finding here).
 //

@@ -7,7 +7,9 @@ package mem
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sort"
+	"sync/atomic"
 )
 
 // Page sizes supported by the platform.
@@ -20,24 +22,59 @@ const (
 // frameSize is the internal backing granularity of the sparse store.
 const frameSize = PageSize4K
 
+// frame is the backing store of one 4 KB frame plus its sharing header.
+// Frames are shared copy-on-write between a cloned platform and its
+// template (see ShareFrom): while refs > 1 the data is immutable and the
+// first write copies the frame. The header lives with the data so the
+// hot-path sharing check costs one load from memory the write touches
+// anyway.
+type frame struct {
+	// refs counts the PhysMems whose frame map references this frame:
+	// 1 = exclusively owned (in-place writes allowed), >1 = shared
+	// read-only. Atomic because sweep workers break shares of the same
+	// template frame concurrently; the release/acquire ordering of the
+	// atomic ops is what makes "refs == 1 implies sole visibility" sound
+	// across goroutines.
+	refs atomic.Int32
+	// gen is the dirty stamp: the owning PhysMem's dirty generation at the
+	// last write. Shared frames are never restamped (the write that would
+	// restamp them breaks the share first), so a frame inherited from a
+	// template always carries a stamp older than the clone's generation.
+	gen  uint64
+	data [frameSize]byte
+}
+
 // PhysMem is a sparse simulated physical memory. Frames are materialized on
 // first write; reads of untouched memory return zeros. This lets experiments
 // declare multi-gigabyte working sets (which matter only for IOTLB indexing)
 // without the host allocating them.
 //
+// Frames can be shared copy-on-write across PhysMems (ShareFrom): shared
+// frames are read-only and the first write to one copies just that frame.
+// Writes also stamp the frame with the current dirty generation, giving
+// checkpoint/restore and live migration their dirty-page substrate
+// (DirtyFrames/ResetDirty) for free.
+//
 //optimus:state
 type PhysMem struct {
 	size   uint64
-	frames map[HPA][]byte
+	frames map[HPA]*frame
 	// discardWrites drops write data instead of materializing frames.
 	// Bandwidth experiments (MemBench over multi-GB working sets) enable
 	// it: timing is unaffected, only content fidelity is sacrificed.
 	discardWrites bool
+	// gen is the current dirty generation: a frame is dirty iff its stamp
+	// equals gen. ResetDirty bumps gen, cleaning every frame in O(1).
+	gen uint64
+	// cowBreaks counts share-breaking frame copies performed by this
+	// PhysMem's writes.
+	//optimus:clone-skip per-instance CoW accounting, not guest-visible state; a clone starts its own break count
+	cowBreaks uint64
 }
 
 // NewPhysMem returns a physical memory of the given size in bytes.
 func NewPhysMem(size uint64) *PhysMem {
-	return &PhysMem{size: size, frames: make(map[HPA][]byte)}
+	return &PhysMem{size: size, frames: make(map[HPA]*frame)}
 }
 
 // Size returns the physical memory size in bytes.
@@ -46,6 +83,31 @@ func (m *PhysMem) Size() uint64 { return m.size }
 // ResidentBytes returns the number of bytes actually backed by storage.
 func (m *PhysMem) ResidentBytes() uint64 { return uint64(len(m.frames)) * frameSize }
 
+// ResidentFrames returns the number of materialized frames.
+func (m *PhysMem) ResidentFrames() int { return len(m.frames) }
+
+// SharedFrames returns the number of resident frames whose backing store is
+// currently shared copy-on-write with another PhysMem. It walks the frame
+// map, so it is a snapshot operation (metrics, artifacts), not a hot-path
+// one.
+func (m *PhysMem) SharedFrames() int {
+	n := 0
+	for _, f := range m.frames {
+		if f.refs.Load() > 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// SharedBytes returns the bytes of backing store shared with other
+// PhysMems.
+func (m *PhysMem) SharedBytes() uint64 { return uint64(m.SharedFrames()) * frameSize }
+
+// CoWBreaks returns how many shared frames this PhysMem's writes have
+// privatized (copied) so far.
+func (m *PhysMem) CoWBreaks() uint64 { return m.cowBreaks }
+
 func (m *PhysMem) check(pa HPA, n int) {
 	if uint64(pa)+uint64(n) > m.size || pa+HPA(n) < pa {
 		panic(fmt.Sprintf("mem: access [%#x,%#x) beyond physical memory size %#x", pa, pa+HPA(n), m.size))
@@ -53,6 +115,8 @@ func (m *PhysMem) check(pa HPA, n int) {
 }
 
 // Read copies len(b) bytes starting at physical address pa into b.
+//
+//optimus:hotpath
 func (m *PhysMem) Read(pa HPA, b []byte) {
 	m.check(pa, len(b))
 	for len(b) > 0 {
@@ -63,7 +127,7 @@ func (m *PhysMem) Read(pa HPA, b []byte) {
 			n = uint64(len(b))
 		}
 		if f, ok := m.frames[base]; ok {
-			copy(b[:n], f[off:off+n])
+			copy(b[:n], f.data[off:off+n])
 		} else {
 			for i := uint64(0); i < n; i++ {
 				b[i] = 0
@@ -80,6 +144,17 @@ func (m *PhysMem) Read(pa HPA, b []byte) {
 func (m *PhysMem) SetDiscardWrites(v bool) { m.discardWrites = v }
 
 // Write copies b into physical memory starting at pa.
+//
+// This is the single write-interposition point of the platform: the CCI-P
+// shell's DMA line writes, the hardware monitor's packet path, and the
+// hypervisor's guest/shadow-table updates all funnel through here. The
+// copy-on-write check is therefore exactly one predictable branch on the
+// unshared hot path (refs == 1 for every frame a platform owns
+// exclusively), and the dirty stamp is an unconditional store — no
+// allocations, no extra branches (enforced by TestPhysMemWriteZeroAlloc
+// and the hwmon packet-path zero-alloc gates).
+//
+//optimus:hotpath
 func (m *PhysMem) Write(pa HPA, b []byte) {
 	m.check(pa, len(b))
 	for len(b) > 0 {
@@ -96,29 +171,182 @@ func (m *PhysMem) Write(pa HPA, b []byte) {
 				pa += HPA(n)
 				continue
 			}
-			f = make([]byte, frameSize)
-			m.frames[base] = f
+			f = m.newFrame(base)
+		} else if f.refs.Load() > 1 {
+			f = m.breakShare(base, f)
 		}
-		copy(f[off:off+n], b[:n])
+		f.gen = m.gen
+		copy(f.data[off:off+n], b[:n])
 		b = b[n:]
 		pa += HPA(n)
 	}
 }
 
+// newFrame materializes a private zero frame at base.
+func (m *PhysMem) newFrame(base HPA) *frame {
+	f := &frame{}
+	f.refs.Store(1)
+	m.frames[base] = f
+	return f
+}
+
+// breakShare privatizes the shared frame at base: m gets a copy it owns
+// exclusively and drops its reference on the shared original, which is
+// never written in place (other holders keep reading the original —
+// including concurrently, which is safe because the copy below only reads
+// it). The decrement is ordered after the copy, so a holder that later
+// observes refs == 1 is guaranteed the breaking writer is done with the
+// frame.
+func (m *PhysMem) breakShare(base HPA, shared *frame) *frame {
+	f := &frame{}
+	f.refs.Store(1)
+	f.data = shared.data
+	m.frames[base] = f
+	shared.refs.Add(-1)
+	m.cowBreaks++
+	return f
+}
+
+// drop removes m's reference to the frame at base, releasing its share (if
+// any) of the backing store.
+func (m *PhysMem) drop(base HPA, f *frame) {
+	f.refs.Add(-1)
+	delete(m.frames, base)
+}
+
 // CopyFrom replaces m's contents with a deep copy of src's resident
 // frames. The two memories must be the same size. Used by hypervisor
-// cloning.
+// cloning when copy-on-write sharing is disabled.
+//
+// The destination's existing frame map and any exclusively owned frame
+// storage are reused rather than discarded, so repeatedly deep-copying
+// into the same PhysMem reallocates nothing once the frame sets converge.
+// The copy leaves m clean: DirtyFrames is empty until m's first
+// post-copy write, exactly as for a ShareFrom clone.
 func (m *PhysMem) CopyFrom(src *PhysMem) {
+	if m == src {
+		return
+	}
 	if m.size != src.size {
 		panic(fmt.Sprintf("mem: CopyFrom size mismatch (%#x vs %#x)", m.size, src.size))
 	}
 	m.discardWrites = src.discardWrites
-	m.frames = make(map[HPA][]byte, len(src.frames))
-	for base, f := range src.frames {
-		dup := make([]byte, len(f))
-		copy(dup, f)
-		m.frames[base] = dup
+	if m.frames == nil {
+		m.frames = make(map[HPA]*frame, len(src.frames))
 	}
+	for base, f := range m.frames {
+		if _, ok := src.frames[base]; !ok {
+			m.drop(base, f)
+		}
+	}
+	for base, sf := range src.frames {
+		df, ok := m.frames[base]
+		if !ok || df.refs.Load() > 1 {
+			// Absent, or present but shared (not writable in place):
+			// install a fresh private frame.
+			if ok {
+				m.drop(base, df)
+			}
+			df = m.newFrame(base)
+		}
+		df.data = sf.data
+		df.gen = sf.gen
+	}
+	m.gen = src.gen + 1
+}
+
+// ShareFrom replaces m's contents with copy-on-write references to src's
+// resident frames: O(resident frames) pointer shares instead of byte
+// copies. Both memories see the same contents until one of them writes,
+// at which point the written frame (only) is privatized by the writer.
+// The two memories must be the same size.
+//
+// Multiple clones may ShareFrom the same src concurrently (the warm-
+// template cache does exactly that across sweep workers); src itself must
+// be quiescent for the duration of the call, which hv.Clone's quiescence
+// check guarantees. The share leaves m clean: its dirty generation starts
+// past every stamp inherited from src, so DirtyFrames reports exactly the
+// frames written since the clone.
+func (m *PhysMem) ShareFrom(src *PhysMem) {
+	if m == src {
+		return
+	}
+	if m.size != src.size {
+		panic(fmt.Sprintf("mem: ShareFrom size mismatch (%#x vs %#x)", m.size, src.size))
+	}
+	m.discardWrites = src.discardWrites
+	if m.frames == nil {
+		m.frames = make(map[HPA]*frame, len(src.frames))
+	}
+	for base, f := range m.frames {
+		if src.frames[base] != f {
+			m.drop(base, f)
+		}
+	}
+	for base, f := range src.frames {
+		if m.frames[base] == f {
+			continue // already sharing this frame with src
+		}
+		f.refs.Add(1)
+		m.frames[base] = f
+	}
+	if src.gen >= m.gen {
+		m.gen = src.gen + 1
+	}
+}
+
+// DirtyFrames returns the sorted bases of the frames written since the
+// last ResetDirty (or, for a freshly cloned memory, since the clone).
+// This is the pre-copy/checkpoint substrate: a migration round copies
+// exactly these frames, calls ResetDirty, and repeats.
+func (m *PhysMem) DirtyFrames() []HPA {
+	out := make([]HPA, 0, len(m.frames))
+	for base, f := range m.frames {
+		if f.gen == m.gen {
+			out = append(out, base)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DirtyFrameCount returns how many frames are currently dirty without
+// materializing the list.
+func (m *PhysMem) DirtyFrameCount() int {
+	n := 0
+	for _, f := range m.frames {
+		if f.gen == m.gen {
+			n++
+		}
+	}
+	return n
+}
+
+// ResetDirty marks every frame clean in O(1) by advancing the dirty
+// generation. Subsequent writes re-dirty exactly the frames they touch.
+func (m *PhysMem) ResetDirty() { m.gen++ }
+
+// Fingerprint returns an order-independent-of-map, content-sensitive hash
+// of the resident frames (base addresses and bytes, sorted by base). Two
+// memories with the same resident frame set and contents fingerprint
+// identically; it is how clone tests prove a template survived its clones
+// unmutated.
+func (m *PhysMem) Fingerprint() uint64 {
+	bases := make([]HPA, 0, len(m.frames))
+	for base := range m.frames {
+		bases = append(bases, base)
+	}
+	sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
+	h := fnv.New64a()
+	var b [8]byte
+	for _, base := range bases {
+		for i := range b {
+			b[i] = byte(uint64(base) >> (8 * i))
+		}
+		h.Write(b[:])
+		h.Write(m.frames[base].data[:])
+	}
+	return h.Sum64()
 }
 
 // ReadU64 reads a little-endian uint64 at pa.
