@@ -51,6 +51,13 @@ type expRecord struct {
 	CloneMS       float64 `json:"clone_wall_ms"`
 	ResidentBytes uint64  `json:"resident_bytes"`
 	SharedBytes   uint64  `json:"shared_bytes"`
+	// PABusyPct/PAStallPct aggregate the utilization profiler's accelerator
+	// lanes across every platform the experiment built (Σbusy over Σhorizon):
+	// the simulated-time fraction the accelerators spent doing work vs.
+	// saving/loading preemption state. Present only with -profile;
+	// cmd/perfdiff reports shifts as behavior-change signals (not gated).
+	PABusyPct  float64 `json:"pa_busy_pct,omitempty"`
+	PAStallPct float64 `json:"pa_stall_pct,omitempty"`
 }
 
 type benchArtifact struct {
@@ -74,6 +81,10 @@ func main() {
 	chaosSpec := flag.String("chaos", "", "arm seeded fault injection on every sweep platform, e.g. seed=7,rate=10000 (keys: seed,rate,xlat,corrupt,drop,dup,pin,retries; rates in ppm)")
 	cloneFlag := flag.Bool("clone", true, "warm-platform cloning: provision one template per sweep configuration and clone it per point (results are byte-identical either way)")
 	cowFlag := flag.Bool("cow", true, "copy-on-write frame sharing for warm-platform clones; -cow=false deep-copies every resident frame (results are byte-identical either way)")
+	tsOut := flag.String("timeseries", "", "write every sweep platform's windowed metric time-series as one JSON artifact to this path")
+	tsWindow := flag.Duration("tswindow", 100*time.Microsecond, "time-series sampling window, in simulated time")
+	profileFlag := flag.Bool("profile", false, "dump every sweep platform's per-actor sim-time utilization report after the run")
+	critFlag := flag.Bool("critpath", false, "dump every sweep platform's request critical-path analysis after the run (needs trace rings; combine with -trace-cap)")
 	flag.Parse()
 
 	exp.SetCloning(*cloneFlag)
@@ -128,18 +139,30 @@ func main() {
 	// gets a private tracer (bounded ring — sweeps build many platforms) and
 	// metrics registry, gathered into one collector.
 	var coll *obs.Collector
-	if *traceOut != "" || *metrics {
+	if *traceOut != "" || *metrics || *tsOut != "" || *profileFlag || *critFlag {
 		coll = obs.NewCollector()
 		ringCap := *traceCap
-		if *traceOut == "" {
-			ringCap = -1 // metrics only: skip the rings
+		if *traceOut == "" && !*critFlag && !*profileFlag {
+			// No trace consumer: skip the rings. The profiler counts as a
+			// consumer — it is fed from the tracer's emit stream.
+			ringCap = -1
 		}
 		hv.ObserveAll(coll, ringCap)
+		if *tsOut != "" {
+			hv.SampleAll(&obs.SampleConfig{Window: sim.Time(tsWindow.Nanoseconds()) * sim.Nanosecond})
+		}
+		if *profileFlag {
+			hv.ProfileAll(true)
+		}
 	}
 	art := benchArtifact{Scale: scaleName, Par: exp.Parallelism(), GOMAXPROCS: runtime.GOMAXPROCS(0), CoW: *cowFlag}
 	suiteStart := time.Now()
 	for _, id := range ids {
 		start := time.Now()
+		platsBefore := 0
+		if coll != nil {
+			platsBefore = len(coll.Platforms())
+		}
 		eventsBefore := sim.EventsExecuted()
 		setupBefore := setupNS.Load()
 		cloneBefore := cloneNS.Load()
@@ -164,7 +187,7 @@ func main() {
 		fmt.Printf("(%s completed in %v wall time [%v setup, %v clone], %d events, %.3g events/sec)\n\n",
 			id, wall.Round(time.Millisecond), setup.Round(time.Millisecond),
 			clone.Round(time.Millisecond), events, float64(events)/wall.Seconds())
-		art.Records = append(art.Records, expRecord{
+		rec := expRecord{
 			Exp:           id,
 			WallMS:        float64(wall.Nanoseconds()) / 1e6,
 			Events:        events,
@@ -174,7 +197,11 @@ func main() {
 			CloneMS:       float64(clone.Nanoseconds()) / 1e6,
 			ResidentBytes: resident,
 			SharedBytes:   shared,
-		})
+		}
+		if coll != nil && *profileFlag {
+			rec.PABusyPct, rec.PAStallPct = paUtil(coll.Platforms()[platsBefore:])
+		}
+		art.Records = append(art.Records, rec)
 	}
 	art.TotalMS = float64(time.Since(suiteStart).Nanoseconds()) / 1e6
 
@@ -198,6 +225,35 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *profileFlag {
+		if err := coll.WriteProfiles(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "optimus-bench: profile: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *critFlag {
+		if err := coll.WriteCritPaths(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "optimus-bench: critpath: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *tsOut != "" {
+		f, err := os.Create(*tsOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "optimus-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := coll.WriteTimeseries(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "optimus-bench: writing %s: %v\n", *tsOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote time-series of %d platforms to %s\n", len(coll.Platforms()), *tsOut)
+	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
@@ -216,4 +272,27 @@ func main() {
 		fmt.Printf("wrote trace of %d platforms to %s (open in ui.perfetto.dev)\n",
 			len(coll.Platforms()), *traceOut)
 	}
+}
+
+// paUtil aggregates accelerator-lane utilization across a slice of profiled
+// platforms: Σbusy and Σstall over Σ(horizon per PA lane), as percentages.
+func paUtil(plats []obs.PlatformObs) (busyPct, stallPct float64) {
+	var busy, stall, denom sim.Time
+	for _, p := range plats {
+		if p.Profile == nil {
+			continue
+		}
+		horizon := p.Profile.Horizon()
+		for _, u := range p.Profile.Utilization() {
+			if u.Actor.Class() == obs.ClassPA {
+				busy += u.Busy
+				stall += u.Stall
+				denom += horizon
+			}
+		}
+	}
+	if denom == 0 {
+		return 0, 0
+	}
+	return 100 * float64(busy) / float64(denom), 100 * float64(stall) / float64(denom)
 }

@@ -71,15 +71,29 @@ func main() {
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file (open in ui.perfetto.dev)")
 	metrics := flag.Bool("metrics", false, "dump the unified metrics snapshot after the run")
 	chaosSpec := flag.String("chaos", "", "seeded fault injection, e.g. seed=7,rate=10000 (keys: seed,rate,xlat,corrupt,drop,dup,pin,retries; rates in ppm)")
+	var tel telemetry
+	flag.StringVar(&tel.timeseries, "timeseries", "", "write a windowed metric time-series JSON artifact to this file")
+	flag.StringVar(&tel.window, "tswindow", "100us", "time-series sampling window (simulated time)")
+	flag.BoolVar(&tel.profile, "profile", false, "print the per-actor sim-time utilization report after the run")
+	flag.BoolVar(&tel.critpath, "critpath", false, "print the request critical-path analysis after the run")
 	flag.Parse()
 
-	if err := run(*app, *jobs, *temporal, *ws, *durFlag, *pages, *sliceFlag, *policy, *passthrough, *traceOut, *metrics, *chaosSpec); err != nil {
+	if err := run(*app, *jobs, *temporal, *ws, *durFlag, *pages, *sliceFlag, *policy, *passthrough, *traceOut, *metrics, *chaosSpec, tel); err != nil {
 		fmt.Fprintln(os.Stderr, "optimus-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(app string, jobs int, temporal bool, wsFlag, durFlag, pages, sliceFlag, policy string, passthrough bool, traceOut string, metrics bool, chaosSpec string) error {
+// telemetry groups the sim-time telemetry-engine flags: time-series
+// sampler, utilization profiler, critical-path analyzer.
+type telemetry struct {
+	timeseries string
+	window     string
+	profile    bool
+	critpath   bool
+}
+
+func run(app string, jobs int, temporal bool, wsFlag, durFlag, pages, sliceFlag, policy string, passthrough bool, traceOut string, metrics bool, chaosSpec string, tel telemetry) error {
 	wsBytes, err := parseBytes(wsFlag)
 	if err != nil {
 		return err
@@ -115,9 +129,10 @@ func run(app string, jobs int, temporal bool, wsFlag, durFlag, pages, sliceFlag,
 			return fmt.Errorf("pass-through supports a single job")
 		}
 	}
-	if traceOut != "" {
+	if traceOut != "" || tel.profile || tel.critpath {
 		cfg.Trace = obs.NewTracer(0)
 	}
+	cfg.Profile = tel.profile
 	if chaosSpec != "" {
 		ccfg, err := chaos.ParseSpec(chaosSpec)
 		if err != nil {
@@ -126,9 +141,16 @@ func run(app string, jobs int, temporal bool, wsFlag, durFlag, pages, sliceFlag,
 		cfg.Chaos = &ccfg
 	}
 	var reg *obs.Registry
-	if metrics {
+	if metrics || tel.timeseries != "" {
 		reg = obs.NewRegistry()
 		cfg.Metrics = reg
+	}
+	if tel.timeseries != "" {
+		w, err := parseDuration(tel.window)
+		if err != nil {
+			return fmt.Errorf("-tswindow: %w", err)
+		}
+		cfg.Sample = &obs.SampleConfig{Window: w}
 	}
 	h, err := hv.New(cfg)
 	if err != nil {
@@ -238,11 +260,38 @@ func run(app string, jobs int, temporal bool, wsFlag, durFlag, pages, sliceFlag,
 				pc[0], pc[1], pc[2], rec.Count())
 		}
 	}
-	if reg != nil {
+	if reg != nil && metrics {
 		fmt.Println("metrics:")
 		if err := reg.WriteText(os.Stdout); err != nil {
 			return err
 		}
+	}
+	if tel.profile {
+		fmt.Println("profile:")
+		if err := h.Profiler().WriteReport(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if tel.critpath {
+		fmt.Println("critpath:")
+		if err := obs.AnalyzeCritPath(h.Trace().Records()).WriteText(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if tel.timeseries != "" {
+		f, err := os.Create(tel.timeseries)
+		if err != nil {
+			return err
+		}
+		s := h.Sampler()
+		if err := s.WriteJSON(f, strings.Join(accels, "+")); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("timeseries: %d windows of %v -> %s\n", s.Windows(), s.Window(), tel.timeseries)
 	}
 	if traceOut != "" {
 		f, err := os.Create(traceOut)

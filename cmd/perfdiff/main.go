@@ -42,6 +42,8 @@ type expRecord struct {
 	CloneMS       float64 `json:"clone_wall_ms"`
 	ResidentBytes uint64  `json:"resident_bytes"`
 	SharedBytes   uint64  `json:"shared_bytes"`
+	PABusyPct     float64 `json:"pa_busy_pct"`
+	PAStallPct    float64 `json:"pa_stall_pct"`
 }
 
 type benchArtifact struct {
@@ -169,6 +171,16 @@ func main() {
 			fmt.Printf("  %-12s %8s -> %8s resident  %+6.1f%%  %s (shared %s -> %s)\n",
 				r.Exp, fmtBytes(p.ResidentBytes), fmtBytes(r.ResidentBytes), delta, status,
 				fmtBytes(p.SharedBytes), fmtBytes(r.SharedBytes))
+		}
+		// Utilization diff: accelerator-lane busy/stall fractions from the
+		// profiler (artifacts run with -profile, PR 9 on). Utilization is a
+		// property of the simulated workload, not the host, so shifts signal
+		// a behavior change in the simulator rather than a performance
+		// regression — reported, never gated.
+		if p.PABusyPct > 0 && r.PABusyPct > 0 {
+			fmt.Printf("  %-12s %7.1f%% -> %6.1f%% pa busy   %+5.1fpp (stall %.1f%% -> %.1f%%)\n",
+				r.Exp, p.PABusyPct, r.PABusyPct, r.PABusyPct-p.PABusyPct,
+				p.PAStallPct, r.PAStallPct)
 		}
 	}
 	if compared == 0 {
@@ -353,25 +365,57 @@ func trendReport(dir string) int {
 			}
 		}
 	}
-	if !anyMem {
+	if anyMem {
+		fmt.Println()
+		fmt.Println("memory trend (resident bytes at acquisition / CoW-shared fraction):")
+		fmt.Println(header)
+		for _, id := range order {
+			line := fmt.Sprintf("%-12s", id)
+			shown := false
+			for i := range arts {
+				r, ok := byExp[i][id]
+				if !ok || r.ResidentBytes == 0 {
+					line += fmt.Sprintf("  %16s", "-")
+					continue
+				}
+				shown = true
+				cell := fmt.Sprintf("%s/%.0f%%sh", fmtBytes(r.ResidentBytes),
+					float64(r.SharedBytes)/float64(r.ResidentBytes)*100)
+				line += fmt.Sprintf("  %16s", cell)
+			}
+			if shown {
+				fmt.Println(line)
+			}
+		}
+	}
+
+	// Utilization trend: accelerator-lane busy fraction for artifacts whose
+	// runs were profiled (PR 9 on). Cells show "busy%/stall%".
+	anyUtil := false
+	for _, a := range arts {
+		for _, r := range a.Records {
+			if r.PABusyPct > 0 {
+				anyUtil = true
+			}
+		}
+	}
+	if !anyUtil {
 		return 0
 	}
 	fmt.Println()
-	fmt.Println("memory trend (resident bytes at acquisition / CoW-shared fraction):")
+	fmt.Println("utilization trend (accelerator lanes, busy% / stall% of simulated time):")
 	fmt.Println(header)
 	for _, id := range order {
 		line := fmt.Sprintf("%-12s", id)
 		shown := false
 		for i := range arts {
 			r, ok := byExp[i][id]
-			if !ok || r.ResidentBytes == 0 {
+			if !ok || r.PABusyPct == 0 {
 				line += fmt.Sprintf("  %16s", "-")
 				continue
 			}
 			shown = true
-			cell := fmt.Sprintf("%s/%.0f%%sh", fmtBytes(r.ResidentBytes),
-				float64(r.SharedBytes)/float64(r.ResidentBytes)*100)
-			line += fmt.Sprintf("  %16s", cell)
+			line += fmt.Sprintf("  %16s", fmt.Sprintf("%.1f%%/%.1f%%", r.PABusyPct, r.PAStallPct))
 		}
 		if shown {
 			fmt.Println(line)

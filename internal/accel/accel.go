@@ -311,7 +311,8 @@ func (a *Accel) SetTracer(tr *obs.Tracer, slot int) {
 func (a *Accel) setStatus(s uint64) {
 	a.status = s
 	if a.tr != nil && a.k != nil {
-		a.tr.Emit(a.k.Now(), obs.KindAccelStatus, obs.PA(a.slot), s, 0)
+		// Span = job index, so status transitions group per job.
+		a.tr.EmitSpan(a.k.Now(), obs.KindAccelStatus, obs.PA(a.slot), uint32(a.jobsDone), s, 0)
 	}
 	if a.statusHook != nil {
 		a.statusHook(s)

@@ -150,6 +150,12 @@ type Shell struct {
 	tr    *obs.Tracer // nil = tracing disabled
 	chaos *chaos.Plan // nil = fault injection disabled
 
+	// tagged marks that requests reaching the shell carry auditor-assigned
+	// transaction tags, enabling span ids on IOTLB trace records. Left unset
+	// on pass-through platforms, whose zero-value tags are indistinguishable
+	// from slot 0's real ones — their records stay unlinked (span 0).
+	tagged bool
+
 	// opFree is the completion-record freelist: records cycle from Issue to
 	// their scheduled completion event and back, so the steady-state packet
 	// path performs no heap allocation (hotalloc enforces this statically,
@@ -358,6 +364,11 @@ func (s *Shell) Config() Config { return s.cfg }
 // disables tracing).
 func (s *Shell) SetTracer(tr *obs.Tracer) { s.tr = tr }
 
+// SetTagged declares whether requests carry auditor-assigned tags (see the
+// tagged field). The hypervisor sets it when assembling a monitored
+// platform.
+func (s *Shell) SetTagged(on bool) { s.tagged = on }
+
 // SetChaos arms fault injection on the shell's DMA path (nil disables it).
 // Like the tracer, the disabled path costs one branch per request and
 // allocates nothing; injection paths are allowed to allocate.
@@ -471,12 +482,16 @@ func (s *Shell) translateAndServe(op *shellOp, now sim.Time) {
 	}
 	prev := mem.HPA(0)
 	tr := s.tr // hoisted: one load, not one per translated line
+	var span uint32
+	if tr != nil && s.tagged {
+		span = obs.MkSpan(op.tag.AccelID, op.tag.Txn)
+	}
 	for i := 0; i < op.lines; i++ {
 		iova := mem.IOVA(op.addr) + mem.IOVA(i)*LineSize
 		hpa, d, spec, err := s.IOMMU.Translate(iova, perm)
 		if err != nil {
 			s.stats.Faults++
-			tr.Emit(now, obs.KindIOTLBFault, obs.Shell(), uint64(iova), 0)
+			tr.EmitSpan(now, obs.KindIOTLBFault, obs.Shell(), span, uint64(iova), 0)
 			op.err = err
 			s.K.After(d, op.fire)
 			return
@@ -490,7 +505,7 @@ func (s *Shell) translateAndServe(op *shellOp, now sim.Time) {
 			} else if d > 0 {
 				k = obs.KindIOTLBMiss
 			}
-			tr.Emit(now, k, obs.Shell(), uint64(iova), uint64(d))
+			tr.EmitSpan(now, k, obs.Shell(), span, uint64(iova), uint64(d))
 		}
 		if d > 0 {
 			xlat += d

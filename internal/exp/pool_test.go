@@ -11,6 +11,7 @@ import (
 	"optimus/internal/hv"
 	"optimus/internal/mem"
 	"optimus/internal/obs"
+	"optimus/internal/sim"
 )
 
 // withParallelism runs body with the pool bound set to n, restoring the
@@ -189,6 +190,34 @@ func TestParallelDeterminism(t *testing.T) {
 	}
 	if len(coll.Platforms()) == 0 {
 		t.Fatal("auto-observe collected no platforms")
+	}
+
+	// The full telemetry engine must be invisible too: arm the time-series
+	// sampler (epoch hook firing every 50 µs of simulated time on every
+	// kernel) and the utilization profiler (fed from every trace emit), then
+	// re-render at both parallelism levels. The sampler hooks the kernel's
+	// clock advance, so this is the gate proving epochs never perturb event
+	// order or results.
+	hv.ObserveAll(coll, 256)
+	hv.SampleAll(&obs.SampleConfig{Window: 50 * sim.Microsecond})
+	hv.ProfileAll(true)
+	defer func() { hv.SampleAll(nil); hv.ProfileAll(false) }()
+	sampledSeq := render(1)
+	sampledPar := render(8)
+	if sampledSeq != seq {
+		t.Fatalf("tables differ with sampling+profiling enabled:\n--- off ---\n%s\n--- on ---\n%s", seq, sampledSeq)
+	}
+	if sampledPar != seq {
+		t.Fatal("sampled render differs at par 8")
+	}
+	sampled := 0
+	for _, p := range coll.Platforms() {
+		if p.Sampler != nil && p.Sampler.Fired() > 0 {
+			sampled++
+		}
+	}
+	if sampled == 0 {
+		t.Fatal("no platform sampled any window")
 	}
 }
 

@@ -137,7 +137,7 @@ var (
 // warmKey fingerprints everything that shapes a template: the full
 // platform configuration (including the armed ChaosAll config, which New
 // folds into platforms that do not set Config.Chaos) plus the tenant
-// count. Trace/Metrics are deliberately absent — configs carrying them
+// count. Trace/Metrics/Sample/Profile are deliberately absent — configs carrying them
 // never reach the cache.
 func warmKey(cfg hv.Config, n int) string {
 	var b strings.Builder
@@ -181,7 +181,7 @@ func buildSpatial(cfg hv.Config, n int) (*hv.Hypervisor, []*tenant, error) {
 // cloned from a warmed template when cloning is enabled and the config is
 // cacheable, else built from scratch.
 func warmSpatialPlatform(cfg hv.Config, n int) (*hv.Hypervisor, []*tenant, error) {
-	if !Cloning() || cfg.Trace != nil || cfg.Metrics != nil {
+	if !Cloning() || cfg.Trace != nil || cfg.Metrics != nil || cfg.Sample != nil || cfg.Profile {
 		h, tenants, err := buildSpatial(cfg, n)
 		if err == nil {
 			recordPlatformMem(h)
@@ -243,7 +243,7 @@ func provisionAll(tenants []*tenant, spec jobSpec) ([]*job, error) {
 // synchronous, deterministic in (cfg, n, spec), and fully captured by
 // hv.Clone's state copy.
 func warmSpatialJobs(cfg hv.Config, n int, spec jobSpec) (*hv.Hypervisor, []*tenant, []*job, error) {
-	if !Cloning() || cfg.Trace != nil || cfg.Metrics != nil {
+	if !Cloning() || cfg.Trace != nil || cfg.Metrics != nil || cfg.Sample != nil || cfg.Profile {
 		done := beginSetup()
 		h, tenants, err := buildSpatial(cfg, n)
 		var jobs []*job

@@ -102,6 +102,18 @@ type Config struct {
 	// Metrics, when non-nil, receives the platform's counter, gauge, and
 	// histogram registrations (see RegisterMetrics).
 	Metrics *obs.Registry
+	// Profile, when true, attaches a utilization profiler to the platform's
+	// tracer: per-actor busy/stall/preempt/idle sim-time accounting derived
+	// from the trace stream at emit time (obs.Profiler). Requires tracing
+	// (Trace set, or auto-observation with tracing enabled); otherwise it
+	// is a no-op.
+	Profile bool
+	// Sample, when non-nil, attaches an epoch-driven time-series sampler
+	// (obs.Sampler) over the platform's metrics registry: every registered
+	// metric is snapshotted into ring buffers once per Sample.Window of
+	// simulated time. Requires Metrics (explicit or auto-observed);
+	// otherwise it is a no-op. The config is read at assembly only.
+	Sample *obs.SampleConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -167,9 +179,11 @@ type Hypervisor struct {
 	slicePool []int
 	nextSlice int
 
-	tr    *obs.Tracer //optimus:clone-skip rebuilt by New; clones get private observability handles, never shared ones
-	chaos *chaos.Plan // nil = fault injection disabled
-	stats Stats
+	tr      *obs.Tracer   //optimus:clone-skip rebuilt by New; clones get private observability handles, never shared ones
+	prof    *obs.Profiler //optimus:clone-skip rebuilt by New; derived observability, never copied state
+	sampler *obs.Sampler  //optimus:clone-skip rebuilt by New; derived observability, never copied state
+	chaos   *chaos.Plan   // nil = fault injection disabled
+	stats   Stats
 
 	// autoObserved records that tr/Metrics came from the ObserveAll
 	// collector rather than the caller; Clone must strip them so every
@@ -199,6 +213,8 @@ type Stats struct {
 var autoObserve struct {
 	c        *obs.Collector
 	traceCap int
+	sample   *obs.SampleConfig
+	profile  bool
 }
 
 // ObserveAll directs every platform assembled after this call to attach a
@@ -210,6 +226,17 @@ func ObserveAll(c *obs.Collector, traceCap int) {
 	autoObserve.c = c
 	autoObserve.traceCap = traceCap
 }
+
+// SampleAll directs every auto-observed platform assembled after this call
+// to also attach a time-series sampler with cfg (each platform copies the
+// config; an explicit Config.Sample takes precedence). Pass nil to stop.
+// Same arming discipline as ObserveAll: once, before any sweep goroutine.
+func SampleAll(cfg *obs.SampleConfig) { autoObserve.sample = cfg }
+
+// ProfileAll directs every auto-observed platform assembled after this call
+// to also attach a utilization profiler to its tracer. Same arming
+// discipline as ObserveAll.
+func ProfileAll(on bool) { autoObserve.profile = on }
 
 // autoChaos, when armed via ChaosAll, applies a fault-injection config to
 // every subsequently assembled platform that does not set Config.Chaos
@@ -232,12 +259,23 @@ func New(cfg Config) (*Hypervisor, error) {
 		return nil, fmt.Errorf("hv: %d accelerators (want 1–8)", len(cfg.Accels))
 	}
 	autoObserved := false
+	var collector *obs.Collector
 	if c := autoObserve.c; c != nil && !cfg.Unobserved && cfg.Trace == nil && cfg.Metrics == nil {
 		if autoObserve.traceCap >= 0 {
 			cfg.Trace = obs.NewTracer(autoObserve.traceCap)
 		}
 		cfg.Metrics = obs.NewRegistry()
-		c.Add(strings.Join(cfg.Accels, "+"), cfg.Trace, cfg.Metrics)
+		if cfg.Sample == nil && autoObserve.sample != nil {
+			s := *autoObserve.sample
+			cfg.Sample = &s
+		}
+		if autoObserve.profile {
+			cfg.Profile = true
+		}
+		// Registration with the collector happens at the end of New, once
+		// the sampler and profiler handles exist (and never for a platform
+		// whose assembly fails partway).
+		collector = c
 		autoObserved = true
 	}
 	k := sim.NewKernel()
@@ -287,6 +325,7 @@ func New(cfg Config) (*Hypervisor, error) {
 		}
 		h.Monitor = mon
 		mon.SetTracer(h.tr)
+		shell.SetTagged(true)
 		for i := range cfg.Accels {
 			ports = append(ports, mon.AccelPort(i))
 		}
@@ -313,14 +352,39 @@ func New(cfg Config) (*Hypervisor, error) {
 		a.OnStatusChange(pa.sched.onStatus)
 		h.Phys = append(h.Phys, pa)
 	}
+	if cfg.Profile && h.tr != nil {
+		h.prof = obs.NewProfiler()
+		h.tr.SetProfiler(h.prof)
+	}
 	if cfg.Metrics != nil {
 		h.RegisterMetrics(cfg.Metrics)
+		if cfg.Sample != nil {
+			h.sampler = obs.NewSampler(cfg.Metrics, h.prof, *cfg.Sample)
+			h.sampler.Attach(k)
+		}
+	}
+	if collector != nil {
+		collector.AddPlatform(obs.PlatformObs{
+			Label:   strings.Join(cfg.Accels, "+"),
+			Trace:   cfg.Trace,
+			Metrics: cfg.Metrics,
+			Sampler: h.sampler,
+			Profile: h.prof,
+		})
 	}
 	return h, nil
 }
 
 // Trace returns the platform's tracer (nil when tracing is off).
 func (h *Hypervisor) Trace() *obs.Tracer { return h.tr }
+
+// Profiler returns the platform's utilization profiler (nil when profiling
+// is off).
+func (h *Hypervisor) Profiler() *obs.Profiler { return h.prof }
+
+// Sampler returns the platform's time-series sampler (nil when sampling is
+// off).
+func (h *Hypervisor) Sampler() *obs.Sampler { return h.sampler }
 
 // Chaos returns the platform's fault-injection plan (nil when disabled).
 func (h *Hypervisor) Chaos() *chaos.Plan { return h.chaos }

@@ -62,6 +62,7 @@ func (h *Hypervisor) RegisterMetrics(r *obs.Registry) {
 	r.RegisterGauge("mem.shared_frames", func() float64 { return float64(pm.SharedFrames()) })
 	r.RegisterGauge("mem.dirty_frames", func() float64 { return float64(pm.DirtyFrameCount()) })
 	r.RegisterCounter("mem.cow_breaks", pm.CoWBreaks)
+	r.OnReset(pm.ResetCoWBreaks)
 
 	r.RegisterCounter("hv.mmio_traps", func() uint64 { return h.stats.MMIOTraps })
 	r.RegisterCounter("hv.hypercalls", func() uint64 { return h.stats.Hypercalls })

@@ -64,7 +64,9 @@ func (s *scheduler) emit(k obs.Kind, va *VAccel, b uint64) {
 	if s.hv.tr == nil {
 		return
 	}
-	s.hv.tr.Emit(s.hv.K.Now(), k, obs.Sched(s.pa.Slot), uint64(va.slice), b)
+	// The span carries the slice id too, so scheduler records group with
+	// the tenant's control-plane spans in span-aware tooling.
+	s.hv.tr.EmitSpan(s.hv.K.Now(), k, obs.Sched(s.pa.Slot), uint32(va.slice), uint64(va.slice), b)
 }
 
 func (s *scheduler) attach(va *VAccel) { s.vaccels = append(s.vaccels, va) }

@@ -180,7 +180,7 @@ func (va *VAccel) iovaFor(gva mem.GVA) mem.IOVA {
 // the guest VM's lane.
 func (va *VAccel) trap(off, val uint64) {
 	va.hv.stats.MMIOTraps++
-	va.hv.tr.Emit(va.hv.K.Now(), obs.KindMMIOTrap, obs.VM(va.proc.vm.ID), off, val)
+	va.hv.tr.EmitSpan(va.hv.K.Now(), obs.KindMMIOTrap, obs.VM(va.proc.vm.ID), uint32(va.slice), off, val)
 }
 
 // BAR2Write handles hypervisor-page MMIO (always trapped).

@@ -135,7 +135,8 @@ func (fl *inflight) deliver() {
 		if resp.Kind == ccip.WrLine {
 			bytes = fl.dataBytes
 		}
-		m.tr.Emit(m.k.Now(), obs.KindDMAComplete, obs.PA(a.id), uint64(resp.Latency), bytes)
+		m.tr.EmitSpan(m.k.Now(), obs.KindDMAComplete, obs.PA(a.id),
+			obs.MkSpan(a.id, resp.Tag.Txn), uint64(resp.Latency), bytes)
 	}
 	done, comp := fl.done, fl.comp
 	m.putInflight(fl)
@@ -210,7 +211,12 @@ func (a *Auditor) Issue(req ccip.Request) {
 		if req.Kind == ccip.WrLine {
 			wb |= 1
 		}
-		m.tr.Emit(m.k.Now(), obs.KindDMAIssue, obs.PA(a.id), req.Addr, wb)
+		// The span names the transaction number the request is about to be
+		// tagged with; a range fault below leaves the counter unconsumed, so
+		// the id recurs on the next request — the critical-path analyzer
+		// treats such a reissue as superseding the faulted chain.
+		m.tr.EmitSpan(m.k.Now(), obs.KindDMAIssue, obs.PA(a.id),
+			obs.MkSpan(a.id, a.txn), req.Addr, wb)
 	}
 
 	iova, ok := a.Translate(mem.GVA(req.Addr), req.Bytes())

@@ -119,6 +119,7 @@ type HistSummary struct {
 	P50NS  float64 `json:"p50_ns"`
 	P95NS  float64 `json:"p95_ns"`
 	P99NS  float64 `json:"p99_ns"`
+	P999NS float64 `json:"p999_ns"`
 }
 
 // Sample is one metric in a snapshot. Value carries the counter or gauge
@@ -147,7 +148,7 @@ func (r *Registry) Snapshot() []Sample {
 	}
 	r.mu.Unlock()
 	for name, h := range hists {
-		ps := h.Percentiles(50, 95, 99)
+		ps := h.Percentiles(50, 95, 99, 99.9)
 		out = append(out, Sample{
 			Name: name, Kind: "histogram", Value: float64(h.Count()),
 			Hist: &HistSummary{
@@ -158,6 +159,7 @@ func (r *Registry) Snapshot() []Sample {
 				P50NS:  ps[0].Nanoseconds(),
 				P95NS:  ps[1].Nanoseconds(),
 				P99NS:  ps[2].Nanoseconds(),
+				P999NS: ps[3].Nanoseconds(),
 			},
 		})
 	}
@@ -178,8 +180,8 @@ func (r *Registry) WriteText(w io.Writer) error {
 		var err error
 		switch {
 		case s.Hist != nil:
-			_, err = fmt.Fprintf(w, "%-*s  n=%d mean=%.1fns p50=%.1fns p95=%.1fns p99=%.1fns max=%.1fns\n",
-				width, s.Name, s.Hist.Count, s.Hist.MeanNS, s.Hist.P50NS, s.Hist.P95NS, s.Hist.P99NS, s.Hist.MaxNS)
+			_, err = fmt.Fprintf(w, "%-*s  n=%d mean=%.1fns p50=%.1fns p95=%.1fns p99=%.1fns p999=%.1fns max=%.1fns\n",
+				width, s.Name, s.Hist.Count, s.Hist.MeanNS, s.Hist.P50NS, s.Hist.P95NS, s.Hist.P99NS, s.Hist.P999NS, s.Hist.MaxNS)
 		case s.Kind == "gauge":
 			_, err = fmt.Fprintf(w, "%-*s  %.4f\n", width, s.Name, s.Value)
 		default:

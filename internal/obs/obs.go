@@ -10,7 +10,7 @@
 //   - Zero cost when disabled. Every component holds a *Tracer that is nil
 //     when tracing is off; Emit's nil receiver check is the entire disabled
 //     path, so instrumented hot paths pay one predictable branch.
-//   - Zero allocations when enabled. Records are 32-byte structs written
+//   - Zero allocations when enabled. Records are 40-byte structs written
 //     into reused ring slots; the //optimus:hotpath annotation on the emit
 //     path puts it under the hotalloc analyzer, and testing.AllocsPerRun
 //     enforces the same property dynamically.
@@ -179,15 +179,34 @@ func (k Kind) String() string {
 // Rec is one fixed-size trace record. Records are stored by value in the
 // ring; nothing in a record is a pointer, so emitting cannot allocate and
 // the ring holds no references alive.
+//
+// Span is the causal span-linking id (0 = unlinked): records carrying the
+// same non-zero span belong to one request chain — a DMA's issue, its
+// per-line IOTLB classifications, and its completion all carry the
+// transaction's span (see MkSpan) — which is what the critical-path
+// analyzer joins on. Scheduler and MMIO-trap records reuse the field for
+// the vaccel slice id, and accelerator status transitions for the job
+// index, so control-plane records group per tenant/job the same way.
 type Rec struct {
 	At    sim.Time
-	Kind  Kind
-	Actor Actor
 	A, B  uint64
+	Actor Actor
+	Span  uint32
+	Kind  Kind
+}
+
+// MkSpan packs a DMA transaction identity into a span id: the auditor slot
+// in the top 4 bits and the per-auditor transaction counter plus one below,
+// so concurrently audited accelerators never collide and slot 0's first
+// transaction does not map to the reserved "no span" zero. Txn wraps at
+// 2^28-1 ≈ 268M requests per auditor — beyond any trace ring's window — and
+// a wrapped id can at worst fuse two chains far apart in time.
+func MkSpan(accelID int, txn uint64) uint32 {
+	return uint32(accelID)<<28 | (uint32(txn)+1)&0x0FFFFFFF
 }
 
 // DefaultCapacity is the ring size used when NewTracer is given a
-// non-positive capacity: 1 Mi records ≈ 32 MB.
+// non-positive capacity: 1 Mi records ≈ 40 MB.
 const DefaultCapacity = 1 << 20
 
 // Tracer is a single-simulation trace ring. Like the sim.Kernel it serves,
@@ -200,6 +219,11 @@ type Tracer struct {
 	recs []Rec
 	head int    // next slot to write
 	n    uint64 // total records emitted (including overwritten)
+
+	// prof, when non-nil, receives every record at emit time — the
+	// utilization profiler's no-second-pass feed. One predictable branch
+	// when unset, mirroring the nil-tracer discipline.
+	prof *Profiler
 }
 
 // NewTracer returns a tracer with a preallocated ring of the given capacity
@@ -222,20 +246,46 @@ func (t *Tracer) Emit(at sim.Time, k Kind, actor Actor, a, b uint64) {
 	if t == nil {
 		return
 	}
-	t.emit(at, k, actor, a, b)
+	t.emit(at, k, actor, 0, a, b)
+}
+
+// EmitSpan is Emit with a causal span-linking id (see Rec.Span). Same
+// disabled/enabled cost contract as Emit.
+//
+//optimus:hotpath
+func (t *Tracer) EmitSpan(at sim.Time, k Kind, actor Actor, span uint32, a, b uint64) {
+	if t == nil {
+		return
+	}
+	t.emit(at, k, actor, span, a, b)
 }
 
 // emit is the enabled-path body, split out so Emit's disabled path stays
 // within the inlining budget of every caller.
 //
 //optimus:hotpath
-func (t *Tracer) emit(at sim.Time, k Kind, actor Actor, a, b uint64) {
-	t.recs[t.head] = Rec{At: at, Kind: k, Actor: actor, A: a, B: b}
+func (t *Tracer) emit(at sim.Time, k Kind, actor Actor, span uint32, a, b uint64) {
+	t.recs[t.head] = Rec{At: at, Kind: k, Actor: actor, Span: span, A: a, B: b}
 	t.head++
 	if t.head == len(t.recs) {
 		t.head = 0
 	}
 	t.n++
+	if t.prof != nil {
+		t.prof.note(at, k, actor, span, a, b)
+	}
+}
+
+// SetProfiler attaches p to the emit path so it observes every record as it
+// is written — the utilization profiler's single-pass feed (nil detaches).
+func (t *Tracer) SetProfiler(p *Profiler) { t.prof = p }
+
+// Profiler returns the attached utilization profiler, or nil.
+func (t *Tracer) Profiler() *Profiler {
+	if t == nil {
+		return nil
+	}
+	return t.prof
 }
 
 // Enabled reports whether the tracer records events.
@@ -309,6 +359,8 @@ type PlatformObs struct {
 	Label   string
 	Trace   *Tracer  // nil when the collector was attached metrics-only
 	Metrics *Registry
+	Sampler *Sampler  // nil unless time-series sampling is armed (hv.SampleAll)
+	Profile *Profiler // nil unless utilization profiling is armed (hv.ProfileAll)
 }
 
 // Collector gathers the per-platform tracers and registries of a multi-
@@ -325,9 +377,15 @@ func NewCollector() *Collector { return &Collector{} }
 
 // Add registers one platform's handles and returns its sequence number.
 func (c *Collector) Add(label string, t *Tracer, r *Registry) int {
+	return c.AddPlatform(PlatformObs{Label: label, Trace: t, Metrics: r})
+}
+
+// AddPlatform registers one platform's full handle set (tracer, registry,
+// sampler, profiler) and returns its sequence number.
+func (c *Collector) AddPlatform(p PlatformObs) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.platforms = append(c.platforms, PlatformObs{Label: label, Trace: t, Metrics: r})
+	c.platforms = append(c.platforms, p)
 	return len(c.platforms) - 1
 }
 

@@ -135,6 +135,65 @@ func TestChromeTraceWellFormed(t *testing.T) {
 	}
 }
 
+// TestChromeTraceWraparound drives a small ring far past capacity and checks
+// the export contract still holds: Records() is oldest-first over only the
+// surviving window, the drop counter accounts for everything overwritten, and
+// the Chrome export of a wrapped ring is valid JSON whose timestamps all come
+// from the surviving suffix.
+func TestChromeTraceWraparound(t *testing.T) {
+	const cap, emits = 8, 30
+	tr := NewTracer(cap)
+	us := func(n int64) sim.Time { return sim.Time(n) * sim.Microsecond }
+	for i := int64(0); i < emits; i++ {
+		if i%2 == 0 {
+			tr.Emit(us(i), KindSliceBegin, Sched(0), 0, 3)
+		} else {
+			tr.Emit(us(i), KindSliceEnd, Sched(0), 0, 3)
+		}
+	}
+	if got := tr.Dropped(); got != emits-cap {
+		t.Fatalf("Dropped() = %d, want %d", got, emits-cap)
+	}
+	recs := tr.Records()
+	if len(recs) != cap {
+		t.Fatalf("ring holds %d records, want %d", len(recs), cap)
+	}
+	for i, r := range recs {
+		if want := us(int64(emits - cap + i)); r.At != want {
+			t.Fatalf("record %d at %v, want %v (ring not oldest-first after wrap)", i, r.At, want)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var top struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &top); err != nil {
+		t.Fatalf("wrapped-ring export is not valid JSON: %v", err)
+	}
+	oldest := float64(emits - cap) // trace ts is in microseconds
+	spans := 0
+	for i, ev := range top.TraceEvents {
+		ts, ok := ev["ts"].(float64)
+		if !ok {
+			continue // metadata events carry no ts
+		}
+		if ts < oldest {
+			t.Fatalf("event %d has ts %v predating the surviving window (oldest %v): %v",
+				i, ts, oldest, ev)
+		}
+		if ev["ph"] == "X" || ev["ph"] == "B" {
+			spans++
+		}
+	}
+	if spans == 0 {
+		t.Fatal("wrapped export produced no slice spans")
+	}
+}
+
 func TestChromeTraceMultiPlatform(t *testing.T) {
 	c := NewCollector()
 	c.Add("point A", goldenTracer(), nil)

@@ -1,0 +1,284 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"optimus/internal/sim"
+)
+
+// Profiler derives per-actor sim-time accounting — where does simulated time
+// go — from the trace-record stream at emit time: Tracer.emit hands it every
+// record as the record is written, so there is no second instrumentation
+// pass and no post-hoc ring walk (which would miss anything wraparound
+// overwrote). It partitions each actor's timeline into
+//
+//   - busy: a scheduler slice is running (sched + VM lanes), or the
+//     accelerator framework reports StatusRunning (PA lanes);
+//   - stalled: the accelerator is saving or loading preemption state —
+//     context-switch overhead that is neither useful work nor idleness;
+//   - preempted: the slot is inside the preemption handshake
+//     (PreemptBegin → PreemptSaved/ForcedReset);
+//   - idle: everything else, derived at report time as
+//     horizon − busy − stalled − preempted.
+//
+// The accounting path is held to the tracer's own discipline: the
+// profiler-disabled path is one nil check inside emit, and the enabled path
+// allocates nothing in steady state (an actor's accounting slot is created
+// once, on the first record that names it). Like the tracer, a Profiler is
+// single-goroutine: each platform owns a private one.
+type Profiler struct {
+	idx    map[Actor]int
+	actors []actorProf
+
+	// classTotal accumulates closed interval time per (class, state) — the
+	// fixed-width cumulative feed the time-series sampler delta-encodes
+	// into per-window utilization series regardless of how many actors
+	// exist. Open intervals count once they close.
+	classTotal [numClasses][numProfStates]sim.Time
+
+	lastAt  sim.Time
+	nevents uint64
+}
+
+// Profiled interval states.
+const (
+	profBusy = iota
+	profStall
+	profPreempt
+	numProfStates
+	profNone = numProfStates // no open interval
+)
+
+var profStateNames = [numProfStates]string{"busy", "stall", "preempt"}
+
+// Accelerator framework status values, mirrored from accel.Status* (obs
+// cannot import accel — accel already imports obs). The mapping below is
+// asserted against the real constants in internal/hv's observability tests.
+const (
+	statusIdle uint64 = iota
+	statusRunning
+	statusSaving
+	statusSaved
+	statusLoading
+	statusDone
+	statusError
+)
+
+// actorProf is one actor's accounting slot.
+type actorProf struct {
+	actor     Actor
+	closed    [numProfStates]sim.Time
+	open      int // profNone when no interval is open
+	openSince sim.Time
+	events    uint64
+}
+
+// NewProfiler returns an empty profiler.
+func NewProfiler() *Profiler {
+	return &Profiler{idx: make(map[Actor]int, 32)}
+}
+
+// slot returns the accounting index for actor, creating it on first sight.
+// Creation is the only allocating path and happens once per actor per run,
+// so the steady-state note path allocates nothing.
+func (p *Profiler) slot(actor Actor) int {
+	if i, ok := p.idx[actor]; ok {
+		return i
+	}
+	p.idx[actor] = len(p.actors)
+	p.actors = append(p.actors, actorProf{actor: actor, open: profNone})
+	return len(p.actors) - 1
+}
+
+// setOpen closes the actor's current interval (crediting its class total)
+// and opens state (profNone just closes).
+//
+//optimus:hotpath
+func (p *Profiler) setOpen(i int, state int, at sim.Time) {
+	ap := &p.actors[i]
+	if ap.open != profNone && at > ap.openSince {
+		d := at - ap.openSince
+		ap.closed[ap.open] += d
+		p.classTotal[ap.actor.Class()][ap.open] += d
+	}
+	ap.open = state
+	ap.openSince = at
+}
+
+// note is the emit-time feed: one record, already validated by the tracer.
+// Interval bookkeeping is a handful of compares and adds; the only
+// allocation anywhere below is first-sight actor registration in slot.
+//
+//optimus:hotpath
+func (p *Profiler) note(at sim.Time, k Kind, actor Actor, span uint32, a, b uint64) {
+	_ = span
+	p.nevents++
+	if at > p.lastAt {
+		p.lastAt = at
+	}
+	i := p.slot(actor)
+	p.actors[i].events++
+	switch k {
+	case KindSliceBegin:
+		// The slice occupies the scheduler lane and attributes the same
+		// interval to the owning VM (B = VM id).
+		p.setOpen(i, profBusy, at)
+		p.setOpen(p.slot(MkActor(ClassVM, int(b))), profBusy, at)
+	case KindSliceEnd:
+		// The sched lane may already be closed (a preemption handshake ended
+		// it); the VM interval always closes here.
+		if p.actors[i].open == profBusy {
+			p.setOpen(i, profNone, at)
+		}
+		p.setOpen(p.slot(MkActor(ClassVM, int(b))), profNone, at)
+	case KindPreemptBegin:
+		p.setOpen(i, profPreempt, at)
+	case KindPreemptSaved, KindForcedReset:
+		if p.actors[i].open == profPreempt {
+			p.setOpen(i, profNone, at)
+		}
+	case KindAccelStatus:
+		switch a {
+		case statusRunning:
+			p.setOpen(i, profBusy, at)
+		case statusSaving, statusLoading:
+			p.setOpen(i, profStall, at)
+		default: // Idle, Saved, Done, Error
+			p.setOpen(i, profNone, at)
+		}
+	}
+}
+
+// Events returns how many trace records the profiler has observed.
+func (p *Profiler) Events() uint64 { return p.nevents }
+
+// Horizon returns the timestamp of the newest observed record — the
+// denominator the report's idle time and percentages are computed against.
+func (p *Profiler) Horizon() sim.Time { return p.lastAt }
+
+// ActorUtil is one actor's utilization, with open intervals closed
+// virtually at the horizon.
+type ActorUtil struct {
+	Actor   Actor
+	Busy    sim.Time
+	Stall   sim.Time
+	Preempt sim.Time
+	Idle    sim.Time
+	Events  uint64
+}
+
+// utilOf materializes actor slot i against horizon.
+func (p *Profiler) utilOf(i int, horizon sim.Time) ActorUtil {
+	ap := &p.actors[i]
+	u := ActorUtil{
+		Actor:   ap.actor,
+		Busy:    ap.closed[profBusy],
+		Stall:   ap.closed[profStall],
+		Preempt: ap.closed[profPreempt],
+		Events:  ap.events,
+	}
+	if ap.open != profNone && horizon > ap.openSince {
+		d := horizon - ap.openSince
+		switch ap.open {
+		case profBusy:
+			u.Busy += d
+		case profStall:
+			u.Stall += d
+		case profPreempt:
+			u.Preempt += d
+		}
+	}
+	if idle := horizon - u.Busy - u.Stall - u.Preempt; idle > 0 {
+		u.Idle = idle
+	}
+	return u
+}
+
+// Utilization returns every tracked actor's accounting, ordered by (class,
+// id) so output is deterministic regardless of event arrival order.
+func (p *Profiler) Utilization() []ActorUtil {
+	horizon := p.lastAt
+	out := make([]ActorUtil, 0, len(p.actors))
+	for i := range p.actors {
+		out = append(out, p.utilOf(i, horizon))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Actor < out[j].Actor })
+	return out
+}
+
+// ClassTotal returns the cumulative closed interval time for (class, state
+// profBusy/profStall/profPreempt). It advances monotonically as intervals
+// close, which is what lets the sampler delta-encode it per window.
+func (p *Profiler) ClassTotal(c Class, state int) sim.Time {
+	return p.classTotal[c][state]
+}
+
+// utilBar renders a 20-cell top-style occupancy bar for a fraction of the
+// horizon.
+func utilBar(frac float64) string {
+	const cells = 20
+	n := int(frac*cells + 0.5)
+	if n > cells {
+		n = cells
+	}
+	bar := make([]byte, cells)
+	for i := range bar {
+		if i < n {
+			bar[i] = '#'
+		} else {
+			bar[i] = '.'
+		}
+	}
+	return string(bar)
+}
+
+// WriteReport renders a top-style utilization table: one row per actor,
+// busiest first, with per-state shares of the horizon and an occupancy bar.
+func (p *Profiler) WriteReport(w io.Writer) error {
+	horizon := p.lastAt
+	if _, err := fmt.Fprintf(w, "utilization over %v of simulated time (%d trace records)\n",
+		horizon, p.nevents); err != nil {
+		return err
+	}
+	if horizon <= 0 {
+		return nil
+	}
+	rows := p.Utilization()
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].Busy != rows[j].Busy {
+			return rows[i].Busy > rows[j].Busy
+		}
+		return rows[i].Actor < rows[j].Actor
+	})
+	h := float64(horizon)
+	for _, u := range rows {
+		_, err := fmt.Fprintf(w, "%-12s %s busy %5.1f%%  stall %5.1f%%  preempt %5.1f%%  idle %5.1f%%  (busy %v, %d evs)\n",
+			laneName(u.Actor), utilBar(float64(u.Busy)/h),
+			100*float64(u.Busy)/h, 100*float64(u.Stall)/h,
+			100*float64(u.Preempt)/h, 100*float64(u.Idle)/h,
+			u.Busy, u.Events)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteProfiles dumps every collected platform's utilization report,
+// labelled, skipping platforms without a profiler.
+func (c *Collector) WriteProfiles(w io.Writer) error {
+	for _, p := range c.Platforms() {
+		if p.Profile == nil {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "== %s ==\n", p.Label); err != nil {
+			return err
+		}
+		if err := p.Profile.WriteReport(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -91,6 +91,15 @@ type Kernel struct {
 	seq      uint64
 	nexec    uint64
 	flushed  uint64 // portion of nexec already added to executedTotal
+
+	// Epoch hook (SetEpochHook): hookFn fires whenever the clock first
+	// reaches or passes hookAt. The hook is not an event — it lives outside
+	// the queue, consumes no sequence numbers, and leaves Executed()
+	// untouched — so installing one cannot perturb event ordering or any
+	// downstream determinism guarantee. Uninstalled, it costs one nil check
+	// per clock advance (not per event).
+	hookAt Time
+	hookFn func(Time) Time
 }
 
 func eventLess(a, b event) bool {
@@ -179,6 +188,45 @@ func (k *Kernel) flush() {
 	}
 }
 
+// SetEpochHook installs fn as the kernel's epoch hook, first firing when the
+// clock reaches or passes absolute time first. The hook is invoked with the
+// epoch boundary (which may trail the clock when time jumps past it) before
+// any event at the new timestamp dispatches, and returns the next boundary;
+// returning a time not after the current boundary uninstalls the hook, as
+// does passing a nil fn.
+//
+// The hook is the telemetry sampler's attachment point (obs.Sampler): it runs
+// between events, schedules nothing, draws no randomness, and is excluded
+// from Executed(), so a hooked kernel replays event-for-event identically to
+// an unhooked one. Hook callbacks must not schedule events or otherwise
+// touch simulation state. One hook per kernel; installing replaces.
+func (k *Kernel) SetEpochHook(first Time, fn func(boundary Time) Time) {
+	if fn == nil {
+		k.hookFn = nil
+		return
+	}
+	k.hookAt = first
+	k.hookFn = fn
+	if k.now >= first {
+		k.fireEpochs(k.now)
+	}
+}
+
+// fireEpochs invokes the hook for every boundary the clock has reached,
+// advancing hookAt each time. Split out of the dispatch paths so their
+// inlined fast path stays one compare when a hook is installed.
+func (k *Kernel) fireEpochs(now Time) {
+	for k.hookFn != nil && k.hookAt <= now {
+		at := k.hookAt
+		next := k.hookFn(at)
+		if next <= at {
+			k.hookFn = nil
+			return
+		}
+		k.hookAt = next
+	}
+}
+
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // it always indicates a component bug, and silently reordering time would
 // corrupt every latency measurement downstream.
@@ -241,6 +289,9 @@ func (k *Kernel) advance() (event, bool) {
 	k.now = e.at
 	for len(k.heap) > 0 && k.heap[0].at == e.at {
 		k.fifo = append(k.fifo, k.heapPop())
+	}
+	if k.hookFn != nil && e.at >= k.hookAt {
+		k.fireEpochs(e.at)
 	}
 	return e, true
 }
@@ -358,6 +409,9 @@ func (k *Kernel) RunUntil(deadline Time) {
 		}
 		if k.now < deadline {
 			k.now = deadline
+			if k.hookFn != nil && deadline >= k.hookAt {
+				k.fireEpochs(deadline)
+			}
 		}
 	}
 	k.flush()

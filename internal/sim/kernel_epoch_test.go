@@ -1,0 +1,115 @@
+package sim
+
+import "testing"
+
+func TestEpochHookFiresAtBoundaries(t *testing.T) {
+	k := NewKernel()
+	var fired []Time
+	k.SetEpochHook(10, func(b Time) Time {
+		fired = append(fired, b)
+		return b + 10
+	})
+	k.At(25, func() {})
+	k.RunUntil(100)
+	// Boundaries 10 and 20 trail the event at 25; the clock then jumps to
+	// the deadline, catching every boundary through 100.
+	want := []Time{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+}
+
+func TestEpochHookOrderedBeforeCoTimedEvents(t *testing.T) {
+	k := NewKernel()
+	var order []string
+	k.SetEpochHook(50, func(b Time) Time {
+		order = append(order, "hook")
+		return b + 100
+	})
+	k.At(50, func() { order = append(order, "event") })
+	k.RunUntil(50)
+	if len(order) != 2 || order[0] != "hook" || order[1] != "event" {
+		t.Fatalf("order = %v, want [hook event]", order)
+	}
+}
+
+func TestEpochHookDoesNotCountAsEvents(t *testing.T) {
+	k := NewKernel()
+	n := 0
+	k.SetEpochHook(1, func(b Time) Time { n++; return b + 1 })
+	k.At(5, func() {})
+	k.RunUntil(10)
+	if n != 10 {
+		t.Fatalf("hook fired %d times, want 10", n)
+	}
+	if got := k.Executed(); got != 1 {
+		t.Fatalf("Executed = %d, want 1 (hook firings must not count)", got)
+	}
+}
+
+func TestEpochHookUninstall(t *testing.T) {
+	k := NewKernel()
+	n := 0
+	// Returning a non-advancing boundary uninstalls.
+	k.SetEpochHook(10, func(b Time) Time { n++; return b })
+	k.RunUntil(100)
+	if n != 1 {
+		t.Fatalf("hook fired %d times after self-uninstall, want 1", n)
+	}
+	// So does installing nil.
+	k.SetEpochHook(200, func(b Time) Time { n++; return b + 1 })
+	k.SetEpochHook(0, nil)
+	k.RunUntil(300)
+	if n != 1 {
+		t.Fatalf("hook fired %d times after nil install, want 1", n)
+	}
+}
+
+func TestEpochHookImmediateWhenPastDue(t *testing.T) {
+	k := NewKernel()
+	k.At(40, func() {})
+	k.RunUntil(40)
+	var fired []Time
+	k.SetEpochHook(15, func(b Time) Time {
+		fired = append(fired, b)
+		return b + 15
+	})
+	// Installation at now=40 with first=15 catches up immediately: 15, 30.
+	if len(fired) != 2 || fired[0] != 15 || fired[1] != 30 {
+		t.Fatalf("catch-up fired %v, want [15 30]", fired)
+	}
+	k.RunUntil(60)
+	if len(fired) != 4 || fired[2] != 45 || fired[3] != 60 {
+		t.Fatalf("fired %v, want [... 45 60]", fired)
+	}
+}
+
+func TestEpochHookDeterminismWithEvents(t *testing.T) {
+	run := func(hook bool) (uint64, Time) {
+		k := NewKernel()
+		if hook {
+			k.SetEpochHook(7, func(b Time) Time { return b + 7 })
+		}
+		var tick func()
+		n := 0
+		tick = func() {
+			n++
+			if n < 1000 {
+				k.After(Time(3+n%5), tick)
+			}
+		}
+		k.At(0, tick)
+		k.RunUntil(10000)
+		return k.Executed(), k.Now()
+	}
+	e1, t1 := run(false)
+	e2, t2 := run(true)
+	if e1 != e2 || t1 != t2 {
+		t.Fatalf("hook perturbed execution: %d/%v vs %d/%v", e1, t1, e2, t2)
+	}
+}

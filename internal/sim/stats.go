@@ -3,7 +3,6 @@ package sim
 import (
 	"fmt"
 	"math"
-	"sort"
 )
 
 // Counter is a monotonically increasing event/byte counter with a name.
@@ -118,7 +117,11 @@ func (s *LatencyStat) StdDev() float64 {
 
 // sorted returns the reservoir in ascending order, re-sorting only when the
 // reservoir changed since the last query. The cached buffer is reused across
-// calls, so repeated percentile queries neither allocate nor re-sort.
+// calls and the sort is a hand-rolled in-place heapsort rather than
+// sort.Slice (whose interface conversion and comparator closure both
+// allocate), so steady-state percentile queries allocate nothing even when
+// they re-sort — the property the telemetry sampler's per-epoch histogram
+// snapshots rely on (obs.Sampler).
 func (s *LatencyStat) sorted() []Time {
 	if s.sortValid {
 		return s.sortBuf
@@ -128,9 +131,39 @@ func (s *LatencyStat) sorted() []Time {
 	}
 	s.sortBuf = s.sortBuf[:len(s.reservoir)]
 	copy(s.sortBuf, s.reservoir)
-	sort.Slice(s.sortBuf, func(i, j int) bool { return s.sortBuf[i] < s.sortBuf[j] })
+	sortTimes(s.sortBuf)
 	s.sortValid = true
 	return s.sortBuf
+}
+
+// sortTimes heapsorts x ascending, in place, with no allocation.
+func sortTimes(x []Time) {
+	n := len(x)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftTime(x, i, n)
+	}
+	for i := n - 1; i > 0; i-- {
+		x[0], x[i] = x[i], x[0]
+		siftTime(x, 0, i)
+	}
+}
+
+// siftTime sifts x[i] down through the max-heap prefix x[:n].
+func siftTime(x []Time, i, n int) {
+	for {
+		c := 2*i + 1
+		if c >= n {
+			return
+		}
+		if c+1 < n && x[c+1] > x[c] {
+			c++
+		}
+		if x[c] <= x[i] {
+			return
+		}
+		x[i], x[c] = x[c], x[i]
+		i = c
+	}
 }
 
 // pick indexes a sorted reservoir at the p-th percentile (0–100).

@@ -12,11 +12,13 @@ go vet ./...
 echo "== optimuslint (addrspace detwall faultpath globalstate hotalloc locksafe statecopy) =="
 go run ./cmd/optimuslint ./...
 
-# The tracer's emit path, the shell's DMA packet path, and the chaos
-# draw path all claim zero allocations; hold them to that even if the
-# package-wide run above ever narrows its scope.
-echo "== hotalloc (obs/ccip/chaos hot paths) =="
-go run ./cmd/optimuslint -only hotalloc ./internal/obs ./internal/ccip ./internal/chaos
+# The tracer's emit path (plus the sampler's window snapshot and the
+# profiler's interval accounting riding on it), the shell's DMA packet
+# path, the auditor's pooled request path, the kernel's epoch firing, and
+# the chaos draw path all claim zero allocations; hold them to that even
+# if the package-wide run above ever narrows its scope.
+echo "== hotalloc (obs/ccip/chaos/hwmon/sim hot paths) =="
+go run ./cmd/optimuslint -only hotalloc ./internal/obs ./internal/ccip ./internal/chaos ./internal/hwmon ./internal/sim
 
 if command -v staticcheck >/dev/null 2>&1; then
     echo "== staticcheck ($(staticcheck -version 2>/dev/null || echo unknown)) =="
