@@ -58,6 +58,15 @@ type expRecord struct {
 	// cmd/perfdiff reports shifts as behavior-change signals (not gated).
 	PABusyPct  float64 `json:"pa_busy_pct,omitempty"`
 	PAStallPct float64 `json:"pa_stall_pct,omitempty"`
+	// Serving fields, present only for the serve experiment: aggregate
+	// offered and completed request rates (per simulated second), the
+	// bursty tenant's p999, and the SLO violation percentage, all at the
+	// highest offered load in elastic mode (exp.ServeSummary). perfdiff
+	// reports latency-curve shifts as behavior-change signals (not gated).
+	OfferedLoad     float64 `json:"offered_load,omitempty"`
+	AchievedGoodput float64 `json:"achieved_goodput,omitempty"`
+	P999NS          uint64  `json:"p999_ns,omitempty"`
+	SLOViolationPct float64 `json:"slo_violation_pct,omitempty"`
 }
 
 type benchArtifact struct {
@@ -85,6 +94,7 @@ func main() {
 	tsWindow := flag.Duration("tswindow", 100*time.Microsecond, "time-series sampling window, in simulated time")
 	profileFlag := flag.Bool("profile", false, "dump every sweep platform's per-actor sim-time utilization report after the run")
 	critFlag := flag.Bool("critpath", false, "dump every sweep platform's request critical-path analysis after the run (needs trace rings; combine with -trace-cap)")
+	sloOut := flag.String("slo", "", "write the serve experiment's SLO-curve artifact (per-point, per-tenant latency percentiles and violation rates) as JSON to this path (requires -exp serve or all)")
 	flag.Parse()
 
 	exp.SetCloning(*cloneFlag)
@@ -201,6 +211,12 @@ func main() {
 		if coll != nil && *profileFlag {
 			rec.PABusyPct, rec.PAStallPct = paUtil(coll.Platforms()[platsBefore:])
 		}
+		if id == "serve" {
+			if off, good, p999, viol, ok := exp.ServeSummary(); ok {
+				rec.OfferedLoad, rec.AchievedGoodput = off, good
+				rec.P999NS, rec.SLOViolationPct = p999, viol
+			}
+		}
 		art.Records = append(art.Records, rec)
 	}
 	art.TotalMS = float64(time.Since(suiteStart).Nanoseconds()) / 1e6
@@ -217,6 +233,24 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote perf artifact to %s\n", *jsonPath)
+	}
+
+	if *sloOut != "" {
+		f, err := os.Create(*sloOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "optimus-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := exp.WriteServeJSON(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "optimus-bench: writing %s: %v\n", *sloOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote SLO-curve artifact to %s\n", *sloOut)
 	}
 
 	if *metrics {

@@ -44,6 +44,13 @@ type expRecord struct {
 	SharedBytes   uint64  `json:"shared_bytes"`
 	PABusyPct     float64 `json:"pa_busy_pct"`
 	PAStallPct    float64 `json:"pa_stall_pct"`
+	// Serving fields (the serve experiment, PR 10 on): peak-load elastic
+	// operating point. Latency is a property of the simulated workload, so
+	// shifts are behavior-change signals — reported, never gated.
+	OfferedLoad     float64 `json:"offered_load"`
+	AchievedGoodput float64 `json:"achieved_goodput"`
+	P999NS          uint64  `json:"p999_ns"`
+	SLOViolationPct float64 `json:"slo_violation_pct"`
 }
 
 type benchArtifact struct {
@@ -181,6 +188,17 @@ func main() {
 			fmt.Printf("  %-12s %7.1f%% -> %6.1f%% pa busy   %+5.1fpp (stall %.1f%% -> %.1f%%)\n",
 				r.Exp, p.PABusyPct, r.PABusyPct, r.PABusyPct-p.PABusyPct,
 				p.PAStallPct, r.PAStallPct)
+		}
+		// Serving latency diff: the serve experiment's tail latency and SLO
+		// violation fraction at its top elastic operating point (PR 10 on).
+		// Like utilization, these describe the simulated workload, so a shift
+		// means serving behavior changed — reported, never gated.
+		if p.P999NS > 0 && r.P999NS > 0 {
+			fmt.Printf("  %-12s %7.1fus -> %6.1fus p999    %+5.1f%% viol %.1f%% -> %.1f%% (goodput %s -> %s req/s)\n",
+				r.Exp, float64(p.P999NS)/1e3, float64(r.P999NS)/1e3,
+				(float64(r.P999NS)-float64(p.P999NS))/float64(p.P999NS)*100,
+				p.SLOViolationPct, r.SLOViolationPct,
+				fmtRate(p.AchievedGoodput), fmtRate(r.AchievedGoodput))
 		}
 	}
 	if compared == 0 {
@@ -399,26 +417,60 @@ func trendReport(dir string) int {
 			}
 		}
 	}
-	if !anyUtil {
-		return 0
-	}
-	fmt.Println()
-	fmt.Println("utilization trend (accelerator lanes, busy% / stall% of simulated time):")
-	fmt.Println(header)
-	for _, id := range order {
-		line := fmt.Sprintf("%-12s", id)
-		shown := false
-		for i := range arts {
-			r, ok := byExp[i][id]
-			if !ok || r.PABusyPct == 0 {
-				line += fmt.Sprintf("  %16s", "-")
-				continue
+	if anyUtil {
+		fmt.Println()
+		fmt.Println("utilization trend (accelerator lanes, busy% / stall% of simulated time):")
+		fmt.Println(header)
+		for _, id := range order {
+			line := fmt.Sprintf("%-12s", id)
+			shown := false
+			for i := range arts {
+				r, ok := byExp[i][id]
+				if !ok || r.PABusyPct == 0 {
+					line += fmt.Sprintf("  %16s", "-")
+					continue
+				}
+				shown = true
+				line += fmt.Sprintf("  %16s", fmt.Sprintf("%.1f%%/%.1f%%", r.PABusyPct, r.PAStallPct))
 			}
-			shown = true
-			line += fmt.Sprintf("  %16s", fmt.Sprintf("%.1f%%/%.1f%%", r.PABusyPct, r.PAStallPct))
+			if shown {
+				fmt.Println(line)
+			}
 		}
-		if shown {
-			fmt.Println(line)
+	}
+
+	// Serving trend: tail latency and SLO violation fraction at the serve
+	// experiment's top elastic operating point (PR 10 on). Cells show
+	// "p999/viol%"; informational like utilization — latency curves are
+	// workload properties, so the lineage row shows behavior drift, not a
+	// gated regression.
+	anyServe := false
+	for _, a := range arts {
+		for _, r := range a.Records {
+			if r.P999NS > 0 {
+				anyServe = true
+			}
+		}
+	}
+	if anyServe {
+		fmt.Println()
+		fmt.Println("serving trend (p999 latency / SLO violation % at top elastic load):")
+		fmt.Println(header)
+		for _, id := range order {
+			line := fmt.Sprintf("%-12s", id)
+			shown := false
+			for i := range arts {
+				r, ok := byExp[i][id]
+				if !ok || r.P999NS == 0 {
+					line += fmt.Sprintf("  %16s", "-")
+					continue
+				}
+				shown = true
+				line += fmt.Sprintf("  %16s", fmt.Sprintf("%.0fus/%.1f%%", float64(r.P999NS)/1e3, r.SLOViolationPct))
+			}
+			if shown {
+				fmt.Println(line)
+			}
 		}
 	}
 	return 0

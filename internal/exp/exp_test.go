@@ -31,7 +31,7 @@ func TestTableRender(t *testing.T) {
 func TestRegistryIDsAndUnknown(t *testing.T) {
 	ids := IDs()
 	want := []string{"chaos", "fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "guard", "iommu",
-		"muxarity", "sched", "table1", "table2", "table3", "table4", "timing"}
+		"muxarity", "sched", "serve", "table1", "table2", "table3", "table4", "timing"}
 	if len(ids) != len(want) {
 		t.Fatalf("IDs = %v", ids)
 	}

@@ -78,6 +78,7 @@ var Experiments = map[string]Runner{
 		t, err := TimingAblation()
 		return one(t, err)
 	},
+	"serve":    func(s Scale) ([]*Table, error) { return one(ServeCurve(s)) },
 	"chaos":    func(s Scale) ([]*Table, error) { return one(ChaosSweep(s)) },
 	"guard":    func(s Scale) ([]*Table, error) { return one(GuardAblation(s)) },
 	"iommu":    func(s Scale) ([]*Table, error) { return one(IOMMUAblation(s)) },

@@ -1,0 +1,180 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"optimus/internal/chaos"
+	"optimus/internal/hv"
+	"optimus/internal/obs"
+	"optimus/internal/sim"
+)
+
+// serveRender runs the serve curve at the given parallelism and returns the
+// rendered table plus the concatenated per-point digests.
+func serveRender(t *testing.T, par int) (string, string) {
+	t.Helper()
+	SetParallelism(par)
+	defer SetParallelism(0)
+	tab, err := ServeCurve(ScaleQuick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	var dig strings.Builder
+	for _, p := range ServePoints() {
+		dig.WriteString(p.Digest)
+		dig.WriteByte(' ')
+	}
+	return buf.String(), dig.String()
+}
+
+// TestServeCurveDeterminism is the open-loop determinism harness: the same
+// seeds must give byte-identical tables and stream digests at any sweep
+// parallelism, with the full telemetry engine armed or not, and — under a
+// fixed fault plan — with chaos armed at any parallelism.
+func TestServeCurveDeterminism(t *testing.T) {
+	baseTab, baseDig := serveRender(t, 1)
+	parTab, parDig := serveRender(t, 8)
+	if parTab != baseTab || parDig != baseDig {
+		t.Fatalf("serve output differs between par 1 and par 8:\n--- par1 ---\n%s\n--- par8 ---\n%s", baseTab, parTab)
+	}
+
+	// Telemetry must be invisible: tracer rings, metrics registries (which
+	// now carry the load.* namespace), the epoch-driven sampler, and the
+	// profiler all armed — the arrival injector and the sampler's epoch
+	// hook share clock boundaries, so this is the gate proving injection
+	// order survives observation.
+	coll := obs.NewCollector()
+	hv.ObserveAll(coll, 256)
+	hv.SampleAll(&obs.SampleConfig{Window: 250 * sim.Microsecond})
+	hv.ProfileAll(true)
+	defer func() { hv.ObserveAll(nil, 0); hv.SampleAll(nil); hv.ProfileAll(false) }()
+	obsTab, obsDig := serveRender(t, 8)
+	hv.ObserveAll(nil, 0)
+	hv.SampleAll(nil)
+	hv.ProfileAll(false)
+	if obsTab != baseTab || obsDig != baseDig {
+		t.Fatalf("serve output differs with telemetry armed:\n--- off ---\n%s\n--- on ---\n%s", baseTab, obsTab)
+	}
+	if len(coll.Platforms()) == 0 {
+		t.Fatal("auto-observe collected no serve platforms")
+	}
+	found := false
+	for _, p := range coll.Platforms() {
+		if p.Metrics == nil {
+			continue
+		}
+		for _, s := range p.Metrics.Snapshot() {
+			if strings.HasPrefix(s.Name, "load.") {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no observed platform registered load.* metrics")
+	}
+
+	// Chaos armed: results legitimately differ from the fault-free run, but
+	// must still be identical across parallelism for a fixed plan.
+	hv.ChaosAll(&chaos.Config{Seed: 7, XlatPPM: 200, DropPPM: 100})
+	defer hv.ChaosAll(nil)
+	chaosSeq, chaosSeqDig := serveRender(t, 1)
+	chaosPar, chaosParDig := serveRender(t, 8)
+	if chaosPar != chaosSeq || chaosParDig != chaosSeqDig {
+		t.Fatalf("chaos-armed serve output differs between par 1 and par 8:\n--- par1 ---\n%s\n--- par8 ---\n%s", chaosSeq, chaosPar)
+	}
+}
+
+// TestServeElasticBeatsStatic commits the experiment's headline claim: at
+// the x0.8 operating point the bursty tenant's p999 under elastic slicing
+// is well under half the static p999, with more goodput and fewer SLO
+// violations — the standby slot absorbs the bursts that static provisioning
+// must queue.
+func TestServeElasticBeatsStatic(t *testing.T) {
+	if _, err := ServeCurve(ScaleQuick); err != nil {
+		t.Fatal(err)
+	}
+	var static, elastic *ServePoint
+	for i := range ServePoints() {
+		p := &ServePoints()[i]
+		if p.Mult == 0.8 {
+			switch p.Mode {
+			case "static":
+				static = p
+			case "elastic":
+				elastic = p
+			}
+		}
+	}
+	if static == nil || elastic == nil {
+		t.Fatal("x0.8 points missing from serve curve")
+	}
+	if elastic.Grows == 0 {
+		t.Fatal("elastic mode never grew a standby worker")
+	}
+	if elastic.P999Ns*2 >= static.P999Ns {
+		t.Fatalf("elastic p999 %dns not < half static p999 %dns", elastic.P999Ns, static.P999Ns)
+	}
+	if elastic.ViolationPct >= static.ViolationPct {
+		t.Fatalf("elastic violation %.1f%% not below static %.1f%%", elastic.ViolationPct, static.ViolationPct)
+	}
+	if elastic.Completed < static.Completed {
+		t.Fatalf("elastic completed %d < static %d", elastic.Completed, static.Completed)
+	}
+}
+
+// TestServeJSONArtifact checks the -slo artifact: valid JSON with the armed
+// SLO, ordered percentiles, and violation percentages in range.
+func TestServeJSONArtifact(t *testing.T) {
+	if _, err := ServeCurve(ScaleQuick); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteServeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var art struct {
+		SLONs  uint64       `json:"slo_ns"`
+		Points []ServePoint `json:"points"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &art); err != nil {
+		t.Fatalf("artifact does not parse: %v", err)
+	}
+	if art.SLONs != uint64(serveSLO/sim.Nanosecond) {
+		t.Fatalf("slo_ns = %d, want %d", art.SLONs, uint64(serveSLO/sim.Nanosecond))
+	}
+	if len(art.Points) == 0 {
+		t.Fatal("no points in artifact")
+	}
+	lastMult := 0.0
+	for _, p := range art.Points {
+		if p.Mult < lastMult {
+			t.Fatalf("offered-load axis not monotone: x%.1f after x%.1f", p.Mult, lastMult)
+		}
+		lastMult = p.Mult
+		if !(p.P50Ns <= p.P99Ns && p.P99Ns <= p.P999Ns) {
+			t.Fatalf("percentiles out of order at x%.1f %s: %d/%d/%d", p.Mult, p.Mode, p.P50Ns, p.P99Ns, p.P999Ns)
+		}
+		if p.ViolationPct < 0 || p.ViolationPct > 100 {
+			t.Fatalf("violation pct %.1f out of range", p.ViolationPct)
+		}
+		if len(p.Streams) != serveTenants {
+			t.Fatalf("point x%.1f %s has %d streams, want %d", p.Mult, p.Mode, len(p.Streams), serveTenants)
+		}
+		var offered uint64
+		for _, sp := range p.Streams {
+			offered += sp.Offered
+			if sp.Offered != sp.Admitted+sp.Dropped {
+				t.Fatalf("stream %s at x%.1f %s: offered %d != admitted %d + dropped %d",
+					sp.Name, p.Mult, p.Mode, sp.Offered, sp.Admitted, sp.Dropped)
+			}
+		}
+		if offered != p.Offered {
+			t.Fatalf("aggregate offered %d != stream sum %d", p.Offered, offered)
+		}
+	}
+}

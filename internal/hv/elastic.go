@@ -1,0 +1,53 @@
+package hv
+
+import (
+	"fmt"
+
+	"optimus/internal/sim"
+)
+
+// Elastic slice grow/shrink entry points (ROADMAP item 2, UltraShare-style
+// elasticity). A tenant's "elastic share" is a standby virtual accelerator
+// on a donor slot; growing activates it — disrupting the donor slot's
+// current occupant with a real preemption handshake plus a modeled
+// reprovisioning delay — and shrinking hands the slot back by preempting the
+// standby. The open-loop traffic engine (internal/load) drives these from
+// queue-depth signals; the disruption cost is what makes the elasticity
+// trade-off measurable rather than free.
+
+// ElasticGrow activates va's claim on its physical slot: the slot's current
+// occupant (if any) is preempted through the standard handshake — the forced
+// preempt/reprovision cost of reallocation — and ready fires after the
+// reprovisioning delay. ready must be non-nil; it is invoked exactly once,
+// via the kernel.
+func (h *Hypervisor) ElasticGrow(va *VAccel, cost sim.Time, ready func()) error {
+	if h.cfg.Mode == ModePassThrough {
+		return fmt.Errorf("hv: elastic slicing requires OPTIMUS mode")
+	}
+	if va.quarantined || va.failure != nil {
+		return fmt.Errorf("hv: cannot grow onto failed/quarantined vaccel")
+	}
+	h.stats.ElasticGrows++
+	s := va.phys.sched
+	// Evict the donor slot's occupant now rather than waiting out its
+	// slice: elasticity's whole point is reacting to a queue that is
+	// already deep. A slot mid-context-switch resolves on its own — the
+	// scheduler will multiplex the grown vaccel in once it runs.
+	if cur := s.current; cur != nil && cur != va && !s.switching {
+		s.beginPreempt()
+	}
+	h.K.After(cost, ready)
+	return nil
+}
+
+// ElasticShrink releases va's claim: if it is running it is preempted so the
+// donor slot returns to its co-tenants. Queued work already dispatched to va
+// still completes (the context resumes when the scheduler next runs it);
+// callers shrink idle workers for a clean handback.
+func (h *Hypervisor) ElasticShrink(va *VAccel) {
+	h.stats.ElasticShrinks++
+	s := va.phys.sched
+	if s.current == va && !s.switching {
+		s.beginPreempt()
+	}
+}

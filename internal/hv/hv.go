@@ -199,6 +199,8 @@ type Stats struct {
 	ForcedResets    uint64
 	Quarantines     uint64
 	PagesPinned     uint64
+	ElasticGrows    uint64
+	ElasticShrinks  uint64
 }
 
 // autoObserve, when armed via ObserveAll, makes every subsequently

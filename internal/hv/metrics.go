@@ -70,6 +70,8 @@ func (h *Hypervisor) RegisterMetrics(r *obs.Registry) {
 	r.RegisterCounter("hv.forced_resets", func() uint64 { return h.stats.ForcedResets })
 	r.RegisterCounter("hv.pages_pinned", func() uint64 { return h.stats.PagesPinned })
 	r.RegisterCounter("hv.quarantines", func() uint64 { return h.stats.Quarantines })
+	r.RegisterCounter("hv.elastic_grows", func() uint64 { return h.stats.ElasticGrows })
+	r.RegisterCounter("hv.elastic_shrinks", func() uint64 { return h.stats.ElasticShrinks })
 	r.OnReset(func() { h.stats = Stats{} })
 
 	r.RegisterCounter("sched.forced_resets", func() uint64 {

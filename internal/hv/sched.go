@@ -295,8 +295,13 @@ func (s *scheduler) completeCurrent() {
 	va.hasSavedState = false
 	va.vstatus = st
 	s.descheduleCurrent(true)
-	notifyDone(va)
+	// The switch window opens before the guest hears about the completion:
+	// a done callback that immediately restarts (a serving loop) must find
+	// the slot mid-switch and queue via kick's switching guard. Notifying
+	// first would let that restart program the slot, and the switching flag
+	// set afterwards would then swallow the new job's own completion.
 	s.switching = true
+	notifyDone(va)
 	s.hv.K.After(ContextSwitchCost, func() {
 		s.switching = false
 		s.scheduleNext()

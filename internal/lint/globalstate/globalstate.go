@@ -44,6 +44,7 @@ var scopePkgs = map[string]bool{
 	"accel":       true,
 	"chaos":       true,
 	"exp":         true,
+	"load":        true,
 	"mem":         true,
 	"pagetable":   true,
 	"guest":       true,

@@ -1,0 +1,174 @@
+// Package load is the platform's deterministic open-loop traffic engine.
+//
+// Closed-loop experiment sweeps (internal/exp) measure the platform at the
+// operating points the harness chooses; an open-loop engine instead offers
+// load at rates the platform does not control — the regime production
+// serving lives in, where queues grow when the platform falls behind rather
+// than the workload politely waiting. The engine generates per-tenant
+// request arrivals (Poisson, bursty on/off, or diurnal trace replay), admits
+// them through bounded queues with configurable policies, coalesces
+// co-pending requests into batched dispatches onto virtual accelerators, and
+// grows/shrinks a tenant's share of physical accelerators from queue-depth
+// signals (elastic slicing à la UltraShare).
+//
+// Everything is driven by simulated time and sim.Rand: identical seeds give
+// byte-identical arrival timelines, admission decisions, and latency digests
+// at any sweep parallelism, with telemetry and chaos on or off. Arrival
+// injection rides the kernel's injector hook (sim.Kernel.SetInjector), so
+// the engine materializes only one window of arrivals at a time instead of
+// pre-scheduling millions of events.
+package load
+
+import (
+	"math"
+
+	"optimus/internal/sim"
+)
+
+// ArrivalKind selects a stream's arrival process.
+type ArrivalKind int
+
+// Arrival processes.
+const (
+	// Poisson draws exponential inter-arrival gaps at RatePerSec.
+	Poisson ArrivalKind = iota
+	// Bursty is a Markov-modulated on/off (interrupted Poisson) process:
+	// exponential dwells alternate between an on state arriving at
+	// RatePerSec and a silent off state. Mean rate is
+	// RatePerSec * MeanOn/(MeanOn+MeanOff).
+	Bursty
+	// Trace replays a pre-generated absolute arrival timeline (ascending
+	// sim times), e.g. one produced by DiurnalTrace or optimus-synth -load.
+	Trace
+)
+
+// ArrivalSpec describes one stream's arrival process.
+type ArrivalSpec struct {
+	Kind ArrivalKind
+	// RatePerSec is the mean arrival rate (Poisson) or the on-state rate
+	// (Bursty), in requests per simulated second.
+	RatePerSec float64
+	// MeanOn and MeanOff are the mean dwell times of the bursty on and off
+	// states (exponentially distributed).
+	MeanOn  sim.Time
+	MeanOff sim.Time
+	// Trace is the replay timeline for Kind == Trace.
+	Trace []sim.Time
+}
+
+// source generates successive absolute arrival times for one stream. Each
+// source owns a private sim.Rand, so streams draw independent, reproducible
+// timelines regardless of scheduling interleave.
+type source struct {
+	spec     ArrivalSpec
+	rng      *sim.Rand
+	phaseRng *sim.Rand // bursty: drives on/off dwells only (see newSource)
+	t        sim.Time  // last generated arrival (process clock)
+	on       bool      // bursty: currently in the on state
+	stateEnd sim.Time  // bursty: when the current state's dwell ends
+	idx      int       // trace: next replay index
+}
+
+func newSource(spec ArrivalSpec, seed uint64) *source {
+	s := &source{spec: spec, rng: sim.NewRand(seed)}
+	if spec.Kind == Bursty {
+		// Dwell times draw from their own stream so the on/off episode
+		// schedule is a function of the seed alone: sweeping RatePerSec
+		// with a fixed seed replays the same bursts at different
+		// intensities (common random numbers across load points).
+		s.phaseRng = sim.NewRand(seed ^ 0x70686173657321)
+		s.on = true
+		s.stateEnd = s.expDraw(spec.MeanOn)
+	}
+	return s
+}
+
+// expDraw draws an exponential duration with the given mean from the phase
+// stream, clamped to >= 1ps so process clocks always advance.
+func (s *source) expDraw(mean sim.Time) sim.Time {
+	d := sim.Time(-math.Log(1-s.phaseRng.Float64()) * float64(mean))
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// expGap draws an exponential inter-arrival gap for rate r arrivals/sec.
+func (s *source) expGap(r float64) sim.Time {
+	g := sim.Time(-math.Log(1-s.rng.Float64()) / r * float64(sim.Second))
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// next returns the next arrival time. ok is false when the source is
+// exhausted; only traces exhaust.
+func (s *source) next() (at sim.Time, ok bool) {
+	switch s.spec.Kind {
+	case Trace:
+		if s.idx >= len(s.spec.Trace) {
+			return 0, false
+		}
+		at = s.spec.Trace[s.idx]
+		s.idx++
+		return at, true
+	case Bursty:
+		for {
+			if !s.on {
+				s.t = s.stateEnd
+				s.on = true
+				s.stateEnd = s.t + s.expDraw(s.spec.MeanOn)
+				continue
+			}
+			cand := s.t + s.expGap(s.spec.RatePerSec)
+			if cand <= s.stateEnd {
+				s.t = cand
+				return cand, true
+			}
+			// The burst ended before this candidate: discard it (memoryless,
+			// so no bias) and dwell in the off state.
+			s.t = s.stateEnd
+			s.on = false
+			s.stateEnd = s.t + s.expDraw(s.spec.MeanOff)
+		}
+	default: // Poisson
+		s.t += s.expGap(s.spec.RatePerSec)
+		return s.t, true
+	}
+}
+
+// DiurnalTrace generates a replay timeline whose instantaneous rate follows
+// a sinusoidal diurnal cycle: `cycles` full periods across duration, mean
+// rate meanRatePerSec, and peak:trough rate ratio peakFactor (>= 1). The
+// timeline is drawn by Lewis–Shedler thinning — candidates at the peak rate,
+// each kept with probability rate(t)/peak — so it is exact for the
+// continuous rate function, and fully determined by the seed.
+func DiurnalTrace(seed uint64, duration sim.Time, meanRatePerSec, peakFactor float64, cycles int) []sim.Time {
+	if peakFactor < 1 {
+		peakFactor = 1
+	}
+	if cycles < 1 {
+		cycles = 1
+	}
+	hi := 2 * meanRatePerSec * peakFactor / (peakFactor + 1)
+	lo := hi / peakFactor
+	rng := sim.NewRand(seed)
+	var out []sim.Time
+	var t sim.Time
+	for {
+		g := sim.Time(-math.Log(1-rng.Float64()) / hi * float64(sim.Second))
+		if g < 1 {
+			g = 1
+		}
+		t += g
+		if t >= duration {
+			return out
+		}
+		phase := 2 * math.Pi * float64(cycles) * float64(t) / float64(duration)
+		rate := lo + (hi-lo)*(1+math.Sin(phase))/2
+		if rng.Float64()*hi <= rate {
+			out = append(out, t)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package load
+
+// Digest returns an FNV-1a fingerprint of the stream's observable outcome:
+// every counter plus the latency distribution's count, max, p50/p99/p999,
+// and armed-SLO violation count. Two runs that admitted, dropped, batched,
+// and completed identically — and measured identical latencies — produce
+// equal digests; the determinism harness and the CI serve gates compare
+// these across parallelism and telemetry/chaos settings.
+func (s *Stream) Digest() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xFF
+			h *= prime
+			v >>= 8
+		}
+	}
+	mix(s.offered)
+	mix(s.admitted)
+	mix(s.dropped)
+	mix(s.dispatched)
+	mix(s.completed)
+	mix(s.failed)
+	mix(s.batches)
+	mix(s.grows)
+	mix(s.shrinks)
+	mix(s.lat.Count())
+	mix(uint64(s.lat.Max()))
+	ps := s.lat.Percentiles(50, 99, 99.9)
+	for _, p := range ps {
+		mix(uint64(p))
+	}
+	if s.cfg.SLO > 0 {
+		mix(s.lat.ViolationsAbove(s.cfg.SLO))
+	}
+	return h
+}
+
+// EngineDigest folds every stream's digest into one fingerprint, in
+// registration order.
+func (e *Engine) EngineDigest() uint64 {
+	h := uint64(14695981039346656037)
+	for _, s := range e.streams {
+		d := s.Digest()
+		for i := 0; i < 8; i++ {
+			h ^= d & 0xFF
+			h *= 1099511628211
+			d >>= 8
+		}
+	}
+	return h
+}

@@ -1,0 +1,120 @@
+package load
+
+import (
+	"optimus/internal/obs"
+	"optimus/internal/sim"
+)
+
+// Engine drives a set of per-tenant streams open-loop against one simulated
+// platform. It attaches to the kernel's arrival injector and, once per
+// window, materializes the next window of arrivals for every stream and runs
+// each stream's elastic controller. Windowed generation keeps memory flat at
+// any horizon: a million-user day is generated one window at a time, never
+// as one giant pre-scheduled timeline.
+//
+// Like the kernel it drives, an Engine is single-goroutine by design;
+// concurrent sweep points each own a private engine.
+type Engine struct {
+	k       *sim.Kernel
+	window  sim.Time
+	horizon sim.Time
+	streams []*Stream
+}
+
+// NewEngine returns an engine generating arrivals in window-sized batches
+// from the kernel's current time until the absolute horizon.
+func NewEngine(k *sim.Kernel, window, horizon sim.Time) *Engine {
+	if window <= 0 {
+		panic("load: window must be positive")
+	}
+	return &Engine{k: k, window: window, horizon: horizon}
+}
+
+// AddStream registers a stream. Workers are added separately (AddWorker /
+// AddElasticWorker) before the engine attaches.
+func (e *Engine) AddStream(cfg StreamConfig) *Stream {
+	if cfg.QueueCap <= 0 {
+		panic("load: StreamConfig.QueueCap must be positive")
+	}
+	if cfg.BatchMax <= 0 {
+		cfg.BatchMax = 1
+	}
+	if cfg.ReservoirCap <= 0 {
+		cfg.ReservoirCap = 4096
+	}
+	s := &Stream{
+		name: cfg.Name,
+		id:   len(e.streams),
+		eng:  e,
+		src:  newSource(cfg.Arrivals, cfg.Seed),
+		cfg:  cfg,
+		q:    make([]sim.Time, cfg.QueueCap),
+		lat:  sim.NewLatencyStat(cfg.ReservoirCap, cfg.Seed^0x9e3779b97f4a7c15),
+	}
+	if cfg.SLO > 0 {
+		s.lat.SetSLO(cfg.SLO)
+	}
+	if cfg.Policy == TokenBucket {
+		s.tokens = cfg.TokenBurst
+		s.tokenLast = e.k.Now()
+	}
+	s.arrivalFn = s.onArrival
+	e.streams = append(e.streams, s)
+	return s
+}
+
+// Streams returns the registered streams in registration order.
+func (e *Engine) Streams() []*Stream { return e.streams }
+
+// Attach installs the engine on the kernel's arrival injector, generating
+// the first window immediately. Call after all streams and workers are
+// registered; the simulation then runs normally (RunUntil past the horizon
+// plus drain time is typical).
+func (e *Engine) Attach() {
+	e.k.SetInjector(e.k.Now(), e.onBoundary)
+}
+
+// onBoundary is the injector callback: generate [b, b+window) for every
+// stream, run the elastic controllers, and return the next boundary (0 past
+// the horizon, uninstalling the injector).
+func (e *Engine) onBoundary(b sim.Time) sim.Time {
+	end := b + e.window
+	if end > e.horizon {
+		end = e.horizon
+	}
+	for _, s := range e.streams {
+		s.generate(b, end)
+	}
+	for _, s := range e.streams {
+		s.evalElastic()
+	}
+	next := b + e.window
+	if next >= e.horizon {
+		return 0
+	}
+	return next
+}
+
+// RegisterMetrics publishes every stream's counters, queue gauges, and
+// latency histogram into the registry under load.<stream>.*, wiring the
+// traffic engine into the same snapshot/time-series machinery as the
+// platform's own metrics (obs.Sampler binds its metric set at the first
+// epoch boundary, so registration before the run suffices for time-series).
+func (e *Engine) RegisterMetrics(r *obs.Registry) {
+	for _, s := range e.streams {
+		s := s
+		p := "load." + s.name + "."
+		r.RegisterCounter(p+"offered", func() uint64 { return s.offered })
+		r.RegisterCounter(p+"admitted", func() uint64 { return s.admitted })
+		r.RegisterCounter(p+"dropped", func() uint64 { return s.dropped })
+		r.RegisterCounter(p+"dispatched", func() uint64 { return s.dispatched })
+		r.RegisterCounter(p+"completed", func() uint64 { return s.completed })
+		r.RegisterCounter(p+"failed", func() uint64 { return s.failed })
+		r.RegisterCounter(p+"batches", func() uint64 { return s.batches })
+		r.RegisterCounter(p+"elastic_grows", func() uint64 { return s.grows })
+		r.RegisterCounter(p+"elastic_shrinks", func() uint64 { return s.shrinks })
+		r.RegisterGauge(p+"qdepth", func() float64 { return float64(s.qLen) })
+		r.RegisterGauge(p+"active_workers", func() float64 { return float64(s.ActiveWorkers()) })
+		r.RegisterHistogram(p+"latency", s.lat)
+	}
+}

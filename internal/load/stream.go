@@ -1,0 +1,406 @@
+package load
+
+import (
+	"optimus/internal/obs"
+	"optimus/internal/sim"
+)
+
+// Worker executes dispatched request batches for one stream — typically a
+// virtual accelerator wrapped by the experiment harness. The engine is
+// deliberately hv-free: anything that can run a batch and report completion
+// through the simulated clock qualifies.
+type Worker interface {
+	// Bind installs the completion callback, invoked exactly once per
+	// Launch (via the sim kernel) when the batch finishes. Bind is called
+	// once at stream setup so the steady-state dispatch path allocates no
+	// closures.
+	Bind(done func(failed bool))
+	// Launch starts service of a batch of n coalesced requests. A non-nil
+	// error fails the whole batch immediately (no done callback follows).
+	Launch(n int) error
+}
+
+// ElasticWorker is a Worker whose capacity is provisioned and released at
+// runtime: the elastic slice allocator's unit of growth. Grow/Shrink model
+// the reallocation disruption — a grow typically forces a preemption of the
+// slot's current occupant plus a reprovisioning delay before ready fires.
+type ElasticWorker interface {
+	Worker
+	// Grow provisions the worker; ready fires once, via the sim kernel,
+	// when it can accept batches.
+	Grow(ready func())
+	// Shrink releases the worker's capacity back to the donor slot. Only
+	// idle workers are shrunk.
+	Shrink()
+}
+
+// AdmitPolicy selects a stream's admission control.
+type AdmitPolicy int
+
+// Admission policies. Both are bounded by QueueCap; TokenBucket additionally
+// rate-limits admissions to TokenRatePerSec with TokenBurst depth.
+const (
+	DropTail AdmitPolicy = iota
+	TokenBucket
+)
+
+// ElasticConfig drives the queue-depth elastic slice controller, evaluated
+// once per engine window. Zero HighWater disables elasticity.
+type ElasticConfig struct {
+	// HighWater grows one standby worker when the queue depth reaches it.
+	HighWater int
+	// LowWater + LowStreak shrink one idle standby worker after LowStreak
+	// consecutive windows with queue depth at or below LowWater.
+	LowWater  int
+	LowStreak int
+}
+
+// StreamConfig describes one tenant's request stream.
+type StreamConfig struct {
+	Name     string
+	Arrivals ArrivalSpec
+	// Seed drives this stream's private arrival randomness.
+	Seed uint64
+	// QueueCap bounds the admission queue (required, > 0).
+	QueueCap int
+	Policy   AdmitPolicy
+	// TokenRatePerSec and TokenBurst parameterize TokenBucket admission.
+	TokenRatePerSec float64
+	TokenBurst      float64
+	// BatchMax caps how many co-pending requests one dispatch coalesces
+	// onto a worker (default 1: no batching).
+	BatchMax int
+	// SLO arms exact violation counting above this latency (0 = none).
+	SLO sim.Time
+	// ReservoirCap sizes the percentile reservoir (default 4096).
+	ReservoirCap int
+	Elastic      ElasticConfig
+}
+
+// workerState tracks one worker's dispatch state. The done and ready
+// callbacks are built once at registration, keeping the per-batch path free
+// of closure allocation.
+type workerState struct {
+	w       Worker
+	elastic ElasticWorker // nil for always-on workers
+	enabled bool
+	busy    bool
+	growing bool
+	batch   []sim.Time // arrival times of the in-flight batch
+	done    func(failed bool)
+	ready   func()
+}
+
+// Stream is one tenant's open-loop request stream: an arrival source, a
+// bounded admission queue, a set of workers, and latency/SLO accounting.
+// Create via Engine.AddStream.
+type Stream struct {
+	name string
+	id   int
+	eng  *Engine
+	src  *source
+	cfg  StreamConfig
+
+	q     []sim.Time // admission-queue ring of arrival times
+	qHead int
+	qLen  int
+
+	tokens    float64
+	tokenLast sim.Time
+
+	workers []*workerState
+
+	lat *sim.LatencyStat
+
+	offered    uint64
+	admitted   uint64
+	dropped    uint64
+	dispatched uint64
+	completed  uint64
+	failed     uint64
+	batches    uint64
+	grows      uint64
+	shrinks    uint64
+
+	lowStreak int
+
+	// pending is the one-arrival lookahead between generation windows.
+	pending    sim.Time
+	hasPending bool
+	exhausted  bool
+
+	arrivalFn func() // prebuilt kernel callback (one per stream)
+
+	tr    *obs.Tracer
+	actor obs.Actor
+}
+
+// AddWorker registers an always-on worker (the tenant's home share).
+func (s *Stream) AddWorker(w Worker) {
+	ws := &workerState{w: w, enabled: true, batch: make([]sim.Time, 0, s.cfg.BatchMax)}
+	ws.done = func(failed bool) { s.onDone(ws, failed) }
+	w.Bind(ws.done)
+	s.workers = append(s.workers, ws)
+}
+
+// AddElasticWorker registers a standby worker the elastic controller may
+// grow into and shrink out of. It starts released.
+func (s *Stream) AddElasticWorker(w ElasticWorker) {
+	ws := &workerState{w: w, elastic: w, batch: make([]sim.Time, 0, s.cfg.BatchMax)}
+	ws.done = func(failed bool) { s.onDone(ws, failed) }
+	ws.ready = func() {
+		ws.growing = false
+		ws.enabled = true
+		s.tryDispatch(s.eng.k.Now())
+	}
+	w.Bind(ws.done)
+	s.workers = append(s.workers, ws)
+}
+
+// SetTrace attaches tenant-lane trace emission: serve.admit/drop/dispatch/
+// done records on the given actor (conventionally the tenant's VM lane),
+// with the stream id as the span so a tenant's serving records group like
+// its control-plane records. A nil tracer disables emission.
+func (s *Stream) SetTrace(tr *obs.Tracer, actor obs.Actor) {
+	s.tr = tr
+	s.actor = actor
+}
+
+// generate schedules this stream's arrivals in [from, to) onto the kernel.
+// One lookahead arrival is buffered across windows so arrival processes
+// never rewind. Trace arrivals before the window clamp to its start.
+func (s *Stream) generate(from, to sim.Time) {
+	for {
+		if !s.hasPending {
+			t, ok := s.src.next()
+			if !ok {
+				s.exhausted = true
+				return
+			}
+			if t < from {
+				t = from
+			}
+			s.pending = t
+			s.hasPending = true
+		}
+		if s.pending >= to {
+			return
+		}
+		s.eng.k.At(s.pending, s.arrivalFn)
+		s.hasPending = false
+	}
+}
+
+// onArrival is the per-request entry point: admission decision, queue push,
+// and an immediate dispatch attempt.
+//
+//optimus:hotpath
+func (s *Stream) onArrival() {
+	now := s.eng.k.Now()
+	s.offered++
+	if !s.admit(now) {
+		s.dropped++
+		s.tr.EmitSpan(now, obs.KindServeDrop, s.actor, uint32(s.id+1), uint64(s.qLen), s.offered)
+		return
+	}
+	s.admitted++
+	s.push(now)
+	s.tr.EmitSpan(now, obs.KindServeAdmit, s.actor, uint32(s.id+1), uint64(s.qLen), s.offered)
+	s.tryDispatch(now)
+}
+
+// admit applies the stream's admission policy at arrival time. The token
+// bucket refills lazily from sim time, so idle periods bank burst capacity
+// without any timer events.
+//
+//optimus:hotpath
+func (s *Stream) admit(now sim.Time) bool {
+	if s.qLen >= s.cfg.QueueCap {
+		return false
+	}
+	if s.cfg.Policy == TokenBucket {
+		if now > s.tokenLast {
+			s.tokens += float64(now-s.tokenLast) / float64(sim.Second) * s.cfg.TokenRatePerSec
+			if s.tokens > s.cfg.TokenBurst {
+				s.tokens = s.cfg.TokenBurst
+			}
+			s.tokenLast = now
+		}
+		if s.tokens < 1 {
+			return false
+		}
+		s.tokens--
+	}
+	return true
+}
+
+// push appends an arrival time to the queue ring. The ring is preallocated
+// at QueueCap, and admit bounds qLen below it, so push never grows.
+//
+//optimus:hotpath
+func (s *Stream) push(t sim.Time) {
+	s.q[(s.qHead+s.qLen)%len(s.q)] = t
+	s.qLen++
+}
+
+// pop removes the oldest queued arrival time.
+//
+//optimus:hotpath
+func (s *Stream) pop() sim.Time {
+	t := s.q[s.qHead]
+	s.qHead++
+	if s.qHead == len(s.q) {
+		s.qHead = 0
+	}
+	s.qLen--
+	return t
+}
+
+// tryDispatch drains the queue onto idle enabled workers, coalescing up to
+// BatchMax co-pending requests per launch.
+//
+//optimus:hotpath
+func (s *Stream) tryDispatch(now sim.Time) {
+	for s.qLen > 0 {
+		var ws *workerState
+		for _, c := range s.workers {
+			if c.enabled && !c.busy {
+				ws = c
+				break
+			}
+		}
+		if ws == nil {
+			return
+		}
+		n := s.qLen
+		if n > s.cfg.BatchMax {
+			n = s.cfg.BatchMax
+		}
+		ws.batch = ws.batch[:0]
+		for i := 0; i < n; i++ {
+			ws.batch = append(ws.batch, s.pop())
+		}
+		ws.busy = true
+		s.dispatched += uint64(n)
+		s.batches++
+		s.tr.EmitSpan(now, obs.KindServeDispatch, s.actor, uint32(s.id+1), uint64(n), uint64(s.qLen))
+		if err := ws.w.Launch(n); err != nil {
+			// A refused launch fails the whole batch; stop draining so a
+			// persistently failing worker cannot spin the dispatcher.
+			ws.busy = false
+			s.failed += uint64(n)
+			s.tr.EmitSpan(now, obs.KindServeDone, s.actor, uint32(s.id+1), uint64(n), 1)
+			return
+		}
+	}
+}
+
+// onDone is the per-batch completion path: per-request latency observation
+// and a dispatch attempt for whatever queued behind the batch.
+//
+//optimus:hotpath
+func (s *Stream) onDone(ws *workerState, failed bool) {
+	now := s.eng.k.Now()
+	n := len(ws.batch)
+	ws.busy = false
+	var fb uint64
+	if failed {
+		s.failed += uint64(n)
+		fb = 1
+	} else {
+		s.completed += uint64(n)
+		for _, at := range ws.batch {
+			s.lat.Observe(now - at)
+		}
+	}
+	s.tr.EmitSpan(now, obs.KindServeDone, s.actor, uint32(s.id+1), uint64(n), fb)
+	if ws.enabled {
+		s.tryDispatch(now)
+	}
+}
+
+// evalElastic runs the queue-depth controller once per engine window.
+func (s *Stream) evalElastic() {
+	ec := s.cfg.Elastic
+	if ec.HighWater <= 0 {
+		return
+	}
+	if s.qLen >= ec.HighWater {
+		s.lowStreak = 0
+		for _, ws := range s.workers {
+			if ws.elastic != nil && !ws.enabled && !ws.growing {
+				ws.growing = true
+				s.grows++
+				ws.elastic.Grow(ws.ready)
+				return
+			}
+		}
+		return
+	}
+	if s.qLen > ec.LowWater {
+		s.lowStreak = 0
+		return
+	}
+	s.lowStreak++
+	if s.lowStreak < ec.LowStreak {
+		return
+	}
+	for _, ws := range s.workers {
+		if ws.elastic != nil && ws.enabled && !ws.busy && !ws.growing {
+			ws.enabled = false
+			s.shrinks++
+			ws.elastic.Shrink()
+			s.lowStreak = 0
+			return
+		}
+	}
+}
+
+// Name returns the stream's configured name.
+func (s *Stream) Name() string { return s.name }
+
+// Offered returns total arrivals presented to admission.
+func (s *Stream) Offered() uint64 { return s.offered }
+
+// Admitted returns arrivals accepted into the queue.
+func (s *Stream) Admitted() uint64 { return s.admitted }
+
+// Dropped returns arrivals rejected by admission (queue full or no token).
+func (s *Stream) Dropped() uint64 { return s.dropped }
+
+// Dispatched returns requests launched onto workers.
+func (s *Stream) Dispatched() uint64 { return s.dispatched }
+
+// Completed returns requests whose batch finished successfully.
+func (s *Stream) Completed() uint64 { return s.completed }
+
+// Failed returns requests whose batch failed (launch refusal or worker
+// failure).
+func (s *Stream) Failed() uint64 { return s.failed }
+
+// Batches returns the number of dispatches (each coalescing >= 1 requests).
+func (s *Stream) Batches() uint64 { return s.batches }
+
+// Grows and Shrinks count elastic controller actions.
+func (s *Stream) Grows() uint64 { return s.grows }
+
+// Shrinks counts elastic releases; see Grows.
+func (s *Stream) Shrinks() uint64 { return s.shrinks }
+
+// QueueDepth returns the current admission-queue depth.
+func (s *Stream) QueueDepth() int { return s.qLen }
+
+// ActiveWorkers returns how many workers currently accept dispatches.
+func (s *Stream) ActiveWorkers() int {
+	n := 0
+	for _, ws := range s.workers {
+		if ws.enabled {
+			n++
+		}
+	}
+	return n
+}
+
+// Latency returns the stream's latency accumulator (SLO-armed when
+// StreamConfig.SLO > 0).
+func (s *Stream) Latency() *sim.LatencyStat { return s.lat }

@@ -143,6 +143,17 @@ const (
 	// A = packed payload (fault class in the low byte, bit 8 set on the
 	// recovery event — see chaos.FaultPayload), B = affected address (wire).
 	KindChaosFault
+	// KindServeAdmit / KindServeDrop / KindServeDispatch / KindServeDone are
+	// open-loop traffic-engine records on tenant VM lanes (internal/load).
+	// Admit/Drop: A = queue depth after the decision, B = offered-so-far.
+	// Dispatch: A = batch size, B = queue depth after the pop. Done: A =
+	// batch size, B = 1 if the batch failed. Span carries the stream id on
+	// all four so a tenant's serving records group like its control-plane
+	// records.
+	KindServeAdmit
+	KindServeDrop
+	KindServeDispatch
+	KindServeDone
 	numKinds
 )
 
@@ -167,6 +178,10 @@ var kindNames = [numKinds]string{
 	KindAccelReset:     "accel-reset",
 	KindMuxStall:       "mux-stall",
 	KindChaosFault:     "chaos.fault",
+	KindServeAdmit:     "serve.admit",
+	KindServeDrop:      "serve.drop",
+	KindServeDispatch:  "serve.dispatch",
+	KindServeDone:      "serve.done",
 }
 
 func (k Kind) String() string {

@@ -100,6 +100,15 @@ type Kernel struct {
 	// per clock advance (not per event).
 	hookAt Time
 	hookFn func(Time) Time
+
+	// Arrival injector (SetInjector): injFn fires at injAt whenever the
+	// clock would otherwise advance past it. Unlike the epoch hook, the
+	// injector MAY schedule events (at or after its boundary) — it exists so
+	// open-loop traffic sources can keep feeding a simulation without
+	// pre-materializing their whole timeline. Uninstalled, it costs one nil
+	// check per clock advance.
+	injAt Time
+	injFn func(Time) Time
 }
 
 func eventLess(a, b event) bool {
@@ -227,6 +236,56 @@ func (k *Kernel) fireEpochs(now Time) {
 	}
 }
 
+// SetInjector installs fn as the kernel's arrival injector, first firing
+// when the clock reaches absolute time first. The injector is the open-loop
+// counterpart of the epoch hook: it fires at each boundary it returns, and —
+// unlike the epoch hook — its callback MAY schedule events, provided they
+// are at or after the boundary it was invoked with. The kernel advances the
+// clock exactly to each boundary before firing, so the callback observes
+// Now() == boundary and can use At/After naturally.
+//
+// Ordering guarantees, chosen so an installed-but-idle injector replays
+// event-for-event identically to an uninstalled one:
+//
+//   - A queued event at exactly the injector's boundary dispatches BEFORE
+//     the injector fires (it was scheduled earlier in wall order).
+//   - At a shared boundary the injector fires before the epoch hook, so
+//     arrivals injected at a sampling boundary are visible to the sampler.
+//   - Run() drains the queue without the injector keeping it alive: with an
+//     empty queue the injector only fires under RunUntil/RunFor, which bound
+//     it by their deadline. This keeps Run() termination independent of any
+//     installed traffic source.
+//
+// fn returns the next boundary; returning a time not after the current
+// boundary uninstalls the injector, as does passing a nil fn. One injector
+// per kernel; installing replaces.
+func (k *Kernel) SetInjector(first Time, fn func(boundary Time) Time) {
+	if fn == nil {
+		k.injFn = nil
+		return
+	}
+	k.injAt = first
+	k.injFn = fn
+	if k.now >= first {
+		k.fireInjections(k.now)
+	}
+}
+
+// fireInjections invokes the injector for every boundary the clock has
+// reached, advancing injAt each time. Callers ensure the clock has been
+// advanced to (at least) the boundary first.
+func (k *Kernel) fireInjections(now Time) {
+	for k.injFn != nil && k.injAt <= now {
+		at := k.injAt
+		next := k.injFn(at)
+		if next <= at {
+			k.injFn = nil
+			return
+		}
+		k.injAt = next
+	}
+}
+
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // it always indicates a component bug, and silently reordering time would
 // corrupt every latency measurement downstream.
@@ -282,6 +341,27 @@ func (k *Kernel) After(d Time, fn func()) {
 //
 //optimus:hotpath
 func (k *Kernel) advance() (event, bool) {
+	// Injector boundaries strictly before the next heap timestamp fire
+	// first: the clock advances exactly to the boundary so the callback can
+	// schedule from Now(). Ties go to the heap (the queued event predates
+	// the boundary in wall order); the injector then fires on the next
+	// lane-empty advance at the same timestamp. Breaking on an empty heap
+	// keeps Run() from spinning on an unbounded traffic source — empty-queue
+	// boundaries are RunUntil's job, which bounds them by its deadline.
+	for k.injFn != nil {
+		ia := k.injAt
+		if len(k.heap) == 0 || k.heap[0].at <= ia {
+			break
+		}
+		k.now = ia
+		k.fireInjections(ia)
+		if k.hookFn != nil && ia >= k.hookAt {
+			k.fireEpochs(ia)
+		}
+		if k.fifoHead < len(k.fifo) {
+			return k.popLane(), true
+		}
+	}
 	if len(k.heap) == 0 {
 		return event{}, false
 	}
@@ -401,6 +481,21 @@ func (k *Kernel) RunUntil(deadline Time) {
 				e.fn()
 			}
 			if len(k.heap) == 0 || k.heap[0].at > deadline {
+				// No event within the deadline, but an installed injector
+				// may still owe boundaries at or before it: advance the
+				// clock to each and fire, then resume draining whatever the
+				// callback scheduled. injAt advances strictly per firing,
+				// so this terminates at the deadline.
+				if k.injFn != nil && k.injAt <= deadline {
+					if k.now < k.injAt {
+						k.now = k.injAt
+					}
+					k.fireInjections(k.now)
+					if k.hookFn != nil && k.now >= k.hookAt {
+						k.fireEpochs(k.now)
+					}
+					continue
+				}
 				break
 			}
 			e, _ := k.advance()

@@ -31,6 +31,11 @@ type LatencyStat struct {
 	// change which slot a later random eviction replaces.
 	sortBuf   []Time
 	sortValid bool
+	// SLO tracking (SetSLO): sloCount counts samples strictly above
+	// sloThresh exactly — unlike a reservoir-derived estimate it never
+	// undercounts rare tail violations.
+	sloThresh Time
+	sloCount  uint64
 }
 
 // NewLatencyStat returns a stat that keeps up to resCap reservoir samples
@@ -51,6 +56,9 @@ func (s *LatencyStat) Observe(d Time) {
 	}
 	f := float64(d)
 	s.sumSq += f * f
+	if s.sloThresh > 0 && d > s.sloThresh {
+		s.sloCount++
+	}
 	if s.resCap > 0 {
 		if len(s.reservoir) < s.resCap {
 			s.reservoir = append(s.reservoir, d)
@@ -77,7 +85,43 @@ func (s *LatencyStat) CopyFrom(src *LatencyStat) {
 	s.reservoir = append(s.reservoir[:0], src.reservoir...)
 	s.sortBuf = append(s.sortBuf[:0], src.sortBuf...)
 	s.sortValid = src.sortValid
+	s.sloThresh = src.sloThresh
+	s.sloCount = src.sloCount
 	s.rng = RandFromState(src.rng.State())
+}
+
+// SetSLO arms exact violation counting for samples strictly above threshold.
+// Only samples observed after the call are counted; re-arming with a new
+// threshold resets the count. A non-positive threshold disarms.
+func (s *LatencyStat) SetSLO(threshold Time) {
+	s.sloThresh = threshold
+	s.sloCount = 0
+}
+
+// ViolationsAbove returns the number of samples strictly above threshold.
+// When threshold matches the armed SLO (SetSLO) the count is exact; otherwise
+// it is estimated from the reservoir, scaled to the observed sample count.
+func (s *LatencyStat) ViolationsAbove(threshold Time) uint64 {
+	if s.sloThresh > 0 && threshold == s.sloThresh {
+		return s.sloCount
+	}
+	if len(s.reservoir) == 0 {
+		return 0
+	}
+	// The sorted reservoir makes this a binary search for the first sample
+	// above the threshold; everything from there on violates.
+	sorted := s.sorted()
+	lo, hi := 0, len(sorted)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if sorted[mid] <= threshold {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	over := len(sorted) - lo
+	return uint64(float64(over) / float64(len(sorted)) * float64(s.n))
 }
 
 // Count returns the number of samples.

@@ -137,3 +137,85 @@ func TestLatencyStatReservoirUnperturbed(t *testing.T) {
 		}
 	}
 }
+
+// TestLatencyStatSLOExact checks the armed SLO counter is exact: it counts
+// every sample strictly above the threshold, including rare tail violations
+// the reservoir may have evicted.
+func TestLatencyStatSLOExact(t *testing.T) {
+	s := NewLatencyStat(4, 1) // tiny reservoir: tail samples mostly evicted
+	s.SetSLO(100)
+	for i := 0; i < 1000; i++ {
+		s.Observe(50)
+	}
+	for i := 0; i < 7; i++ {
+		s.Observe(200)
+	}
+	s.Observe(100) // boundary: not a violation (strictly above)
+	if got := s.ViolationsAbove(100); got != 7 {
+		t.Fatalf("ViolationsAbove(100) = %d, want exact 7", got)
+	}
+}
+
+// TestLatencyStatSLORearm checks re-arming resets the exact count and only
+// counts samples observed after the call.
+func TestLatencyStatSLORearm(t *testing.T) {
+	s := NewLatencyStat(8, 1)
+	s.SetSLO(10)
+	s.Observe(20)
+	s.Observe(5)
+	if got := s.ViolationsAbove(10); got != 1 {
+		t.Fatalf("ViolationsAbove(10) = %d, want 1", got)
+	}
+	s.SetSLO(3)
+	if got := s.ViolationsAbove(3); got != 0 {
+		t.Fatalf("after re-arm ViolationsAbove(3) = %d, want 0 (reset)", got)
+	}
+	s.Observe(4)
+	if got := s.ViolationsAbove(3); got != 1 {
+		t.Fatalf("after re-arm ViolationsAbove(3) = %d, want 1", got)
+	}
+}
+
+// TestLatencyStatSLOEstimate checks the reservoir-scaled estimate path for
+// thresholds that were not armed. With a reservoir that holds every sample,
+// the estimate is exact.
+func TestLatencyStatSLOEstimate(t *testing.T) {
+	s := NewLatencyStat(100, 1)
+	for i := 1; i <= 100; i++ {
+		s.Observe(Time(i))
+	}
+	if got := s.ViolationsAbove(90); got != 10 {
+		t.Fatalf("ViolationsAbove(90) = %d, want 10 (full-reservoir estimate)", got)
+	}
+	if got := s.ViolationsAbove(0); got != 100 {
+		t.Fatalf("ViolationsAbove(0) = %d, want 100", got)
+	}
+	if got := s.ViolationsAbove(1000); got != 0 {
+		t.Fatalf("ViolationsAbove(1000) = %d, want 0", got)
+	}
+	var empty LatencyStat
+	if got := empty.ViolationsAbove(5); got != 0 {
+		t.Fatalf("empty ViolationsAbove = %d, want 0", got)
+	}
+}
+
+// TestLatencyStatSLOCopyFrom checks CopyFrom carries the SLO threshold and
+// exact count into the destination, as hypervisor cloning requires.
+func TestLatencyStatSLOCopyFrom(t *testing.T) {
+	src := NewLatencyStat(8, 3)
+	src.SetSLO(10)
+	src.Observe(20)
+	src.Observe(30)
+	dst := NewLatencyStat(8, 99)
+	dst.CopyFrom(src)
+	if got := dst.ViolationsAbove(10); got != 2 {
+		t.Fatalf("copied ViolationsAbove(10) = %d, want 2", got)
+	}
+	dst.Observe(15)
+	if got := dst.ViolationsAbove(10); got != 3 {
+		t.Fatalf("copy must keep counting: got %d, want 3", got)
+	}
+	if got := src.ViolationsAbove(10); got != 2 {
+		t.Fatalf("src perturbed by copy: got %d, want 2", got)
+	}
+}
